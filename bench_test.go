@@ -1,0 +1,447 @@
+// Benchmarks regenerating the paper's evaluation, one per experiment id
+// (DESIGN.md §4). Custom metrics carry the experiment's headline number
+// (precision, lift, modularity, …) so `go test -bench` output alone shows
+// whether the paper's shape holds. cmd/shoal-bench prints the full tables.
+package shoal_test
+
+import (
+	"net/http/httptest"
+	"net/url"
+	"strconv"
+	"sync"
+	"testing"
+
+	"shoal"
+	"shoal/internal/abtest"
+	"shoal/internal/bipartite"
+	"shoal/internal/bm25"
+	"shoal/internal/bsp"
+	"shoal/internal/catcorr"
+	"shoal/internal/core"
+	"shoal/internal/entitygraph"
+	"shoal/internal/eval"
+	"shoal/internal/hac"
+	"shoal/internal/model"
+	"shoal/internal/modularity"
+	"shoal/internal/phac"
+	"shoal/internal/recommend"
+	"shoal/internal/serve"
+	"shoal/internal/synth"
+	"shoal/internal/textutil"
+	"shoal/internal/wgraph"
+	"shoal/internal/word2vec"
+)
+
+// benchWorld is the shared fixture: a synthetic corpus and a full pipeline
+// build, constructed once.
+type benchWorld struct {
+	corpus *model.Corpus
+	build  *core.Build
+	sizes  []int
+}
+
+var (
+	worldOnce sync.Once
+	world     *benchWorld
+)
+
+func getWorld(b *testing.B) *benchWorld {
+	b.Helper()
+	worldOnce.Do(func() {
+		gen := synth.DefaultConfig()
+		gen.Scenarios = 16
+		gen.ItemsPerScenario = 100
+		gen.QueriesPerScenario = 24
+		gen.NoiseItems = 80
+		gen.HeadQueries = 12
+		corpus, err := synth.Generate(gen)
+		if err != nil {
+			panic(err)
+		}
+		cfg := core.DefaultConfig()
+		cfg.Word2Vec.Epochs = 2
+		cfg.Word2Vec.Dim = 24
+		cfg.Graph.MinSimilarity = 0.25
+		cfg.HAC.StopThreshold = 0.12
+		cfg.Taxonomy.Levels = []float64{0.12, 0.3, 0.5}
+		bd, err := core.Run(corpus, cfg)
+		if err != nil {
+			panic(err)
+		}
+		sizes := make([]int, len(bd.Entities.Entities))
+		for i := range sizes {
+			sizes[i] = bd.Entities.Entities[i].Size()
+		}
+		world = &benchWorld{corpus: corpus, build: bd, sizes: sizes}
+	})
+	return world
+}
+
+// BenchmarkE1Precision regenerates §3's placement-precision evaluation
+// (paper: 98% over 1000 topics × 100 items).
+func BenchmarkE1Precision(b *testing.B) {
+	w := getWorld(b)
+	var last float64
+	for i := 0; i < b.N; i++ {
+		res, err := eval.Precision(w.build.Taxonomy, w.corpus, eval.PrecisionConfig{
+			SampleTopics: 1000, ItemsPerTopic: 100, MinTopicItems: 3,
+			RootTopicsOnly: true, Seed: uint64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res.Precision
+	}
+	b.ReportMetric(last, "precision")
+}
+
+// BenchmarkE2ABTest regenerates §3's online A/B simulation (paper: +5% CTR).
+func BenchmarkE2ABTest(b *testing.B) {
+	w := getWorld(b)
+	ctl, err := recommend.NewCategoryRecommender(w.corpus)
+	if err != nil {
+		b.Fatal(err)
+	}
+	exp, err := recommend.NewTopicRecommender(w.corpus, w.build.Taxonomy)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := abtest.DefaultConfig()
+	cfg.Users = 50_000
+	var lift float64
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i + 1)
+		res, err := abtest.Run(w.corpus, ctl, exp, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lift = res.Lift
+	}
+	b.ReportMetric(lift, "lift")
+}
+
+// BenchmarkE3Modularity regenerates §2.2's quality metric (paper: > 0.3).
+func BenchmarkE3Modularity(b *testing.B) {
+	w := getWorld(b)
+	labels := w.build.Dendrogram.CutAt(0.12)
+	var q float64
+	for i := 0; i < b.N; i++ {
+		var err error
+		q, err = modularity.Compute(w.build.Graph, labels)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(q, "modularity")
+}
+
+// BenchmarkE4Scaling regenerates §2.2's scalability comparison: sequential
+// HAC vs Parallel HAC across worker counts (paper: 200M entities in 4h on
+// a cluster; the shape is near-linear worker scaling).
+func BenchmarkE4Scaling(b *testing.B) {
+	w := getWorld(b)
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := hac.Cluster(w.build.Graph, w.sizes, hac.Config{StopThreshold: 0.12}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run("parallel-w"+strconv.Itoa(workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, err := phac.Cluster(w.build.Graph, w.sizes, phac.Config{
+					StopThreshold: 0.12, DiffusionRounds: 2, Workers: workers,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE5Diffusion regenerates the §2.2 iteration/parallelism
+// trade-off (paper: fewer iterations ⇒ more local maximal edges; r=2).
+func BenchmarkE5Diffusion(b *testing.B) {
+	w := getWorld(b)
+	for _, r := range []int{0, 1, 2, 4} {
+		b.Run("r"+strconv.Itoa(r), func(b *testing.B) {
+			var selected int
+			for i := 0; i < b.N; i++ {
+				sel, err := phac.Diffuse(w.build.Graph, r, 0.12, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				selected = len(sel)
+			}
+			b.ReportMetric(float64(selected), "local-max-edges")
+		})
+	}
+}
+
+// BenchmarkE6Alpha regenerates the §2.1 blend ablation (paper: α = 0.7).
+func BenchmarkE6Alpha(b *testing.B) {
+	w := getWorld(b)
+	clicks := bipartite.New(7)
+	if err := clicks.AddAll(w.corpus.Clicks); err != nil {
+		b.Fatal(err)
+	}
+	for _, alpha := range []float64{0, 0.7, 1} {
+		b.Run("alpha"+strconv.FormatFloat(alpha, 'f', 1, 64), func(b *testing.B) {
+			var nmi float64
+			for i := 0; i < b.N; i++ {
+				gcfg := entitygraph.DefaultConfig()
+				gcfg.Alpha = alpha
+				gcfg.MinSimilarity = 0.25
+				res, err := entitygraph.Build(w.build.Entities, clicks, w.build.Embeddings, gcfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cres, err := phac.Cluster(res.Graph, w.sizes, phac.Config{StopThreshold: 0.12, DiffusionRounds: 2})
+				if err != nil {
+					b.Fatal(err)
+				}
+				truth := make([]model.ScenarioID, len(w.build.Entities.Entities))
+				for j := range truth {
+					truth[j] = w.build.Entities.Entities[j].Scenario
+				}
+				part, err := eval.LabelsPartition(cres.Dendrogram.CutAt(0.12), truth)
+				if err != nil {
+					b.Fatal(err)
+				}
+				nmi = part.NMI()
+			}
+			b.ReportMetric(nmi, "NMI")
+		})
+	}
+}
+
+// BenchmarkE7CatCorr regenerates the §2.4 correlation mining at the
+// paper's threshold (Sc > 10).
+func BenchmarkE7CatCorr(b *testing.B) {
+	w := getWorld(b)
+	var pairs int
+	for i := 0; i < b.N; i++ {
+		g, err := catcorr.Mine(w.build.Taxonomy, catcorr.DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		pairs = len(g.Pairs())
+	}
+	b.ReportMetric(float64(pairs), "pairs")
+}
+
+// BenchmarkE8Linkage regenerates the Eq. 4 linkage ablation (extension).
+func BenchmarkE8Linkage(b *testing.B) {
+	w := getWorld(b)
+	for _, linkage := range []phac.Linkage{
+		phac.LinkageSqrtSize, phac.LinkageUnweighted, phac.LinkageSizeProportional,
+	} {
+		b.Run(linkage.String(), func(b *testing.B) {
+			var q float64
+			for i := 0; i < b.N; i++ {
+				res, err := phac.Cluster(w.build.Graph, w.sizes, phac.Config{
+					StopThreshold: 0.12, DiffusionRounds: 2, Linkage: linkage,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				q, err = modularity.Compute(w.build.Graph, res.Dendrogram.CutAt(0.12))
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(q, "modularity")
+		})
+	}
+}
+
+// BenchmarkE9BSP regenerates the ODPS-substitution comparison: diffusion
+// on the Pregel-style BSP engine vs shared memory.
+func BenchmarkE9BSP(b *testing.B) {
+	w := getWorld(b)
+	b.Run("shared-memory", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := phac.Diffuse(w.build.Graph, 2, 0.12, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("bsp", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := phac.DiffuseBSP(w.build.Graph, 2, 0.12, bsp.Config{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkF3Figure replays the paper's Fig. 3 worked example.
+func BenchmarkF3Figure(b *testing.B) {
+	g := wgraph.New(13)
+	edges := []wgraph.Edge{
+		{U: 0, V: 1, W: 0.90}, {U: 4, V: 5, W: 0.91}, {U: 10, V: 1, W: 0.74},
+		{U: 0, V: 2, W: 0.70}, {U: 0, V: 3, W: 0.67}, {U: 2, V: 3, W: 0.62},
+		{U: 7, V: 1, W: 0.65}, {U: 7, V: 8, W: 0.61}, {U: 3, V: 8, W: 0.58},
+		{U: 2, V: 9, W: 0.64}, {U: 4, V: 6, W: 0.68}, {U: 5, V: 6, W: 0.65},
+		{U: 5, V: 9, W: 0.61}, {U: 6, V: 11, W: 0.68}, {U: 11, V: 12, W: 0.63},
+		{U: 9, V: 11, W: 0.58}, {U: 9, V: 6, W: 0.53},
+	}
+	for _, e := range edges {
+		if err := g.SetEdge(e.U, e.V, e.W); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var selected int
+	for i := 0; i < b.N; i++ {
+		sel, err := phac.Diffuse(g, 2, 0.3, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		selected = len(sel)
+	}
+	if selected != 2 {
+		b.Fatalf("Fig. 3 selected %d edges, want 2 (AB and EF)", selected)
+	}
+}
+
+// --- substrate micro-benchmarks -------------------------------------
+
+func BenchmarkPipelineEndToEnd(b *testing.B) {
+	gen := synth.DefaultConfig()
+	gen.Scenarios = 6
+	gen.ItemsPerScenario = 50
+	gen.QueriesPerScenario = 12
+	gen.NoiseItems = 20
+	gen.HeadQueries = 5
+	corpus, err := synth.Generate(gen)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := shoal.DefaultConfig()
+	cfg.Word2Vec.Epochs = 1
+	cfg.Word2Vec.Dim = 16
+	cfg.HAC.StopThreshold = 0.12
+	cfg.Taxonomy.Levels = []float64{0.12, 0.3}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := shoal.Build(corpus, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEntityGraphBuild(b *testing.B) {
+	w := getWorld(b)
+	clicks := bipartite.New(7)
+	if err := clicks.AddAll(w.corpus.Clicks); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := entitygraph.Build(w.build.Entities, clicks, w.build.Embeddings, entitygraph.DefaultConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWord2VecTrain(b *testing.B) {
+	w := getWorld(b)
+	sentences := make([][]string, 0, len(w.corpus.Items))
+	for i := range w.corpus.Items {
+		sentences = append(sentences, textutil.Tokenize(w.corpus.Items[i].Title))
+	}
+	cfg := word2vec.DefaultConfig()
+	cfg.Epochs = 1
+	cfg.Dim = 16
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := word2vec.Train(sentences, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBM25TopK(b *testing.B) {
+	w := getWorld(b)
+	docs := make([][]string, 0, len(w.corpus.Items))
+	for i := range w.corpus.Items {
+		docs = append(docs, textutil.Tokenize(w.corpus.Items[i].Title))
+	}
+	idx, err := bm25.Build(docs, bm25.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	query := textutil.Tokenize(w.corpus.Queries[0].Text)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx.TopK(query, 10)
+	}
+}
+
+func BenchmarkCoClickPairs(b *testing.B) {
+	w := getWorld(b)
+	clicks := bipartite.New(7)
+	if err := clicks.AddAll(w.corpus.Clicks); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clicks.CoClickPairs(400)
+	}
+}
+
+// BenchmarkServeSearch measures the online serving path (§1: "millions of
+// searches per day"): one query→topic search through the HTTP handler.
+func BenchmarkServeSearch(b *testing.B) {
+	w := getWorld(b)
+	h, err := serve.NewHandler(w.build)
+	if err != nil {
+		b.Fatal(err)
+	}
+	probe := w.corpus.Queries[0].Text
+	req := httptest.NewRequest("GET", "/api/search?q="+url.QueryEscape(probe)+"&k=5", nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != 200 {
+			b.Fatalf("status %d", rec.Code)
+		}
+	}
+}
+
+// BenchmarkDailyRebuild measures one day's full sliding-window rebuild
+// (§3's production refresh).
+func BenchmarkDailyRebuild(b *testing.B) {
+	gen := synth.DefaultConfig()
+	gen.Scenarios = 8
+	gen.ItemsPerScenario = 60
+	gen.QueriesPerScenario = 15
+	gen.NoiseItems = 30
+	gen.HeadQueries = 6
+	gen.Days = 7
+	corpus, err := synth.Generate(gen)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.Word2Vec.Epochs = 1
+	cfg.Word2Vec.MinCount = 1
+	cfg.HAC.StopThreshold = 0.12
+	cfg.Taxonomy.Levels = []float64{0.12, 0.3}
+	p, err := core.NewDailyPipeline(corpus, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := p.IngestDay(corpus.Clicks); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Rebuild(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,111 @@
+// Package cmd_test builds the real binaries and drives them end to end:
+// shoal-gen writes a corpus, shoal-build turns it into a taxonomy, and the
+// artifacts round-trip through the store formats.
+package cmd_test
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"shoal"
+	"shoal/internal/store"
+)
+
+// buildTool compiles one command into dir and returns the binary path.
+func buildTool(t *testing.T, dir, name string) string {
+	t.Helper()
+	bin := filepath.Join(dir, name)
+	cmd := exec.Command("go", "build", "-o", bin, "./"+name)
+	cmd.Dir = repoRoot(t)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("building %s: %v\n%s", name, err, out)
+	}
+	return bin
+}
+
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tests run in cmd/; the commands live here.
+	return wd
+}
+
+func run(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	var buf bytes.Buffer
+	cmd := exec.Command(bin, args...)
+	cmd.Stdout = &buf
+	cmd.Stderr = &buf
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("%s %v: %v\n%s", bin, args, err, buf.String())
+	}
+	return buf.String()
+}
+
+func TestGenBuildPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles binaries; skipped in -short")
+	}
+	dir := t.TempDir()
+	gen := buildTool(t, dir, "shoal-gen")
+	build := buildTool(t, dir, "shoal-build")
+
+	corpusPath := filepath.Join(dir, "corpus.json.gz")
+	out := run(t, gen, "-out", corpusPath, "-scenarios", "6", "-items", "40", "-queries", "10", "-noise", "15")
+	if !strings.Contains(out, "wrote") {
+		t.Fatalf("shoal-gen output: %q", out)
+	}
+	corpus, err := store.LoadCorpus(corpusPath)
+	if err != nil {
+		t.Fatalf("generated corpus unreadable: %v", err)
+	}
+	if len(corpus.Items) != 6*40+15 {
+		t.Fatalf("items = %d, want %d", len(corpus.Items), 6*40+15)
+	}
+
+	taxPath := filepath.Join(dir, "tax.gob")
+	out = run(t, build, "-corpus", corpusPath, "-out", taxPath, "-stop", "0.12", "-v")
+	if !strings.Contains(out, "taxonomy:") {
+		t.Fatalf("shoal-build output: %q", out)
+	}
+	f, err := os.Open(taxPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tx, err := shoal.LoadTaxonomy(f)
+	if err != nil {
+		t.Fatalf("built taxonomy unreadable: %v", err)
+	}
+	if len(tx.Topics) == 0 {
+		t.Fatal("built taxonomy has no topics")
+	}
+	if len(tx.ItemTopic) != len(corpus.Items) {
+		t.Fatalf("taxonomy covers %d items, corpus has %d", len(tx.ItemTopic), len(corpus.Items))
+	}
+}
+
+func TestGenCurated(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles binaries; skipped in -short")
+	}
+	dir := t.TempDir()
+	gen := buildTool(t, dir, "shoal-gen")
+	corpusPath := filepath.Join(dir, "beach.json")
+	run(t, gen, "-curated", "-out", corpusPath)
+	corpus, err := store.LoadCorpus(corpusPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(corpus.Scenarios) != 3 {
+		t.Fatalf("curated scenarios = %d, want 3", len(corpus.Scenarios))
+	}
+}

@@ -1,0 +1,70 @@
+// Command shoal-bench regenerates the paper's evaluation: one table per
+// experiment id (see DESIGN.md §4 and EXPERIMENTS.md).
+//
+// Usage:
+//
+//	shoal-bench                      # run everything at medium scale
+//	shoal-bench -run E1,E3 -scale small
+//	shoal-bench -run E2 -users 1000000
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"shoal/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("shoal-bench: ")
+
+	var (
+		run    = flag.String("run", "all", "comma-separated experiment ids (E1..E9,F3) or 'all'")
+		scale  = flag.String("scale", "medium", "corpus scale: small|medium|large")
+		users  = flag.Int("users", 200_000, "simulated users for E2")
+		seeds  = flag.String("seeds", "1,2,3", "comma-separated corpus seeds")
+		noFail = flag.Bool("keep-going", true, "continue after a failing experiment")
+	)
+	flag.Parse()
+
+	sc, err := experiments.ParseScale(*scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	runner := experiments.DefaultRunner(sc)
+	runner.ABUsers = *users
+	runner.Seeds = runner.Seeds[:0]
+	for _, s := range strings.Split(*seeds, ",") {
+		v, err := strconv.ParseUint(strings.TrimSpace(s), 10, 64)
+		if err != nil {
+			log.Fatalf("bad seed %q: %v", s, err)
+		}
+		runner.Seeds = append(runner.Seeds, v)
+	}
+
+	ids := runner.IDs()
+	if *run != "all" {
+		ids = strings.Split(strings.ToUpper(*run), ",")
+	}
+	exit := 0
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		tab, err := runner.Run(id)
+		if err != nil {
+			log.Printf("%s failed: %v", id, err)
+			exit = 1
+			if !*noFail {
+				os.Exit(1)
+			}
+			continue
+		}
+		if err := tab.Render(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	}
+	os.Exit(exit)
+}

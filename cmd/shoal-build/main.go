@@ -1,0 +1,75 @@
+// Command shoal-build runs the full SHOAL pipeline over a corpus and saves
+// the resulting taxonomy.
+//
+// Usage:
+//
+//	shoal-build -corpus corpus.json.gz -out taxonomy.gob
+//	shoal-build -corpus corpus.json.gz -alpha 0.7 -stop 0.12 -r 2 -v
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"shoal/internal/core"
+	"shoal/internal/store"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("shoal-build: ")
+
+	var (
+		corpusPath = flag.String("corpus", "corpus.json.gz", "input corpus path")
+		out        = flag.String("out", "taxonomy.gob", "output taxonomy path (gob)")
+		alpha      = flag.Float64("alpha", 0.7, "Eq. 3 blend weight of query-driven similarity")
+		stop       = flag.Float64("stop", 0.12, "clustering stop threshold")
+		diffusion  = flag.Int("r", 2, "diffusion iterations per Parallel HAC round")
+		minSim     = flag.Float64("minsim", 0.25, "entity-graph edge filter")
+		noEmbed    = flag.Bool("no-embeddings", false, "skip word2vec (query-driven similarity only)")
+		verbose    = flag.Bool("v", false, "print stage timings and statistics")
+	)
+	flag.Parse()
+
+	corpus, err := store.LoadCorpus(*corpusPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.Graph.Alpha = *alpha
+	cfg.Graph.MinSimilarity = *minSim
+	cfg.HAC.StopThreshold = *stop
+	cfg.HAC.DiffusionRounds = *diffusion
+	cfg.TrainEmbeddings = !*noEmbed
+	cfg.Word2Vec.Epochs = 2
+	cfg.Word2Vec.Dim = 24
+	if *stop < cfg.Taxonomy.Levels[0] {
+		cfg.Taxonomy.Levels = []float64{*stop, 0.3, 0.5}
+	}
+
+	b, err := core.Run(corpus, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *verbose {
+		for _, st := range b.StageTimings {
+			fmt.Fprintf(os.Stderr, "%-22s %v\n", st.Stage, st.Elapsed)
+		}
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := b.Taxonomy.Save(f); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("corpus: %s\n", corpus.Stats())
+	fmt.Printf("taxonomy: topics=%d roots=%d entities=%d correlations=%d -> %s\n",
+		len(b.Taxonomy.Topics), len(b.Taxonomy.Roots()),
+		len(b.Entities.Entities), len(b.Correlations.Pairs()), *out)
+}

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"shoal"
+)
+
+func TestParseID(t *testing.T) {
+	cases := []struct {
+		in   []string
+		want int
+		ok   bool
+	}{
+		{[]string{"7"}, 7, true},
+		{[]string{"0"}, 0, true},
+		{[]string{"-3"}, 0, false},
+		{[]string{"x"}, 0, false},
+		{nil, 0, false},
+	}
+	for _, tc := range cases {
+		got, ok := parseID(tc.in)
+		if got != tc.want || ok != tc.ok {
+			t.Errorf("parseID(%v) = %d,%v want %d,%v", tc.in, got, ok, tc.want, tc.ok)
+		}
+	}
+}
+
+func TestFindCategory(t *testing.T) {
+	corpus := shoal.CuratedCorpus()
+	if got := findCategory(corpus, "Dress"); got == shoal.RootCategory {
+		t.Fatal("Dress not found by name")
+	}
+	if got := findCategory(corpus, "dress"); got == shoal.RootCategory {
+		t.Fatal("name lookup is not case-insensitive")
+	}
+	if got := findCategory(corpus, "0"); got != 0 {
+		t.Fatalf("numeric lookup = %d, want 0", got)
+	}
+	if got := findCategory(corpus, "99999"); got != shoal.RootCategory {
+		t.Fatal("out-of-range id accepted")
+	}
+	if got := findCategory(corpus, "no such category"); got != shoal.RootCategory {
+		t.Fatal("unknown name accepted")
+	}
+}
+
+// TestReplDoesNotPanic drives the REPL with every command against the
+// curated corpus.
+func TestReplDoesNotPanic(t *testing.T) {
+	cfg := shoal.DefaultConfig()
+	cfg.Word2Vec.Epochs = 1
+	cfg.Word2Vec.MinCount = 1
+	cfg.Graph.MinSimilarity = 0.2
+	cfg.HAC.StopThreshold = 0.12
+	cfg.Taxonomy.Levels = []float64{0.12, 0.4}
+	cfg.CatCorr.MinStrength = 0
+	sys, err := shoal.Build(shoal.CuratedCorpus(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	script := "help\nroots\nquery beach dress\nquery\ntopic 0\ntopic notanumber\ntopic 9999\n" +
+		"items 0\nitems 0 4\nitems\nitems x\nrelated Dress\nrelated\nrelated nosuch\n" +
+		"bogus\n\nquit\n"
+	path := filepath.Join(t.TempDir(), "script")
+	if err := os.WriteFile(path, []byte(script), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	// Redirect stdout noise away from the test log.
+	old := os.Stdout
+	null, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = null
+	defer func() {
+		os.Stdout = old
+		null.Close()
+	}()
+	repl(sys, f)
+}

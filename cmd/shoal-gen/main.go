@@ -1,0 +1,58 @@
+// Command shoal-gen emits a synthetic Taobao-like corpus with ground-truth
+// scenario labels (the stand-in for the paper's closed click logs).
+//
+// Usage:
+//
+//	shoal-gen -out corpus.json.gz -scenarios 30 -items 200 -seed 1
+//	shoal-gen -curated -out beach.json     # the Fig. 1(b) mini corpus
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"shoal/internal/model"
+	"shoal/internal/store"
+	"shoal/internal/synth"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("shoal-gen: ")
+
+	var (
+		out       = flag.String("out", "corpus.json.gz", "output path (.json, .json.gz, .gob, .gob.gz)")
+		curated   = flag.Bool("curated", false, "emit the curated Fig. 1(b) mini corpus instead of generating")
+		seed      = flag.Uint64("seed", 1, "generator seed")
+		scenarios = flag.Int("scenarios", 30, "number of ground-truth shopping scenarios")
+		items     = flag.Int("items", 200, "items per scenario")
+		queries   = flag.Int("queries", 40, "queries per scenario")
+		noise     = flag.Int("noise", 150, "unlabeled noise items")
+		days      = flag.Int("days", 7, "click-log day span")
+	)
+	flag.Parse()
+
+	var corpus *model.Corpus
+	if *curated {
+		corpus = synth.Curated()
+	} else {
+		cfg := synth.DefaultConfig()
+		cfg.Seed = *seed
+		cfg.Scenarios = *scenarios
+		cfg.ItemsPerScenario = *items
+		cfg.QueriesPerScenario = *queries
+		cfg.NoiseItems = *noise
+		cfg.Days = *days
+		var err error
+		corpus, err = synth.Generate(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := store.SaveCorpus(corpus, *out); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stdout, "wrote %s: %s\n", *out, corpus.Stats())
+}

@@ -1,0 +1,74 @@
+// Command shoal-serve builds a SHOAL taxonomy and serves it over HTTP —
+// the online counterpart of the deployed system, which answers millions of
+// topic searches per day (paper §1, §3).
+//
+// Usage:
+//
+//	shoal-serve -addr :8080                       # curated mini corpus
+//	shoal-serve -addr :8080 -corpus corpus.json.gz
+//
+// Endpoints: /api/search?q=..., /api/topics/{id},
+// /api/topics/{id}/items[?category=N], /api/categories/{id}/related,
+// /api/stats.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"shoal/internal/core"
+	"shoal/internal/serve"
+	"shoal/internal/store"
+	"shoal/internal/synth"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("shoal-serve: ")
+
+	addr := flag.String("addr", ":8080", "listen address")
+	corpusPath := flag.String("corpus", "", "corpus to build from (empty: curated mini corpus)")
+	flag.Parse()
+
+	corpus := synth.Curated()
+	cfg := core.DefaultConfig()
+	cfg.Word2Vec.Epochs = 2
+	cfg.Word2Vec.MinCount = 1
+	cfg.Graph.MinSimilarity = 0.2
+	cfg.HAC.StopThreshold = 0.12
+	cfg.Taxonomy.Levels = []float64{0.12, 0.3, 0.5}
+	cfg.CatCorr.MinStrength = 0
+	if *corpusPath != "" {
+		var err error
+		corpus, err = store.LoadCorpus(*corpusPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.CatCorr.MinStrength = 2
+	}
+
+	start := time.Now()
+	b, err := core.Run(corpus, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("built taxonomy in %v: topics=%d roots=%d\n",
+		time.Since(start).Round(time.Millisecond),
+		len(b.Taxonomy.Topics), len(b.Taxonomy.Roots()))
+
+	h, err := serve.NewHandler(b)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &http.Server{
+		Addr:         *addr,
+		Handler:      h,
+		ReadTimeout:  5 * time.Second,
+		WriteTimeout: 10 * time.Second,
+	}
+	fmt.Printf("serving on %s (try /api/search?q=beach+dress)\n", *addr)
+	log.Fatal(srv.ListenAndServe())
+}

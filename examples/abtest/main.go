@@ -1,0 +1,82 @@
+// Abtest reproduces the paper's §3 online experiment (Fig. 4): a control
+// group served category-matched recommendation panels vs an experiment
+// group served SHOAL topic-matched panels, measured by CTR. The paper
+// reports a 5% relative lift over 3 million users; the simulator's user
+// model derives the lift from scenario coverage rather than hard-coding it.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"shoal"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	gen := shoal.DefaultCorpusConfig()
+	gen.Scenarios = 20
+	gen.ItemsPerScenario = 120
+	corpus, err := shoal.GenerateCorpus(gen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := shoal.DefaultConfig()
+	cfg.Word2Vec.Epochs = 2
+	cfg.HAC.StopThreshold = 0.12
+	cfg.Taxonomy.Levels = []float64{0.12, 0.3, 0.5}
+	sys, err := shoal.Build(corpus, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("taxonomy: %s\n\n", sys.Stats())
+
+	// Render both panels for one seed item, mirroring Fig. 4's side-by-
+	// side comparison.
+	ctl, err := sys.CategoryRecommender()
+	if err != nil {
+		log.Fatal(err)
+	}
+	exp, err := sys.TopicRecommender()
+	if err != nil {
+		log.Fatal(err)
+	}
+	var seed shoal.ItemID = -1
+	for it := range corpus.Items {
+		if sys.ItemTopic(shoal.ItemID(it)) != shoal.NoTopic {
+			seed = shoal.ItemID(it)
+			break
+		}
+	}
+	if seed < 0 {
+		log.Fatal("no placed item to seed the panels")
+	}
+	fmt.Printf("seed item #%d: %q [%s]\n", seed, corpus.Items[seed].Title,
+		corpus.Categories[corpus.Items[seed].Category].Name)
+	fmt.Println("\n(a) control group: category recommendation")
+	for _, it := range shoal.Recommend(ctl, seed, 6, 42) {
+		fmt.Printf("    %-40q [%s]\n", corpus.Items[it].Title,
+			corpus.Categories[corpus.Items[it].Category].Name)
+	}
+	fmt.Println("(b) experiment group: topic recommendations")
+	for _, it := range shoal.Recommend(exp, seed, 6, 42) {
+		fmt.Printf("    %-40q [%s]\n", corpus.Items[it].Title,
+			corpus.Categories[corpus.Items[it].Category].Name)
+	}
+
+	// Run the A/B simulation.
+	ab := shoal.DefaultABConfig()
+	ab.Users = 300_000
+	res, err := sys.RunABTest(ab)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nA/B test over %d users:\n", ab.Users)
+	fmt.Printf("  control    (%s): CTR %.4f  (%d clicks / %d impressions)\n",
+		res.Control.Name, res.Control.CTR, res.Control.Clicks, res.Control.Impressions)
+	fmt.Printf("  experiment (%s): CTR %.4f  (%d clicks / %d impressions)\n",
+		res.Experiment.Name, res.Experiment.CTR, res.Experiment.Clicks, res.Experiment.Impressions)
+	fmt.Printf("  relative CTR lift: %+.1f%%  (z = %.1f)\n", 100*res.Lift, res.ZScore)
+	fmt.Println("  paper reports: +5% CTR in a 3M-user online A/B test")
+}

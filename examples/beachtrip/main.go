@@ -1,0 +1,69 @@
+// Beachtrip replays the paper's motivating example (Fig. 1): a user
+// searching "beach dress" should not be confined to the Dress category —
+// SHOAL's "trip to the beach" topic also surfaces Swimwear, Beach pants,
+// Sunglasses and Sunblock, while the ontology-driven taxonomy keeps those
+// categories apart.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"shoal"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	corpus := shoal.CuratedCorpus()
+	cfg := shoal.DefaultConfig()
+	cfg.Word2Vec.Epochs = 4
+	cfg.Word2Vec.MinCount = 1
+	cfg.Graph.MinSimilarity = 0.2
+	cfg.HAC.StopThreshold = 0.12
+	cfg.Taxonomy.Levels = []float64{0.12, 0.35, 0.6}
+	cfg.CatCorr.MinStrength = 0
+	sys, err := shoal.Build(corpus, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const query = "beach dress"
+	fmt.Printf("user query: %q\n\n", query)
+
+	// Ontology-driven answer (Fig. 1(a)): only the Dress category.
+	fmt.Println("ontology-driven taxonomy answers with the Dress category:")
+	for _, it := range corpus.Items {
+		if corpus.Categories[it.Category].Name == "Dress" {
+			fmt.Printf("  - %s\n", it.Title)
+		}
+	}
+
+	// SHOAL's answer (Fig. 1(b)): the whole shopping scenario.
+	hits := sys.SearchTopics(query, 1)
+	if len(hits) == 0 {
+		log.Fatal("no topic matched the query")
+	}
+	topic, err := sys.Topic(hits[0].Topic)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nSHOAL topic %q spans %d categories:\n", topic.Description, len(topic.Categories))
+	for _, cat := range topic.Categories {
+		items, err := sys.TopicItems(topic.ID, cat)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %s:\n", corpus.Categories[cat].Name)
+		for _, it := range items {
+			fmt.Printf("    - %s\n", corpus.Items[it].Title)
+		}
+	}
+
+	// Scenario D: the correlations this topic induces between categories.
+	fmt.Println("\ncategory correlations mined from root topics (Eq. 5):")
+	for _, p := range sys.CategoryCorrelations() {
+		fmt.Printf("  %s <-> %s (strength %d)\n",
+			corpus.Categories[p.A].Name, corpus.Categories[p.B].Name, p.Strength)
+	}
+}

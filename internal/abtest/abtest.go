@@ -1,0 +1,178 @@
+// Package abtest simulates the paper's online A/B test (§3): 3 million
+// users, control group served category-matched recommendations, experiment
+// group served SHOAL topic-matched recommendations, outcome measured as
+// Click Through Rate. The paper reports a 5% relative CTR lift.
+//
+// The simulation's user model encodes the mechanism the paper credits for
+// the lift: a user browsing an item usually has a *shopping scenario* in
+// mind (the generator's ground-truth label), and clicks a recommended item
+// with much higher probability when it serves that scenario than when it
+// merely shares a category. Category recommendations can only cover the
+// scenario by accident; topic recommendations cover it by construction —
+// so the lift emerges from coverage, not from a hard-coded answer.
+package abtest
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"shoal/internal/model"
+	"shoal/internal/recommend"
+)
+
+// Config controls the simulation.
+type Config struct {
+	// Users is the number of simulated users (the paper ran 3M).
+	Users int
+	// PanelSize is the number of recommendations shown per impression.
+	PanelSize int
+	// BaseCTR is the click probability for an irrelevant recommendation.
+	BaseCTR float64
+	// ScenarioCTR is the click probability for a recommendation that
+	// matches the user's latent scenario.
+	ScenarioCTR float64
+	// CategoryCTR is the click probability for a recommendation that
+	// shares the seed's category but not the scenario (categorical
+	// relevance still attracts some clicks).
+	CategoryCTR float64
+	// Seed drives user sampling; fixed seed = reproducible experiment.
+	Seed uint64
+}
+
+// DefaultConfig uses click probabilities in realistic e-commerce ranges.
+// The category baseline is deliberately strong (CategoryCTR close to
+// ScenarioCTR): users browsing a dress do click other dresses, which is
+// what makes the paper's +5% a hard-won lift rather than a free one.
+func DefaultConfig() Config {
+	return Config{
+		Users:       200_000,
+		PanelSize:   8,
+		BaseCTR:     0.04,
+		ScenarioCTR: 0.13,
+		CategoryCTR: 0.10,
+		Seed:        1,
+	}
+}
+
+func (c Config) validate() error {
+	if c.Users <= 0 {
+		return fmt.Errorf("abtest: Users must be positive, got %d", c.Users)
+	}
+	if c.PanelSize <= 0 {
+		return fmt.Errorf("abtest: PanelSize must be positive, got %d", c.PanelSize)
+	}
+	for _, p := range []float64{c.BaseCTR, c.ScenarioCTR, c.CategoryCTR} {
+		if p < 0 || p > 1 {
+			return fmt.Errorf("abtest: click probabilities must be in [0,1]")
+		}
+	}
+	return nil
+}
+
+// ArmResult is the outcome of one experiment arm.
+type ArmResult struct {
+	Name        string
+	Impressions int64 // recommendations shown
+	Clicks      int64
+	// CTR is Clicks / Impressions.
+	CTR float64
+	// StdErr is the binomial standard error of CTR.
+	StdErr float64
+}
+
+// Result is the outcome of an A/B run.
+type Result struct {
+	Control    ArmResult
+	Experiment ArmResult
+	// Lift is the relative CTR improvement: (exp − ctl) / ctl.
+	Lift float64
+	// ZScore is the two-proportion z statistic of the difference.
+	ZScore float64
+}
+
+// Run simulates the A/B test. Each user samples a seed item (biased toward
+// labeled items — users arrive with intent), adopts its scenario as their
+// latent intent, is assigned 50/50 to an arm, sees one panel, and clicks
+// each recommendation independently by relevance.
+func Run(corpus *model.Corpus, control, experiment recommend.Recommender, cfg Config) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if control == nil || experiment == nil {
+		return nil, fmt.Errorf("abtest: nil recommender")
+	}
+	if len(corpus.Items) == 0 {
+		return nil, fmt.Errorf("abtest: empty corpus")
+	}
+	// Seed pool: items with a ground-truth scenario (users with intent).
+	var seeds []model.ItemID
+	for i := range corpus.Items {
+		if corpus.Items[i].Scenario != model.NoScenario {
+			seeds = append(seeds, corpus.Items[i].ID)
+		}
+	}
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("abtest: corpus has no scenario-labeled items to seed users")
+	}
+
+	rng := rand.New(rand.NewPCG(cfg.Seed, 0xAB))
+	ctl := ArmResult{Name: control.Name()}
+	exp := ArmResult{Name: experiment.Name()}
+	for u := 0; u < cfg.Users; u++ {
+		seed := seeds[rng.IntN(len(seeds))]
+		intent := corpus.Items[seed].Scenario
+		seedCat := corpus.Items[seed].Category
+
+		arm := &ctl
+		rec := control
+		if u%2 == 1 {
+			arm = &exp
+			rec = experiment
+		}
+		panel := rec.Recommend(seed, cfg.PanelSize, rng)
+		for _, it := range panel {
+			arm.Impressions++
+			p := cfg.BaseCTR
+			switch {
+			case corpus.Items[it].Scenario == intent:
+				p = cfg.ScenarioCTR
+			case corpus.Items[it].Category == seedCat:
+				p = cfg.CategoryCTR
+			}
+			if rng.Float64() < p {
+				arm.Clicks++
+			}
+		}
+	}
+	finish(&ctl)
+	finish(&exp)
+	res := &Result{Control: ctl, Experiment: exp}
+	if ctl.CTR > 0 {
+		res.Lift = (exp.CTR - ctl.CTR) / ctl.CTR
+	}
+	res.ZScore = twoProportionZ(ctl, exp)
+	return res, nil
+}
+
+func finish(a *ArmResult) {
+	if a.Impressions > 0 {
+		a.CTR = float64(a.Clicks) / float64(a.Impressions)
+		a.StdErr = math.Sqrt(a.CTR * (1 - a.CTR) / float64(a.Impressions))
+	}
+}
+
+// twoProportionZ computes the pooled two-proportion z statistic.
+func twoProportionZ(a, b ArmResult) float64 {
+	n1, n2 := float64(a.Impressions), float64(b.Impressions)
+	if n1 == 0 || n2 == 0 {
+		return 0
+	}
+	p1, p2 := a.CTR, b.CTR
+	pool := (float64(a.Clicks) + float64(b.Clicks)) / (n1 + n2)
+	den := math.Sqrt(pool * (1 - pool) * (1/n1 + 1/n2))
+	if den == 0 {
+		return 0
+	}
+	return (p2 - p1) / den
+}

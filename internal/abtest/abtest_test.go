@@ -1,0 +1,173 @@
+package abtest
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"shoal/internal/model"
+	"shoal/internal/recommend"
+)
+
+// scriptedRecommender returns a fixed panel regardless of seed.
+type scriptedRecommender struct {
+	name  string
+	panel []model.ItemID
+}
+
+func (s *scriptedRecommender) Name() string { return s.name }
+
+func (s *scriptedRecommender) Recommend(seed model.ItemID, k int, rng *rand.Rand) []model.ItemID {
+	if k > len(s.panel) {
+		k = len(s.panel)
+	}
+	return s.panel[:k]
+}
+
+// corpus: items 0..3 in scenario 0 category 0; items 4..7 scenario 1
+// category 1; items 8..9 unlabeled category 2.
+func testCorpus() *model.Corpus {
+	c := &model.Corpus{
+		Categories: []model.Category{
+			{ID: 0, Name: "A", Parent: model.RootCategory},
+			{ID: 1, Name: "B", Parent: model.RootCategory},
+			{ID: 2, Name: "C", Parent: model.RootCategory},
+		},
+	}
+	for i := 0; i < 10; i++ {
+		scen := model.ScenarioID(0)
+		cat := model.CategoryID(0)
+		switch {
+		case i >= 8:
+			scen, cat = model.NoScenario, 2
+		case i >= 4:
+			scen, cat = 1, 1
+		}
+		c.Items = append(c.Items, model.Item{
+			ID: model.ItemID(i), Title: "t", Category: cat, PriceCents: 100, Scenario: scen,
+		})
+	}
+	return c
+}
+
+func TestRunScenarioArmWins(t *testing.T) {
+	corpus := testCorpus()
+	// Control always shows unlabeled items (irrelevant); experiment
+	// always shows scenario-0 items. Users mostly hold scenario 0 or 1.
+	ctl := &scriptedRecommender{name: "ctl", panel: []model.ItemID{8, 9}}
+	exp := &scriptedRecommender{name: "exp", panel: []model.ItemID{0, 1}}
+	cfg := DefaultConfig()
+	cfg.Users = 20_000
+	res, err := Run(corpus, ctl, exp, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Experiment.CTR <= res.Control.CTR {
+		t.Fatalf("experiment CTR %f not above control %f", res.Experiment.CTR, res.Control.CTR)
+	}
+	if res.Lift <= 0 {
+		t.Fatalf("lift = %f, want positive", res.Lift)
+	}
+	if res.ZScore <= 2 {
+		t.Fatalf("z-score = %f, want clearly significant", res.ZScore)
+	}
+	if res.Control.Name != "ctl" || res.Experiment.Name != "exp" {
+		t.Fatal("arm names not propagated")
+	}
+}
+
+func TestRunIdenticalArmsNoLift(t *testing.T) {
+	corpus := testCorpus()
+	same := &scriptedRecommender{name: "same", panel: []model.ItemID{0, 4}}
+	cfg := DefaultConfig()
+	cfg.Users = 50_000
+	res, err := Run(corpus, same, same, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identical arms: lift should be statistically indistinguishable
+	// from zero.
+	if res.ZScore > 3 || res.ZScore < -3 {
+		t.Fatalf("identical arms produced z=%f", res.ZScore)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	corpus := testCorpus()
+	ctl := &scriptedRecommender{name: "c", panel: []model.ItemID{8}}
+	exp := &scriptedRecommender{name: "e", panel: []model.ItemID{0}}
+	cfg := DefaultConfig()
+	cfg.Users = 5_000
+	a, err := Run(corpus, ctl, exp, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(corpus, ctl, exp, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *a != *b {
+		t.Fatalf("same seed gave different results: %+v vs %+v", a, b)
+	}
+	cfg.Seed = 99
+	c, err := Run(corpus, ctl, exp, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Control.Clicks == c.Control.Clicks && a.Experiment.Clicks == c.Experiment.Clicks {
+		t.Fatal("different seeds gave identical click counts")
+	}
+}
+
+func TestRunImpressionAccounting(t *testing.T) {
+	corpus := testCorpus()
+	ctl := &scriptedRecommender{name: "c", panel: []model.ItemID{8, 9}}
+	exp := &scriptedRecommender{name: "e", panel: []model.ItemID{0, 1}}
+	cfg := DefaultConfig()
+	cfg.Users = 1000
+	cfg.PanelSize = 2
+	res, err := Run(corpus, ctl, exp, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Control.Impressions != 1000 {
+		t.Fatalf("control impressions = %d, want 1000 (500 users x 2)", res.Control.Impressions)
+	}
+	if res.Experiment.Impressions != 1000 {
+		t.Fatalf("experiment impressions = %d, want 1000", res.Experiment.Impressions)
+	}
+	if res.Control.Clicks > res.Control.Impressions {
+		t.Fatal("clicks exceed impressions")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	corpus := testCorpus()
+	r := &scriptedRecommender{name: "r", panel: []model.ItemID{0}}
+	bad := []Config{
+		{Users: 0, PanelSize: 1, BaseCTR: 0.1, ScenarioCTR: 0.2, CategoryCTR: 0.1},
+		{Users: 10, PanelSize: 0, BaseCTR: 0.1, ScenarioCTR: 0.2, CategoryCTR: 0.1},
+		{Users: 10, PanelSize: 1, BaseCTR: -0.1, ScenarioCTR: 0.2, CategoryCTR: 0.1},
+		{Users: 10, PanelSize: 1, BaseCTR: 0.1, ScenarioCTR: 1.2, CategoryCTR: 0.1},
+	}
+	for i, cfg := range bad {
+		if _, err := Run(corpus, r, r, cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+	if _, err := Run(corpus, nil, r, DefaultConfig()); err == nil {
+		t.Fatal("nil recommender accepted")
+	}
+	if _, err := Run(&model.Corpus{}, r, r, DefaultConfig()); err == nil {
+		t.Fatal("empty corpus accepted")
+	}
+	// Corpus with no labeled items cannot seed users.
+	unlabeled := &model.Corpus{
+		Categories: []model.Category{{ID: 0, Name: "A", Parent: model.RootCategory}},
+		Items:      []model.Item{{ID: 0, Title: "x", Category: 0, Scenario: model.NoScenario}},
+	}
+	if _, err := Run(unlabeled, r, r, DefaultConfig()); err == nil {
+		t.Fatal("unlabeled corpus accepted")
+	}
+}
+
+var _ recommend.Recommender = (*scriptedRecommender)(nil)

@@ -1,0 +1,109 @@
+package bipartite
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"shoal/internal/model"
+)
+
+// windowMass recomputes the total in-window click mass from scratch.
+func windowMass(g *Graph) int64 {
+	var mass int64
+	for day, evs := range g.byDay {
+		if g.windowDays > 0 && day <= g.maxDay-g.windowDays {
+			continue
+		}
+		for _, ev := range evs {
+			mass += int64(ev.Count)
+		}
+	}
+	return mass
+}
+
+// aggregateMass sums the aggregated query->item counters.
+func aggregateMass(g *Graph) int64 {
+	var mass int64
+	for _, items := range g.queryItems {
+		for _, c := range items {
+			mass += int64(c)
+		}
+	}
+	return mass
+}
+
+// Property: after any interleaving of in-order and out-of-order (but
+// in-window) events, the aggregated counters equal the sum of retained raw
+// events — eviction never double-removes or leaks.
+func TestWindowMassConservation(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		rng := rand.New(rand.NewPCG(seed, 99))
+		g := New(7)
+		events := int(n)%120 + 1
+		day := int32(0)
+		for i := 0; i < events; i++ {
+			// Days wander forward with occasional jitter backwards.
+			if rng.IntN(3) == 0 {
+				day += int32(rng.IntN(3))
+			}
+			d := day - int32(rng.IntN(4)) // sometimes late-arriving
+			if d < 0 {
+				d = 0
+			}
+			ev := model.ClickEvent{
+				Query: model.QueryID(rng.IntN(9)),
+				Item:  model.ItemID(rng.IntN(9)),
+				Day:   d,
+				Count: int32(rng.IntN(3) + 1),
+			}
+			if err := g.Add(ev); err != nil {
+				return false
+			}
+		}
+		return windowMass(g) == aggregateMass(g)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the two directions of the bipartite index always agree.
+func TestIndexSymmetryProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 7))
+		g := New(5)
+		for i := 0; i < 80; i++ {
+			ev := model.ClickEvent{
+				Query: model.QueryID(rng.IntN(6)),
+				Item:  model.ItemID(rng.IntN(6)),
+				Day:   int32(rng.IntN(12)),
+				Count: 1,
+			}
+			if ev.Day <= g.MaxDay()-5 {
+				continue // stale adds are no-ops; skip to keep the check simple
+			}
+			if err := g.Add(ev); err != nil {
+				return false
+			}
+		}
+		for q, items := range g.queryItems {
+			for it, c := range items {
+				if g.itemQuery[it][q] != c {
+					return false
+				}
+			}
+		}
+		for it, queries := range g.itemQuery {
+			for q, c := range queries {
+				if g.queryItems[q][it] != c {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,181 @@
+// Package bm25 implements an inverted index with Okapi BM25 relevance
+// scoring. SHOAL's topic-description matching (paper §2.3) ranks candidate
+// queries by rel(q, D_k), the BM25 relevance of query q to the pseudo
+// document D_k formed by concatenating all item titles of topic k.
+package bm25
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Config holds the standard Okapi parameters.
+type Config struct {
+	// K1 controls term-frequency saturation. Typical range 1.2–2.0.
+	K1 float64
+	// B controls document-length normalization in [0,1].
+	B float64
+}
+
+// DefaultConfig returns k1=1.2, b=0.75.
+func DefaultConfig() Config { return Config{K1: 1.2, B: 0.75} }
+
+type posting struct {
+	doc int32
+	tf  int32
+}
+
+// Index is an immutable BM25 index over a document collection. Documents
+// are token slices; tokens are arbitrary strings.
+type Index struct {
+	cfg      Config
+	postings map[string][]posting
+	docLen   []int
+	avgLen   float64
+	n        int
+}
+
+// Build indexes docs. Empty documents are permitted (they simply never
+// match). Build returns an error for an empty collection or invalid config.
+func Build(docs [][]string, cfg Config) (*Index, error) {
+	if len(docs) == 0 {
+		return nil, errors.New("bm25: empty document collection")
+	}
+	if cfg.K1 < 0 {
+		return nil, fmt.Errorf("bm25: K1 must be non-negative, got %f", cfg.K1)
+	}
+	if cfg.B < 0 || cfg.B > 1 {
+		return nil, fmt.Errorf("bm25: B must be in [0,1], got %f", cfg.B)
+	}
+	idx := &Index{
+		cfg:      cfg,
+		postings: make(map[string][]posting),
+		docLen:   make([]int, len(docs)),
+		n:        len(docs),
+	}
+	var total int
+	for d, doc := range docs {
+		idx.docLen[d] = len(doc)
+		total += len(doc)
+		tf := make(map[string]int32, len(doc))
+		for _, tok := range doc {
+			tf[tok]++
+		}
+		terms := make([]string, 0, len(tf))
+		for tok := range tf {
+			terms = append(terms, tok)
+		}
+		sort.Strings(terms) // deterministic posting order
+		for _, tok := range terms {
+			idx.postings[tok] = append(idx.postings[tok], posting{doc: int32(d), tf: tf[tok]})
+		}
+	}
+	idx.avgLen = float64(total) / float64(len(docs))
+	if idx.avgLen == 0 {
+		idx.avgLen = 1
+	}
+	return idx, nil
+}
+
+// N returns the number of indexed documents.
+func (idx *Index) N() int { return idx.n }
+
+// idf is the BM25+ style idf, floored at 0 so scores are non-negative.
+func (idx *Index) idf(term string) float64 {
+	df := len(idx.postings[term])
+	if df == 0 {
+		return 0
+	}
+	v := math.Log((float64(idx.n)-float64(df)+0.5)/(float64(df)+0.5) + 1)
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// Score returns the BM25 relevance of the query tokens to document doc.
+// Unknown terms contribute zero. It returns an error for out-of-range doc.
+func (idx *Index) Score(query []string, doc int) (float64, error) {
+	if doc < 0 || doc >= idx.n {
+		return 0, fmt.Errorf("bm25: document %d out of range [0,%d)", doc, idx.n)
+	}
+	var s float64
+	for _, term := range dedup(query) {
+		plist := idx.postings[term]
+		if len(plist) == 0 {
+			continue
+		}
+		i := sort.Search(len(plist), func(i int) bool { return plist[i].doc >= int32(doc) })
+		if i == len(plist) || plist[i].doc != int32(doc) {
+			continue
+		}
+		s += idx.termScore(term, plist[i])
+	}
+	return s, nil
+}
+
+// ScoreAll returns the BM25 relevance of the query against every document
+// that shares at least one term, as a map doc -> score. Documents sharing no
+// term are absent (their score is exactly 0). This sparse form is what §2.3
+// needs: the concentration denominator adds exp(0)=1 for every untouched
+// topic in closed form.
+func (idx *Index) ScoreAll(query []string) map[int]float64 {
+	out := make(map[int]float64)
+	for _, term := range dedup(query) {
+		for _, p := range idx.postings[term] {
+			out[int(p.doc)] += idx.termScore(term, p)
+		}
+	}
+	return out
+}
+
+// TopK returns the k highest-scoring documents for the query, best first;
+// ties break on lower document id.
+func (idx *Index) TopK(query []string, k int) []Hit {
+	scores := idx.ScoreAll(query)
+	hits := make([]Hit, 0, len(scores))
+	for d, s := range scores {
+		hits = append(hits, Hit{Doc: d, Score: s})
+	}
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].Score != hits[j].Score {
+			return hits[i].Score > hits[j].Score
+		}
+		return hits[i].Doc < hits[j].Doc
+	})
+	if k < len(hits) {
+		hits = hits[:k]
+	}
+	return hits
+}
+
+// Hit is a scored document.
+type Hit struct {
+	Doc   int
+	Score float64
+}
+
+func (idx *Index) termScore(term string, p posting) float64 {
+	idf := idx.idf(term)
+	tf := float64(p.tf)
+	dl := float64(idx.docLen[p.doc])
+	denom := tf + idx.cfg.K1*(1-idx.cfg.B+idx.cfg.B*dl/idx.avgLen)
+	return idf * tf * (idx.cfg.K1 + 1) / denom
+}
+
+func dedup(terms []string) []string {
+	if len(terms) <= 1 {
+		return terms
+	}
+	seen := make(map[string]bool, len(terms))
+	out := terms[:0:0]
+	for _, t := range terms {
+		if !seen[t] {
+			seen[t] = true
+			out = append(out, t)
+		}
+	}
+	return out
+}

@@ -1,0 +1,185 @@
+package bm25
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func testDocs() [][]string {
+	return [][]string{
+		{"beach", "dress", "swimwear", "sunblock", "beach"},     // 0: beach topic
+		{"hiking", "boots", "alpenstock", "backpack", "jacket"}, // 1: mountain topic
+		{"beach", "pants", "swimwear", "sunglasses"},            // 2: beach topic
+		{"router", "tshirt", "balloon", "chopsticks", "tripod"}, // 3: misc
+		{}, // 4: empty
+	}
+}
+
+func buildIdx(t *testing.T) *Index {
+	t.Helper()
+	idx, err := Build(testDocs(), DefaultConfig())
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return idx
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := Build(nil, DefaultConfig()); err == nil {
+		t.Fatal("Build(nil) = nil error, want error")
+	}
+	if _, err := Build(testDocs(), Config{K1: -1, B: 0.5}); err == nil {
+		t.Fatal("Build with K1<0 = nil error")
+	}
+	if _, err := Build(testDocs(), Config{K1: 1, B: 1.5}); err == nil {
+		t.Fatal("Build with B>1 = nil error")
+	}
+}
+
+func TestScoreRanksRelevantDocFirst(t *testing.T) {
+	idx := buildIdx(t)
+	q := []string{"beach", "swimwear"}
+	s0, err := idx.Score(q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, _ := idx.Score(q, 1)
+	s3, _ := idx.Score(q, 3)
+	if s0 <= s1 || s0 <= s3 {
+		t.Fatalf("Score(beach swimwear): doc0=%.3f doc1=%.3f doc3=%.3f, want doc0 highest", s0, s1, s3)
+	}
+	if s1 != 0 {
+		t.Fatalf("doc1 shares no terms, score = %.3f, want 0", s1)
+	}
+}
+
+func TestScoreOutOfRange(t *testing.T) {
+	idx := buildIdx(t)
+	if _, err := idx.Score([]string{"beach"}, -1); err == nil {
+		t.Fatal("Score(doc=-1) = nil error")
+	}
+	if _, err := idx.Score([]string{"beach"}, 99); err == nil {
+		t.Fatal("Score(doc=99) = nil error")
+	}
+}
+
+func TestScoreUnknownTermIsZero(t *testing.T) {
+	idx := buildIdx(t)
+	s, err := idx.Score([]string{"zebra"}, 0)
+	if err != nil || s != 0 {
+		t.Fatalf("Score(zebra) = %f,%v want 0,nil", s, err)
+	}
+}
+
+func TestScoreAllSparse(t *testing.T) {
+	idx := buildIdx(t)
+	scores := idx.ScoreAll([]string{"beach"})
+	if len(scores) != 2 {
+		t.Fatalf("ScoreAll(beach) touched %d docs, want 2", len(scores))
+	}
+	if _, ok := scores[1]; ok {
+		t.Fatal("ScoreAll(beach) includes doc 1 which lacks the term")
+	}
+	// ScoreAll must agree with Score.
+	for d, got := range scores {
+		want, err := idx.Score([]string{"beach"}, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-want) > 1e-12 {
+			t.Fatalf("ScoreAll[%d]=%f disagrees with Score=%f", d, got, want)
+		}
+	}
+}
+
+func TestScoreDedupsQueryTerms(t *testing.T) {
+	idx := buildIdx(t)
+	s1, _ := idx.Score([]string{"beach"}, 0)
+	s2, _ := idx.Score([]string{"beach", "beach", "beach"}, 0)
+	if s1 != s2 {
+		t.Fatalf("repeated query terms changed score: %f vs %f", s1, s2)
+	}
+}
+
+func TestTopK(t *testing.T) {
+	idx := buildIdx(t)
+	hits := idx.TopK([]string{"beach", "swimwear"}, 2)
+	if len(hits) != 2 {
+		t.Fatalf("TopK returned %d hits, want 2", len(hits))
+	}
+	if hits[0].Doc != 0 {
+		t.Fatalf("TopK best = doc %d, want 0", hits[0].Doc)
+	}
+	if hits[0].Score < hits[1].Score {
+		t.Fatal("TopK not sorted descending")
+	}
+	if got := idx.TopK([]string{"zebra"}, 5); len(got) != 0 {
+		t.Fatalf("TopK(zebra) = %v, want empty", got)
+	}
+}
+
+func TestTermFrequencySaturation(t *testing.T) {
+	// More occurrences should score higher, but sub-linearly.
+	docs := [][]string{
+		{"x"},
+		{"x", "x"},
+		{"x", "x", "x", "x", "x", "x", "x", "x"},
+		{"y"},
+	}
+	idx, err := Build(docs, Config{K1: 1.2, B: 0}) // disable length norm
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, _ := idx.Score([]string{"x"}, 0)
+	s2, _ := idx.Score([]string{"x"}, 1)
+	s8, _ := idx.Score([]string{"x"}, 2)
+	if !(s1 < s2 && s2 < s8) {
+		t.Fatalf("scores not increasing with tf: %f %f %f", s1, s2, s8)
+	}
+	if s2/s1 > 2 {
+		t.Fatalf("tf=2 gain %f not saturated (>2x)", s2/s1)
+	}
+}
+
+func TestLengthNormalizationPrefersShortDocs(t *testing.T) {
+	docs := [][]string{
+		{"x", "a", "b", "c", "d", "e", "f", "g"},
+		{"x", "a"},
+	}
+	idx, err := Build(docs, Config{K1: 1.2, B: 0.75})
+	if err != nil {
+		t.Fatal(err)
+	}
+	long, _ := idx.Score([]string{"x"}, 0)
+	short, _ := idx.Score([]string{"x"}, 1)
+	if short <= long {
+		t.Fatalf("length normalization failed: short=%f long=%f", short, long)
+	}
+}
+
+// Property: scores are non-negative and finite for arbitrary query shapes.
+func TestScoreNonNegativeProperty(t *testing.T) {
+	idx := buildIdx(t)
+	vocabs := []string{"beach", "dress", "swimwear", "hiking", "zebra", "router", ""}
+	f := func(picks []uint8, doc uint8) bool {
+		q := make([]string, 0, len(picks))
+		for _, p := range picks {
+			q = append(q, vocabs[int(p)%len(vocabs)])
+		}
+		d := int(doc) % idx.N()
+		s, err := idx.Score(q, d)
+		return err == nil && s >= 0 && !math.IsInf(s, 0) && !math.IsNaN(s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyDocNeverMatches(t *testing.T) {
+	idx := buildIdx(t)
+	s, err := idx.Score([]string{"beach", "hiking", "router"}, 4)
+	if err != nil || s != 0 {
+		t.Fatalf("empty doc score = %f,%v want 0,nil", s, err)
+	}
+}

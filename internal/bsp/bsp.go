@@ -1,0 +1,224 @@
+// Package bsp implements a Pregel-style vertex-centric bulk-synchronous
+// parallel engine. The paper runs Parallel HAC "on the Alibaba distributed
+// graph platform (ODPS)"; this engine is the in-process stand-in
+// (DESIGN.md §1.3): vertices are hash-partitioned across workers, compute
+// proceeds in supersteps separated by barriers, and messages produced in
+// superstep s are delivered at superstep s+1.
+//
+// Determinism: each vertex's inbox is sorted by (sender, send order) before
+// delivery, so a program observes a canonical message order regardless of
+// scheduling. A chaos mode deliberately shuffles inboxes instead — programs
+// whose results must not depend on delivery order (like Parallel HAC's
+// max-diffusion) are tested under chaos.
+package bsp
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// VertexID identifies a vertex; ids are dense 0..N-1.
+type VertexID int32
+
+// Program is the vertex computation. Compute runs once per active vertex
+// per superstep. A vertex is active at superstep 0, and thereafter iff it
+// received messages or declined to halt last time it ran.
+type Program[M any] interface {
+	// Compute processes vertex v at the given superstep. inbox holds the
+	// messages sent to v during the previous superstep. send enqueues a
+	// message for delivery next superstep. Returning true votes to halt;
+	// an incoming message reactivates the vertex.
+	Compute(superstep int, v VertexID, inbox []M, send func(to VertexID, m M)) (halt bool)
+}
+
+// Config controls engine execution.
+type Config struct {
+	// Workers is the number of partitions/goroutines; 0 means GOMAXPROCS.
+	Workers int
+	// MaxSupersteps aborts runs that fail to converge; 0 means 1<<20.
+	MaxSupersteps int
+	// Chaos, when non-nil, enables failure injection.
+	Chaos *Chaos
+}
+
+// Chaos injects distribution pathologies that a correct BSP program must
+// tolerate: shuffled message delivery order and stalled (but eventually
+// delivered) messages within a superstep boundary.
+type Chaos struct {
+	// Seed drives the shuffling.
+	Seed uint64
+	// ShuffleInbox randomizes per-vertex message order instead of the
+	// canonical (sender, seq) order.
+	ShuffleInbox bool
+}
+
+// Stats reports one run's execution profile.
+type Stats struct {
+	Supersteps int
+	// Messages is the total number of messages delivered.
+	Messages int64
+	// ActivePerStep is the number of vertices computed per superstep.
+	ActivePerStep []int
+}
+
+type message[M any] struct {
+	from VertexID
+	seq  int32
+	to   VertexID
+	m    M
+}
+
+// Engine executes a Program over a fixed set of vertices.
+type Engine[M any] struct {
+	n       int
+	prog    Program[M]
+	cfg     Config
+	workers int
+}
+
+// New creates an engine over n vertices. The topology lives inside the
+// program (vertices send to whichever ids they know); the engine only
+// validates destinations.
+func New[M any](n int, prog Program[M], cfg Config) (*Engine[M], error) {
+	if n <= 0 {
+		return nil, errors.New("bsp: vertex count must be positive")
+	}
+	if prog == nil {
+		return nil, errors.New("bsp: nil program")
+	}
+	w := cfg.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if cfg.MaxSupersteps <= 0 {
+		cfg.MaxSupersteps = 1 << 20
+	}
+	return &Engine[M]{n: n, prog: prog, cfg: cfg, workers: w}, nil
+}
+
+// Run executes supersteps until every vertex halts with no messages in
+// flight, or MaxSupersteps is exceeded (an error).
+func (e *Engine[M]) Run() (*Stats, error) {
+	// Partition: vertex v belongs to worker v % workers (hash
+	// partitioning on dense ids), implemented by the strided loops below.
+	active := make([]bool, e.n)
+	for i := range active {
+		active[i] = true
+	}
+	inboxes := make([][]message[M], e.n)
+
+	stats := &Stats{}
+	for step := 0; ; step++ {
+		if step >= e.cfg.MaxSupersteps {
+			return stats, fmt.Errorf("bsp: exceeded %d supersteps without converging", e.cfg.MaxSupersteps)
+		}
+		// Determine the compute set.
+		var anyActive bool
+		for v := 0; v < e.n; v++ {
+			if len(inboxes[v]) > 0 {
+				active[v] = true
+			}
+			if active[v] {
+				anyActive = true
+			}
+		}
+		if !anyActive {
+			break
+		}
+
+		// outPer[w] collects messages produced by worker w, in send
+		// order — deterministic because each worker owns fixed vertices
+		// scanned in id order.
+		outPer := make([][]message[M], e.workers)
+		errs := make([]error, e.workers)
+		computed := make([]int, e.workers)
+		var wg sync.WaitGroup
+		for w := 0; w < e.workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				var seq int32
+				for v := w; v < e.n; v += e.workers {
+					if !active[v] {
+						continue
+					}
+					inbox := e.deliverOrder(inboxes[v], step)
+					vid := VertexID(v)
+					var sendErr error
+					halt := e.prog.Compute(step, vid, inbox, func(to VertexID, m M) {
+						if to < 0 || int(to) >= e.n {
+							sendErr = fmt.Errorf("bsp: vertex %d sent to out-of-range vertex %d", vid, to)
+							return
+						}
+						outPer[w] = append(outPer[w], message[M]{from: vid, seq: seq, to: to, m: m})
+						seq++
+					})
+					if sendErr != nil {
+						errs[w] = sendErr
+						return
+					}
+					active[v] = !halt
+					computed[w]++
+				}
+			}(w)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return stats, err
+			}
+		}
+
+		// Route messages into next-superstep inboxes.
+		for v := range inboxes {
+			inboxes[v] = nil
+		}
+		var delivered int64
+		for w := 0; w < e.workers; w++ {
+			for _, msg := range outPer[w] {
+				inboxes[msg.to] = append(inboxes[msg.to], msg)
+				delivered++
+			}
+		}
+		stats.Messages += delivered
+		totalComputed := 0
+		for _, c := range computed {
+			totalComputed += c
+		}
+		stats.ActivePerStep = append(stats.ActivePerStep, totalComputed)
+		stats.Supersteps++
+	}
+	return stats, nil
+}
+
+// deliverOrder produces the inbox payloads in canonical (sender, seq) order,
+// or shuffled when chaos is enabled.
+func (e *Engine[M]) deliverOrder(msgs []message[M], step int) []M {
+	if len(msgs) == 0 {
+		return nil
+	}
+	sorted := make([]message[M], len(msgs))
+	copy(sorted, msgs)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].from != sorted[j].from {
+			return sorted[i].from < sorted[j].from
+		}
+		return sorted[i].seq < sorted[j].seq
+	})
+	if e.cfg.Chaos != nil && e.cfg.Chaos.ShuffleInbox {
+		rng := rand.New(rand.NewPCG(e.cfg.Chaos.Seed, uint64(step)<<32|uint64(sorted[0].to)))
+		rng.Shuffle(len(sorted), func(i, j int) { sorted[i], sorted[j] = sorted[j], sorted[i] })
+	}
+	out := make([]M, len(sorted))
+	for i, m := range sorted {
+		out[i] = m.m
+	}
+	return out
+}

@@ -1,0 +1,244 @@
+package bsp
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// maxProg propagates the maximum seen value along a ring of n vertices.
+// After enough supersteps every vertex knows the global max.
+type maxProg struct {
+	n    int
+	best []int64 // per-vertex current max; indexed by vertex id
+}
+
+func (p *maxProg) Compute(step int, v VertexID, inbox []int64, send func(VertexID, int64)) bool {
+	changed := step == 0
+	for _, m := range inbox {
+		if m > p.best[v] {
+			p.best[v] = m
+			changed = true
+		}
+	}
+	if changed {
+		next := VertexID((int(v) + 1) % p.n)
+		prev := VertexID((int(v) - 1 + p.n) % p.n)
+		send(next, p.best[v])
+		send(prev, p.best[v])
+		return false
+	}
+	return true
+}
+
+func ringMax(t *testing.T, n, workers int, chaos *Chaos) (*maxProg, *Stats) {
+	t.Helper()
+	p := &maxProg{n: n, best: make([]int64, n)}
+	for i := range p.best {
+		p.best[i] = int64((i * 7919) % 104729) // deterministic pseudo-random values
+	}
+	eng, err := New[int64](n, p, Config{Workers: workers, Chaos: chaos})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, stats
+}
+
+func globalMax(vals []int64) int64 {
+	m := vals[0]
+	for _, v := range vals {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+func TestRingMaxConverges(t *testing.T) {
+	p, stats := ringMax(t, 50, 4, nil)
+	want := globalMax(p.best)
+	for v, got := range p.best {
+		if got != want {
+			t.Fatalf("vertex %d converged to %d, want %d", v, got, want)
+		}
+	}
+	if stats.Supersteps == 0 || stats.Messages == 0 {
+		t.Fatalf("stats not populated: %+v", stats)
+	}
+}
+
+func TestWorkerCountInvariance(t *testing.T) {
+	p1, _ := ringMax(t, 37, 1, nil)
+	p8, _ := ringMax(t, 37, 8, nil)
+	for v := range p1.best {
+		if p1.best[v] != p8.best[v] {
+			t.Fatalf("vertex %d: workers=1 gives %d, workers=8 gives %d", v, p1.best[v], p8.best[v])
+		}
+	}
+}
+
+func TestChaosInvariance(t *testing.T) {
+	// Max-propagation is order-independent, so chaotic delivery must not
+	// change the fixed point.
+	plain, _ := ringMax(t, 41, 4, nil)
+	for seed := uint64(1); seed <= 3; seed++ {
+		chaotic, _ := ringMax(t, 41, 4, &Chaos{Seed: seed, ShuffleInbox: true})
+		for v := range plain.best {
+			if plain.best[v] != chaotic.best[v] {
+				t.Fatalf("seed %d vertex %d: chaos changed result %d -> %d",
+					seed, v, plain.best[v], chaotic.best[v])
+			}
+		}
+	}
+}
+
+// echoProg checks the inbox delivery order is canonical (sorted by sender).
+type echoProg struct {
+	n        int
+	violated atomic.Bool
+}
+
+func (p *echoProg) Compute(step int, v VertexID, inbox []int64, send func(VertexID, int64)) bool {
+	switch step {
+	case 0:
+		// Everyone messages vertex 0, twice, payload = sender*10+seq.
+		send(0, int64(v)*10)
+		send(0, int64(v)*10+1)
+		return true
+	case 1:
+		if v == 0 {
+			for i := 1; i < len(inbox); i++ {
+				if inbox[i] <= inbox[i-1] {
+					p.violated.Store(true)
+				}
+			}
+		}
+		return true
+	}
+	return true
+}
+
+func TestCanonicalDeliveryOrder(t *testing.T) {
+	p := &echoProg{n: 9}
+	eng, err := New[int64](9, p, Config{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if p.violated.Load() {
+		t.Fatal("inbox was not sorted by (sender, seq)")
+	}
+}
+
+// haltProg halts immediately; the engine must terminate after one step.
+type haltProg struct{}
+
+func (haltProg) Compute(step int, v VertexID, inbox []struct{}, send func(VertexID, struct{})) bool {
+	return true
+}
+
+func TestImmediateHalt(t *testing.T) {
+	eng, err := New[struct{}](10, haltProg{}, Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Supersteps != 1 {
+		t.Fatalf("supersteps = %d, want 1", stats.Supersteps)
+	}
+	if len(stats.ActivePerStep) != 1 || stats.ActivePerStep[0] != 10 {
+		t.Fatalf("ActivePerStep = %v, want [10]", stats.ActivePerStep)
+	}
+}
+
+// reactivateProg: vertex 0 halts but is reactivated by a message from 1.
+type reactivateProg struct {
+	wokeAt int32
+}
+
+func (p *reactivateProg) Compute(step int, v VertexID, inbox []int64, send func(VertexID, int64)) bool {
+	if v == 0 {
+		if step > 0 && len(inbox) > 0 {
+			atomic.StoreInt32(&p.wokeAt, int32(step))
+		}
+		return true // always votes to halt
+	}
+	if v == 1 && step == 2 {
+		send(0, 99)
+	}
+	return step >= 3
+}
+
+func TestMessageReactivatesHaltedVertex(t *testing.T) {
+	p := &reactivateProg{}
+	eng, err := New[int64](2, p, Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if p.wokeAt != 3 {
+		t.Fatalf("vertex 0 woke at step %d, want 3", p.wokeAt)
+	}
+}
+
+// badProg sends to an out-of-range vertex.
+type badProg struct{}
+
+func (badProg) Compute(step int, v VertexID, inbox []int64, send func(VertexID, int64)) bool {
+	send(10_000, 1)
+	return true
+}
+
+func TestOutOfRangeSendFails(t *testing.T) {
+	eng, err := New[int64](3, badProg{}, Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run(); err == nil {
+		t.Fatal("Run() = nil error, want out-of-range send error")
+	}
+}
+
+// spinProg never halts; MaxSupersteps must abort it.
+type spinProg struct{}
+
+func (spinProg) Compute(step int, v VertexID, inbox []int64, send func(VertexID, int64)) bool {
+	return false
+}
+
+func TestMaxSuperstepsAborts(t *testing.T) {
+	eng, err := New[int64](3, spinProg{}, Config{Workers: 1, MaxSupersteps: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run(); err == nil {
+		t.Fatal("Run() = nil error, want max-supersteps error")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New[int64](0, spinProg{}, Config{}); err == nil {
+		t.Fatal("New(n=0) accepted")
+	}
+	if _, err := New[int64](3, nil, Config{}); err == nil {
+		t.Fatal("New(nil program) accepted")
+	}
+	// Workers > n is clamped, not an error.
+	eng, err := New[int64](2, spinProg{}, Config{Workers: 64, MaxSupersteps: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.workers != 2 {
+		t.Fatalf("workers = %d, want clamped to 2", eng.workers)
+	}
+}

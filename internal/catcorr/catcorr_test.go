@@ -1,0 +1,156 @@
+package catcorr
+
+import (
+	"reflect"
+	"testing"
+
+	"shoal/internal/model"
+	"shoal/internal/taxonomy"
+)
+
+// makeTaxonomy builds a taxonomy whose root topics have prescribed
+// category sets (topics are hand-assembled; only the fields catcorr reads
+// are populated).
+func makeTaxonomy(rootCats [][]model.CategoryID) *taxonomy.Taxonomy {
+	tx := &taxonomy.Taxonomy{}
+	for i, cats := range rootCats {
+		tx.Topics = append(tx.Topics, taxonomy.Topic{
+			ID:         model.TopicID(i),
+			Parent:     taxonomy.NoTopic,
+			Categories: cats,
+		})
+	}
+	return tx
+}
+
+func TestMineCountsCoOccurrence(t *testing.T) {
+	// Categories 1 and 2 co-occur in 3 root topics; 1 and 3 in 1.
+	tx := makeTaxonomy([][]model.CategoryID{
+		{1, 2}, {1, 2}, {1, 2, 3}, {2, 4},
+	})
+	g, err := Mine(tx, Config{MinStrength: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Strength(1, 2); got != 3 {
+		t.Fatalf("Strength(1,2) = %d, want 3", got)
+	}
+	if got := g.Strength(2, 1); got != 3 {
+		t.Fatalf("Strength is not symmetric: %d", got)
+	}
+	if got := g.Strength(1, 3); got != 1 {
+		t.Fatalf("Strength(1,3) = %d, want 1", got)
+	}
+	if !g.Correlated(1, 2) || !g.Correlated(2, 1) {
+		t.Fatal("pair above threshold not correlated")
+	}
+	if g.Correlated(1, 3) {
+		t.Fatal("pair below threshold correlated")
+	}
+}
+
+func TestMineThresholdIsStrict(t *testing.T) {
+	// Paper: "there exists a correlation only if Sc > 10" — strictly
+	// greater.
+	rootCats := make([][]model.CategoryID, 10)
+	for i := range rootCats {
+		rootCats[i] = []model.CategoryID{7, 8}
+	}
+	tx := makeTaxonomy(rootCats)
+	g, err := Mine(tx, Config{MinStrength: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Correlated(7, 8) {
+		t.Fatal("Sc == threshold must not correlate (strict inequality)")
+	}
+	// One more topic pushes it over.
+	tx2 := makeTaxonomy(append(rootCats, []model.CategoryID{7, 8}))
+	g2, err := Mine(tx2, Config{MinStrength: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g2.Correlated(7, 8) {
+		t.Fatal("Sc = 11 > 10 must correlate")
+	}
+}
+
+func TestMineIgnoresNonRootTopics(t *testing.T) {
+	tx := makeTaxonomy([][]model.CategoryID{{1, 2}})
+	// Add a child topic with categories {3,4}: must not contribute.
+	tx.Topics = append(tx.Topics, taxonomy.Topic{
+		ID: 1, Parent: 0, Level: 1, Categories: []model.CategoryID{3, 4},
+	})
+	tx.Topics[0].Children = []model.TopicID{1}
+	g, err := Mine(tx, Config{MinStrength: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Strength(3, 4) != 0 {
+		t.Fatal("child topic contributed to correlation")
+	}
+	if g.Strength(1, 2) != 1 {
+		t.Fatal("root topic missing from correlation")
+	}
+}
+
+func TestRelatedSortedByStrength(t *testing.T) {
+	tx := makeTaxonomy([][]model.CategoryID{
+		{0, 1}, {0, 1}, {0, 1}, // 0-1 x3
+		{0, 2}, {0, 2}, // 0-2 x2
+		{0, 3}, // 0-3 x1
+	})
+	g, err := Mine(tx, Config{MinStrength: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := g.Related(0)
+	if len(rel) != 3 {
+		t.Fatalf("Related(0) = %v, want 3 entries", rel)
+	}
+	if other(rel[0], 0) != 1 || rel[0].Strength != 3 {
+		t.Fatalf("Related(0)[0] = %+v, want category 1 strength 3", rel[0])
+	}
+	if other(rel[1], 0) != 2 || other(rel[2], 0) != 3 {
+		t.Fatalf("Related(0) order wrong: %v", rel)
+	}
+	if got := g.Related(99); len(got) != 0 {
+		t.Fatalf("Related(unknown) = %v, want empty", got)
+	}
+}
+
+func TestPairsSortedCanonical(t *testing.T) {
+	tx := makeTaxonomy([][]model.CategoryID{
+		{5, 2}, {5, 2}, {1, 9}, {1, 9},
+	})
+	// Note: taxonomy category lists are sorted in real use; emulate.
+	for i := range tx.Topics {
+		cats := tx.Topics[i].Categories
+		if cats[0] > cats[1] {
+			cats[0], cats[1] = cats[1], cats[0]
+		}
+	}
+	g, err := Mine(tx, Config{MinStrength: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := g.Pairs()
+	want := []Correlation{{A: 1, B: 9, Strength: 2}, {A: 2, B: 5, Strength: 2}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Pairs() = %v, want %v", got, want)
+	}
+}
+
+func TestMineValidation(t *testing.T) {
+	tx := makeTaxonomy(nil)
+	if _, err := Mine(tx, Config{MinStrength: -1}); err == nil {
+		t.Fatal("negative threshold accepted")
+	}
+	g, err := Mine(tx, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Pairs()) != 0 {
+		t.Fatal("empty taxonomy produced pairs")
+	}
+}

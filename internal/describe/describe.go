@@ -1,0 +1,162 @@
+// Package describe implements topic description matching (paper §2.3).
+//
+// A topic is tagged with its most representative queries. The
+// representativeness of query q for topic t_k combines two factors:
+//
+//	pop(q, t_k) = (log tf(q, I_k) + 1) / log tf(I_k)      (popularity)
+//	con(q, t_k) = exp(rel(q, D_k)) / (1 + Σ_j exp(rel(q, D_j)))
+//	r(q, t_k)   = sqrt(pop · con)
+//
+// where tf(q, I_k) counts occurrences of q with topic k's items, tf(I_k)
+// is the total token mass of the topic, D_k is the pseudo document
+// concatenating the topic's item titles, and rel is BM25 relevance. The
+// denominator of con sums over every topic: topics whose pseudo document
+// shares no term with q have rel = 0 and contribute exp(0) = 1 each, which
+// is added in closed form rather than scored individually.
+package describe
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"shoal/internal/bipartite"
+	"shoal/internal/bm25"
+	"shoal/internal/model"
+	"shoal/internal/taxonomy"
+	"shoal/internal/textutil"
+)
+
+// Config controls description matching.
+type Config struct {
+	// TopQueries is the number of representative queries kept per topic.
+	TopQueries int
+	// BM25 parameterizes the relevance function.
+	BM25 bm25.Config
+}
+
+// DefaultConfig keeps the 5 best queries per topic.
+func DefaultConfig() Config {
+	return Config{TopQueries: 5, BM25: bm25.DefaultConfig()}
+}
+
+// Description is the ranked query list for one topic.
+type Description struct {
+	Topic model.TopicID
+	// Queries are representative query texts, best first.
+	Queries []string
+	// Scores are the r(q, t_k) values aligned with Queries.
+	Scores []float64
+}
+
+// Describe computes representative queries for every topic in tx and
+// writes them into the taxonomy (Topic.Description / Topic.DescQueries).
+// It returns the full ranked descriptions.
+func Describe(tx *taxonomy.Taxonomy, corpus *model.Corpus, clicks *bipartite.Graph, cfg Config) ([]Description, error) {
+	if cfg.TopQueries <= 0 {
+		return nil, fmt.Errorf("describe: TopQueries must be positive, got %d", cfg.TopQueries)
+	}
+	k := len(tx.Topics)
+	if k == 0 {
+		return nil, nil
+	}
+
+	// Pseudo documents: concatenated item titles per topic.
+	docs := make([][]string, k)
+	totalTokens := make([]float64, k) // tf(I_k): token mass of the topic
+	for t := range tx.Topics {
+		for _, it := range tx.Topics[t].Items {
+			toks := textutil.Tokenize(corpus.Items[it].Title)
+			docs[t] = append(docs[t], toks...)
+		}
+		totalTokens[t] = float64(len(docs[t]))
+	}
+	idx, err := bm25.Build(docs, cfg.BM25)
+	if err != nil {
+		return nil, fmt.Errorf("describe: %w", err)
+	}
+
+	// tf(q, I_k): click-weighted occurrences of query q with topic k's
+	// items. Collected sparsely by scanning each topic's items once.
+	type qtf struct {
+		query model.QueryID
+		tf    float64
+	}
+	perTopic := make([][]qtf, k)
+	for t := range tx.Topics {
+		acc := make(map[model.QueryID]float64)
+		for _, it := range tx.Topics[t].Items {
+			for _, q := range clicks.QuerySet(it) {
+				acc[q] += float64(clicks.ClickCount(q, it))
+			}
+		}
+		lst := make([]qtf, 0, len(acc))
+		for q, tf := range acc {
+			lst = append(lst, qtf{query: q, tf: tf})
+		}
+		sort.Slice(lst, func(a, b int) bool { return lst[a].query < lst[b].query })
+		perTopic[t] = lst
+	}
+
+	out := make([]Description, 0, k)
+	for t := range tx.Topics {
+		cands := perTopic[t]
+		if len(cands) == 0 {
+			out = append(out, Description{Topic: tx.Topics[t].ID})
+			continue
+		}
+		type scored struct {
+			text string
+			r    float64
+		}
+		ranked := make([]scored, 0, len(cands))
+		for _, c := range cands {
+			qText := corpus.Queries[c.query].Text
+			qToks := textutil.TokenizeFiltered(qText)
+
+			// Popularity.
+			pop := 0.0
+			if totalTokens[t] > 1 {
+				pop = (math.Log(c.tf) + 1) / math.Log(totalTokens[t])
+			}
+			if pop > 1 {
+				pop = 1
+			}
+
+			// Concentration: softmax of BM25 over touched topics, with
+			// the untouched mass added in closed form.
+			rels := idx.ScoreAll(qToks)
+			relK := rels[t]
+			var den float64 = 1 // the "+1" of the formula
+			for _, r := range rels {
+				den += math.Exp(r)
+			}
+			den += float64(k - len(rels)) // exp(0) per untouched topic
+			con := math.Exp(relK) / den
+
+			ranked = append(ranked, scored{text: qText, r: math.Sqrt(pop * con)})
+		}
+		sort.Slice(ranked, func(a, b int) bool {
+			if ranked[a].r != ranked[b].r {
+				return ranked[a].r > ranked[b].r
+			}
+			return ranked[a].text < ranked[b].text
+		})
+		n := cfg.TopQueries
+		if n > len(ranked) {
+			n = len(ranked)
+		}
+		d := Description{Topic: tx.Topics[t].ID}
+		for i := 0; i < n; i++ {
+			d.Queries = append(d.Queries, ranked[i].text)
+			d.Scores = append(d.Scores, ranked[i].r)
+		}
+		out = append(out, d)
+
+		tx.Topics[t].DescQueries = d.Queries
+		if len(d.Queries) > 0 {
+			tx.Topics[t].Description = d.Queries[0]
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,81 @@
+package describe
+
+import (
+	"testing"
+
+	"shoal/internal/bipartite"
+	"shoal/internal/model"
+)
+
+// Popularity is monotone in click mass: boosting a query's clicks within a
+// topic must not lower its rank there.
+func TestMoreClicksNeverLowerRank(t *testing.T) {
+	tx, corpus, clicks := fixture(t)
+	before, err := Describe(tx, corpus, clicks, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	beachTopic := topicByItem(tx, 0)
+	rankOf := func(descs []Description, topic int, q string) int {
+		for i, text := range descs[topic].Queries {
+			if text == q {
+				return i
+			}
+		}
+		return len(descs[topic].Queries)
+	}
+	baseRank := rankOf(before, beachTopic, "beach towel")
+
+	// Massively boost "beach towel" (query 3) clicks on beach items.
+	boosted := bipartite.New(0)
+	tx2, corpus2, _ := fixture(t)
+	evs := []model.ClickEvent{
+		{Query: 0, Item: 0, Day: 0, Count: 8},
+		{Query: 0, Item: 1, Day: 0, Count: 6},
+		{Query: 3, Item: 0, Day: 0, Count: 500},
+		{Query: 3, Item: 1, Day: 0, Count: 500},
+		{Query: 1, Item: 2, Day: 0, Count: 7},
+		{Query: 1, Item: 3, Day: 0, Count: 5},
+	}
+	if err := boosted.AddAll(evs); err != nil {
+		t.Fatal(err)
+	}
+	after, err := Describe(tx2, corpus2, boosted, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	newRank := rankOf(after, topicByItem(tx2, 0), "beach towel")
+	if newRank > baseRank {
+		t.Fatalf("boosting clicks worsened rank: %d -> %d", baseRank, newRank)
+	}
+	if newRank != 0 {
+		t.Fatalf("dominant query not ranked first: rank %d", newRank)
+	}
+}
+
+// Describe must be deterministic for identical inputs.
+func TestDescribeDeterministic(t *testing.T) {
+	tx1, corpus1, clicks1 := fixture(t)
+	a, err := Describe(tx1, corpus1, clicks1, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx2, corpus2, clicks2 := fixture(t)
+	b, err := Describe(tx2, corpus2, clicks2, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatal("description counts differ")
+	}
+	for i := range a {
+		if len(a[i].Queries) != len(b[i].Queries) {
+			t.Fatalf("topic %d: query counts differ", i)
+		}
+		for j := range a[i].Queries {
+			if a[i].Queries[j] != b[i].Queries[j] || a[i].Scores[j] != b[i].Scores[j] {
+				t.Fatalf("topic %d rank %d differs", i, j)
+			}
+		}
+	}
+}

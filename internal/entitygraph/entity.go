@@ -1,0 +1,126 @@
+// Package entitygraph builds the item entity graph of paper §2.1.
+//
+// Items with near-equivalent attribute labels and price are grouped into
+// *item entities* (the graph's vertices). Edges carry the blended
+// similarity of Eq. 3: S = α·Sq + (1−α)·Sc, where Sq is the Jaccard
+// similarity of the entities' query sets (Eq. 1) and Sc is the
+// content-driven similarity of their title word embeddings (Eq. 2).
+// Low-similarity edges are filtered out, which is exactly why downstream
+// HAC must cope with a sparse similarity matrix (the paper's Challenge 1).
+package entitygraph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"shoal/internal/model"
+	"shoal/internal/textutil"
+)
+
+// Entity is one vertex of the item entity graph: a group of items with the
+// same category, attribute labels and price band.
+type Entity struct {
+	ID    model.EntityID
+	Items []model.ItemID
+	// Category is the (shared) leaf category of the member items.
+	Category model.CategoryID
+	// Scenario is the majority ground-truth label of members, or
+	// model.NoScenario when unknown. Used only by evaluation.
+	Scenario model.ScenarioID
+	// Tokens is the multiset of title tokens across member items.
+	Tokens []string
+}
+
+// Size returns the number of member items (the n_A of Eq. 4).
+func (e *Entity) Size() int { return len(e.Items) }
+
+// EntitySet is the result of entity formation: entities plus the
+// item-to-entity mapping.
+type EntitySet struct {
+	Entities []Entity
+	// ItemEntity maps every item id to its entity id.
+	ItemEntity []model.EntityID
+}
+
+// priceBandWidth controls "near-equivalent price": prices within the same
+// multiplicative band of width 2x group together (band = floor(log2(price
+// in dollars))). Quantization necessarily splits some near pairs at band
+// boundaries; a 2x width keeps that rare.
+const priceBandWidth = 2.0
+
+func priceBand(cents int64) int {
+	if cents < 100 {
+		return 0
+	}
+	band := 1
+	v := float64(cents)
+	for v >= priceBandWidth*100 {
+		v /= priceBandWidth
+		band++
+	}
+	return band
+}
+
+// BuildEntities groups corpus items into entities by (category, sorted
+// attribute labels, price band). Singleton groups are normal: entity
+// formation is a dedup step, not clustering.
+func BuildEntities(c *model.Corpus) (*EntitySet, error) {
+	if err := c.Validate(); err != nil {
+		return nil, fmt.Errorf("entitygraph: %w", err)
+	}
+	type key struct {
+		cat   model.CategoryID
+		attrs string
+		band  int
+	}
+	groups := make(map[key][]model.ItemID)
+	for i := range c.Items {
+		it := &c.Items[i]
+		attrs := append([]string(nil), it.Attrs...)
+		sort.Strings(attrs)
+		k := key{cat: it.Category, attrs: strings.Join(attrs, "\x1f"), band: priceBand(it.PriceCents)}
+		groups[k] = append(groups[k], it.ID)
+	}
+	// Deterministic entity ids: sort groups by their smallest item id.
+	keys := make([]key, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool { return groups[keys[a]][0] < groups[keys[b]][0] })
+
+	es := &EntitySet{ItemEntity: make([]model.EntityID, len(c.Items))}
+	for _, k := range keys {
+		items := groups[k]
+		sort.Slice(items, func(a, b int) bool { return items[a] < items[b] })
+		id := model.EntityID(len(es.Entities))
+		ent := Entity{ID: id, Items: items, Category: k.cat}
+		scen := make(map[model.ScenarioID]int)
+		for _, it := range items {
+			es.ItemEntity[it] = id
+			ent.Tokens = append(ent.Tokens, textutil.Tokenize(c.Items[it].Title)...)
+			scen[c.Items[it].Scenario]++
+		}
+		ent.Scenario = majorityScenario(scen)
+		es.Entities = append(es.Entities, ent)
+	}
+	return es, nil
+}
+
+func majorityScenario(counts map[model.ScenarioID]int) model.ScenarioID {
+	best, bestN := model.NoScenario, 0
+	ids := make([]model.ScenarioID, 0, len(counts))
+	for s := range counts {
+		ids = append(ids, s)
+	}
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	for _, s := range ids {
+		if s == model.NoScenario {
+			continue
+		}
+		if counts[s] > bestN {
+			best, bestN = s, counts[s]
+		}
+	}
+	return best
+}

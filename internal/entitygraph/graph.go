@@ -1,0 +1,273 @@
+package entitygraph
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"shoal/internal/bipartite"
+	"shoal/internal/model"
+	"shoal/internal/wgraph"
+	"shoal/internal/word2vec"
+)
+
+// Config controls entity-graph construction.
+type Config struct {
+	// Alpha is the Eq. 3 blend weight of query-driven similarity; the
+	// paper uses 0.7.
+	Alpha float64
+	// MinSimilarity filters out edges with blended similarity below this
+	// value — the sparsification of §2.2 Challenge 1.
+	MinSimilarity float64
+	// TopK keeps at most K strongest edges per entity ("one item entity
+	// should have only a few neighbor entities"). 0 disables the cap.
+	TopK int
+	// MaxQueryFanout skips queries associated with more than this many
+	// entities during candidate generation; 0 disables the cap.
+	MaxQueryFanout int
+	// Workers parallelizes similarity computation; 0 means GOMAXPROCS.
+	Workers int
+}
+
+// DefaultConfig mirrors the paper's demonstration settings.
+func DefaultConfig() Config {
+	return Config{
+		Alpha:          0.7,
+		MinSimilarity:  0.35,
+		TopK:           10,
+		MaxQueryFanout: 400,
+		Workers:        0,
+	}
+}
+
+func (c *Config) validate() error {
+	if c.Alpha < 0 || c.Alpha > 1 {
+		return fmt.Errorf("entitygraph: Alpha must be in [0,1], got %f", c.Alpha)
+	}
+	if c.MinSimilarity < 0 || c.MinSimilarity > 1 {
+		return fmt.Errorf("entitygraph: MinSimilarity must be in [0,1], got %f", c.MinSimilarity)
+	}
+	if c.TopK < 0 || c.MaxQueryFanout < 0 {
+		return fmt.Errorf("entitygraph: TopK and MaxQueryFanout must be non-negative")
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	return nil
+}
+
+// Result bundles the entity graph with the entity metadata it was built
+// over. The wgraph node ids equal entity ids.
+type Result struct {
+	Set   *EntitySet
+	Graph *wgraph.Graph
+	// QuerySets[e] is the sorted query-id set of entity e, the Qu of
+	// Eq. 1. Exposed for description matching (§2.3).
+	QuerySets [][]model.QueryID
+}
+
+// Build constructs the item entity graph:
+//
+//  1. union each entity's member-item query sets (from the bipartite
+//     click graph),
+//  2. enumerate candidate entity pairs through shared queries,
+//  3. score Eq. 1 (Jaccard), Eq. 2 (embedding similarity via the trained
+//     word2vec model; entities with no known words fall back to Sq), and
+//     blend with Eq. 3,
+//  4. filter by MinSimilarity and keep the TopK strongest edges per node.
+//
+// The embedding model may be nil, in which case Alpha is effectively 1.
+func Build(es *EntitySet, clicks *bipartite.Graph, emb *word2vec.Model, cfg Config) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if es == nil || len(es.Entities) == 0 {
+		return nil, fmt.Errorf("entitygraph: empty entity set")
+	}
+	n := len(es.Entities)
+
+	// Entity query sets (dedup across member items).
+	querySets := make([][]model.QueryID, n)
+	queryEntities := make(map[model.QueryID][]model.EntityID)
+	for e := range es.Entities {
+		seen := make(map[model.QueryID]bool)
+		for _, it := range es.Entities[e].Items {
+			for _, q := range clicks.QuerySet(it) {
+				seen[q] = true
+			}
+		}
+		qs := make([]model.QueryID, 0, len(seen))
+		for q := range seen {
+			qs = append(qs, q)
+		}
+		sort.Slice(qs, func(a, b int) bool { return qs[a] < qs[b] })
+		querySets[e] = qs
+		for _, q := range qs {
+			queryEntities[q] = append(queryEntities[q], model.EntityID(e))
+		}
+	}
+
+	// Candidate pairs via shared queries, with fanout cap.
+	inter := make(map[[2]int32]int32)
+	qids := make([]model.QueryID, 0, len(queryEntities))
+	for q := range queryEntities {
+		qids = append(qids, q)
+	}
+	sort.Slice(qids, func(a, b int) bool { return qids[a] < qids[b] })
+	for _, q := range qids {
+		ents := queryEntities[q]
+		if cfg.MaxQueryFanout > 0 && len(ents) > cfg.MaxQueryFanout {
+			continue
+		}
+		for i := 0; i < len(ents); i++ {
+			for j := i + 1; j < len(ents); j++ {
+				a, b := int32(ents[i]), int32(ents[j])
+				if a > b {
+					a, b = b, a
+				}
+				inter[[2]int32{a, b}]++
+			}
+		}
+	}
+
+	// Mean normalized word vectors per entity (Eq. 2 factored form).
+	means := make([][]float32, n)
+	if emb != nil {
+		for e := range es.Entities {
+			means[e] = meanNormVector(emb, es.Entities[e].Tokens)
+		}
+	}
+
+	// Score all candidates in parallel; deterministic because each pair
+	// is scored independently and written to its own slot.
+	pairs := make([][2]int32, 0, len(inter))
+	for k := range inter {
+		pairs = append(pairs, k)
+	}
+	sort.Slice(pairs, func(a, b int) bool {
+		if pairs[a][0] != pairs[b][0] {
+			return pairs[a][0] < pairs[b][0]
+		}
+		return pairs[a][1] < pairs[b][1]
+	})
+	sims := make([]float64, len(pairs))
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(pairs); i += cfg.Workers {
+				u, v := pairs[i][0], pairs[i][1]
+				ic := float64(inter[pairs[i]])
+				union := float64(len(querySets[u])+len(querySets[v])) - ic
+				sq := 0.0
+				if union > 0 {
+					sq = ic / union
+				}
+				s := cfg.Alpha * sq
+				if emb != nil && means[u] != nil && means[v] != nil {
+					sc := 0.5 + 0.5*dot(means[u], means[v])
+					s += (1 - cfg.Alpha) * sc
+				} else {
+					// No content signal: renormalize so a pure
+					// query match can still reach 1.0.
+					if cfg.Alpha > 0 {
+						s = sq
+					}
+				}
+				sims[i] = s
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Filter + TopK sparsification. An edge survives TopK if it ranks in
+	// the top K of *either* endpoint (keeping it in only-one direction
+	// would break symmetry).
+	g := wgraph.New(n)
+	type scored struct {
+		other int32
+		sim   float64
+		idx   int
+	}
+	perNode := make([][]scored, n)
+	for i, p := range pairs {
+		if sims[i] < cfg.MinSimilarity {
+			continue
+		}
+		perNode[p[0]] = append(perNode[p[0]], scored{other: p[1], sim: sims[i], idx: i})
+		perNode[p[1]] = append(perNode[p[1]], scored{other: p[0], sim: sims[i], idx: i})
+	}
+	keep := make([]bool, len(pairs))
+	for u := range perNode {
+		lst := perNode[u]
+		sort.Slice(lst, func(a, b int) bool {
+			if lst[a].sim != lst[b].sim {
+				return lst[a].sim > lst[b].sim
+			}
+			return lst[a].other < lst[b].other
+		})
+		limit := len(lst)
+		if cfg.TopK > 0 && cfg.TopK < limit {
+			limit = cfg.TopK
+		}
+		for i := 0; i < limit; i++ {
+			keep[lst[i].idx] = true
+		}
+	}
+	for i, p := range pairs {
+		if keep[i] {
+			if err := g.SetEdge(p[0], p[1], sims[i]); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	return &Result{Set: es, Graph: g, QuerySets: querySets}, nil
+}
+
+// meanNormVector returns the mean of the L2-normalized embeddings of the
+// known tokens, or nil if no token is in vocabulary.
+func meanNormVector(emb *word2vec.Model, tokens []string) []float32 {
+	var acc []float64
+	known := 0
+	for _, tok := range tokens {
+		v, ok := emb.Vector(tok)
+		if !ok {
+			continue
+		}
+		if acc == nil {
+			acc = make([]float64, len(v))
+		}
+		var norm float64
+		for _, x := range v {
+			norm += float64(x) * float64(x)
+		}
+		norm = math.Sqrt(norm)
+		if norm == 0 {
+			continue
+		}
+		for i, x := range v {
+			acc[i] += float64(x) / norm
+		}
+		known++
+	}
+	if known == 0 {
+		return nil
+	}
+	out := make([]float32, len(acc))
+	for i, x := range acc {
+		out[i] = float32(x / float64(known))
+	}
+	return out
+}
+
+func dot(a, b []float32) float64 {
+	var s float64
+	for i := range a {
+		s += float64(a[i]) * float64(b[i])
+	}
+	return s
+}

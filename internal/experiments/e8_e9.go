@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"fmt"
+	"reflect"
+	"time"
+
+	"shoal/internal/bsp"
+	"shoal/internal/eval"
+	"shoal/internal/model"
+	"shoal/internal/modularity"
+	"shoal/internal/phac"
+)
+
+// E8Linkage ablates the Eq. 4 √-size normalization against two alternative
+// merge-update rules. The paper asserts the √ normalization ("embedding
+// nodes into a two-dimensional space") without measurement; this table
+// supplies the comparison.
+func E8Linkage(sc Scale, seed uint64) (*Table, error) {
+	_, b, err := buildSystem(sc, seed)
+	if err != nil {
+		return nil, err
+	}
+	g := b.Graph
+	sizes := make([]int, len(b.Entities.Entities))
+	truth := make([]model.ScenarioID, len(b.Entities.Entities))
+	for i := range sizes {
+		sizes[i] = b.Entities.Entities[i].Size()
+		truth[i] = b.Entities.Entities[i].Scenario
+	}
+	t := &Table{
+		ID:         "E8",
+		Title:      "Linkage ablation: Eq. 4 sqrt-size vs alternatives",
+		PaperClaim: "Eq. 4 uses sqrt normalization (no measured comparison in the paper)",
+		Header:     []string{"linkage", "merges", "rounds", "modularity", "NMI", "purity"},
+	}
+	for _, linkage := range []phac.Linkage{
+		phac.LinkageSqrtSize, phac.LinkageUnweighted, phac.LinkageSizeProportional,
+	} {
+		res, err := phac.Cluster(g, sizes, phac.Config{
+			StopThreshold: stopTh, DiffusionRounds: 2, Linkage: linkage,
+		})
+		if err != nil {
+			return nil, err
+		}
+		labels := res.Dendrogram.CutAt(stopTh)
+		q, err := modularity.Compute(g, labels)
+		if err != nil {
+			return nil, err
+		}
+		part, err := eval.LabelsPartition(labels, truth)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			linkage.String(), itoa(len(res.Dendrogram.Merges)), itoa(len(res.Rounds)),
+			f3(q), f3(part.NMI()), f3(part.Purity()),
+		})
+	}
+	t.Notes = append(t.Notes, "extension: this ablation is not in the paper (DESIGN.md 4)")
+	return t, nil
+}
+
+// E9BSP verifies and profiles the ODPS substitution: the diffusion
+// protocol must produce identical matchings on the shared-memory backend
+// and the Pregel-style BSP engine, including under chaotic delivery.
+func E9BSP(sc Scale, seed uint64) (*Table, error) {
+	_, b, err := buildSystem(sc, seed)
+	if err != nil {
+		return nil, err
+	}
+	g := b.Graph
+	t := &Table{
+		ID:         "E9",
+		Title:      "BSP engine vs shared-memory diffusion (ODPS substitution check)",
+		PaperClaim: "Parallel HAC deployed on the Alibaba distributed graph platform (ODPS)",
+		Header:     []string{"r", "backend", "selected", "wall", "identical"},
+	}
+	for _, r := range []int{0, 1, 2, 3} {
+		start := time.Now()
+		direct, err := phac.Diffuse(g, r, stopTh, 0)
+		if err != nil {
+			return nil, err
+		}
+		directWall := time.Since(start)
+
+		start = time.Now()
+		viaBSP, err := phac.DiffuseBSP(g, r, stopTh, bsp.Config{})
+		if err != nil {
+			return nil, err
+		}
+		bspWall := time.Since(start)
+
+		chaotic, err := phac.DiffuseBSP(g, r, stopTh, bsp.Config{
+			Chaos: &bsp.Chaos{Seed: seed, ShuffleInbox: true},
+		})
+		if err != nil {
+			return nil, err
+		}
+		same := reflect.DeepEqual(direct, viaBSP) && reflect.DeepEqual(direct, chaotic)
+		t.Rows = append(t.Rows,
+			[]string{itoa(r), "shared-memory", itoa(len(direct)), directWall.Round(time.Microsecond).String(), ""},
+			[]string{itoa(r), "bsp(+chaos)", itoa(len(viaBSP)), bspWall.Round(time.Microsecond).String(), fmt.Sprintf("%v", same)},
+		)
+		if !same {
+			t.Notes = append(t.Notes, fmt.Sprintf("MISMATCH at r=%d", r))
+		}
+	}
+	t.Notes = append(t.Notes, "identical: BSP (with and without chaotic delivery) equals shared-memory result")
+	return t, nil
+}

@@ -1,0 +1,167 @@
+package kmeans
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+// blobs generates n points around k well-separated unit directions.
+func blobs(n, k, dim int, seed uint64) ([][]float32, []int) {
+	rng := rand.New(rand.NewPCG(seed, 0))
+	centers := make([][]float32, k)
+	for c := range centers {
+		v := make([]float32, dim)
+		v[c%dim] = 1
+		v[(c+3)%dim] = float32(c%2)*0.5 - 0.25
+		centers[c] = normalize(v)
+	}
+	points := make([][]float32, n)
+	truth := make([]int, n)
+	for i := range points {
+		c := i % k
+		truth[i] = c
+		p := make([]float32, dim)
+		for d := range p {
+			p[d] = centers[c][d] + 0.05*float32(rng.NormFloat64())
+		}
+		points[i] = p
+	}
+	return points, truth
+}
+
+func TestClusterRecoversBlobs(t *testing.T) {
+	points, truth := blobs(300, 3, 8, 1)
+	res, err := Cluster(points, DefaultConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Majority mapping: each predicted cluster maps to its dominant
+	// ground-truth blob; accuracy must be near-perfect on separated
+	// blobs.
+	counts := map[[2]int]int{}
+	for i := range points {
+		counts[[2]int{int(res.Assign[i]), truth[i]}]++
+	}
+	best := map[int]int{}
+	bestN := map[int]int{}
+	for key, n := range counts {
+		if n > bestN[key[0]] {
+			bestN[key[0]] = n
+			best[key[0]] = key[1]
+		}
+	}
+	correct := 0
+	for i := range points {
+		if best[int(res.Assign[i])] == truth[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(points)); acc < 0.95 {
+		t.Fatalf("blob accuracy = %.3f, want >= 0.95", acc)
+	}
+}
+
+func TestClusterValidation(t *testing.T) {
+	points, _ := blobs(10, 2, 4, 1)
+	cases := []Config{
+		{K: 0, MaxIters: 5},
+		{K: 11, MaxIters: 5},
+		{K: 2, MaxIters: 0},
+	}
+	for i, cfg := range cases {
+		if _, err := Cluster(points, cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+	if _, err := Cluster(nil, DefaultConfig(1)); err == nil {
+		t.Error("empty points accepted")
+	}
+	if _, err := Cluster([][]float32{nil, nil}, DefaultConfig(1)); err == nil {
+		t.Error("all-nil points accepted")
+	}
+	if _, err := Cluster([][]float32{{1, 0}, {1}}, DefaultConfig(1)); err == nil {
+		t.Error("ragged dimensions accepted")
+	}
+}
+
+func TestClusterHandlesNilPoints(t *testing.T) {
+	points, _ := blobs(20, 2, 4, 1)
+	points[3] = nil
+	points[7] = nil
+	res, err := Cluster(points, DefaultConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Assign[3] != 0 || res.Assign[7] != 0 {
+		t.Fatal("nil points must land in cluster 0")
+	}
+}
+
+func TestClusterDeterministic(t *testing.T) {
+	points, _ := blobs(100, 4, 8, 2)
+	a, err := Cluster(points, DefaultConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Cluster(points, DefaultConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Assign {
+		if a.Assign[i] != b.Assign[i] {
+			t.Fatal("same seed produced different assignments")
+		}
+	}
+}
+
+func TestCentroidsAreUnit(t *testing.T) {
+	points, _ := blobs(60, 3, 6, 3)
+	res, err := Cluster(points, DefaultConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c, cent := range res.Centroids {
+		var n float64
+		for _, v := range cent {
+			n += float64(v) * float64(v)
+		}
+		if math.Abs(math.Sqrt(n)-1) > 1e-4 {
+			t.Fatalf("centroid %d norm = %f, want 1", c, math.Sqrt(n))
+		}
+	}
+}
+
+// Property: assignments are always in [0, K) and every cluster id is
+// representable.
+func TestAssignmentsInRangeProperty(t *testing.T) {
+	f := func(seed uint64, kRaw uint8) bool {
+		k := int(kRaw%5) + 1
+		points, _ := blobs(50, k, 6, seed)
+		res, err := Cluster(points, DefaultConfig(k))
+		if err != nil {
+			return false
+		}
+		for _, a := range res.Assign {
+			if a < 0 || int(a) >= k {
+				return false
+			}
+		}
+		return res.Iters >= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKEqualsN(t *testing.T) {
+	points, _ := blobs(5, 5, 6, 1)
+	res, err := Cluster(points, DefaultConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Centroids) != 5 {
+		t.Fatalf("centroids = %d, want 5", len(res.Centroids))
+	}
+}

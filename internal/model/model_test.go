@@ -1,0 +1,124 @@
+package model
+
+import (
+	"strings"
+	"testing"
+)
+
+func tinyCorpus() *Corpus {
+	return &Corpus{
+		Items: []Item{
+			{ID: 0, Title: "beach dress", Category: 1, PriceCents: 1999},
+			{ID: 1, Title: "sunblock spf50", Category: 2, PriceCents: 899},
+		},
+		Queries: []Query{
+			{ID: 0, Text: "beach dress"},
+			{ID: 1, Text: "trip to the beach"},
+		},
+		Categories: []Category{
+			{ID: 0, Name: "Ladies' wear", Parent: RootCategory},
+			{ID: 1, Name: "Dress", Parent: 0},
+			{ID: 2, Name: "Sunblock", Parent: RootCategory},
+		},
+		Clicks: []ClickEvent{
+			{Query: 0, Item: 0, Day: 0, Count: 3},
+			{Query: 1, Item: 1, Day: 1, Count: 1},
+		},
+	}
+}
+
+func TestValidateOK(t *testing.T) {
+	if err := tinyCorpus().Validate(); err != nil {
+		t.Fatalf("Validate() = %v, want nil", err)
+	}
+}
+
+func TestValidateNil(t *testing.T) {
+	var c *Corpus
+	if err := c.Validate(); err == nil {
+		t.Fatal("Validate() on nil corpus = nil, want error")
+	}
+}
+
+func TestValidateDetectsSparseItemIDs(t *testing.T) {
+	c := tinyCorpus()
+	c.Items[1].ID = 7
+	err := c.Validate()
+	if err == nil || !strings.Contains(err.Error(), "dense") {
+		t.Fatalf("Validate() = %v, want dense-ID error", err)
+	}
+}
+
+func TestValidateDetectsUnknownCategory(t *testing.T) {
+	c := tinyCorpus()
+	c.Items[0].Category = 99
+	if err := c.Validate(); err == nil {
+		t.Fatal("Validate() = nil, want unknown-category error")
+	}
+}
+
+func TestValidateDetectsSelfParent(t *testing.T) {
+	c := tinyCorpus()
+	c.Categories[2].Parent = 2
+	if err := c.Validate(); err == nil {
+		t.Fatal("Validate() = nil, want self-parent error")
+	}
+}
+
+func TestValidateDetectsBadClicks(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Corpus)
+	}{
+		{"unknown query", func(c *Corpus) { c.Clicks[0].Query = 55 }},
+		{"unknown item", func(c *Corpus) { c.Clicks[0].Item = 55 }},
+		{"zero count", func(c *Corpus) { c.Clicks[0].Count = 0 }},
+		{"negative day", func(c *Corpus) { c.Clicks[0].Day = -1 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := tinyCorpus()
+			tc.mutate(c)
+			if err := c.Validate(); err == nil {
+				t.Fatalf("Validate() = nil, want error for %s", tc.name)
+			}
+		})
+	}
+}
+
+func TestStats(t *testing.T) {
+	s := tinyCorpus().Stats()
+	want := Stats{Items: 2, Queries: 2, Categories: 3, Clicks: 2, ClickMass: 4}
+	if s != want {
+		t.Fatalf("Stats() = %+v, want %+v", s, want)
+	}
+	if !strings.Contains(s.String(), "items=2") {
+		t.Fatalf("Stats.String() = %q, want it to mention items=2", s)
+	}
+}
+
+func TestCategoryPath(t *testing.T) {
+	c := tinyCorpus()
+	got, err := c.CategoryPath(1)
+	if err != nil {
+		t.Fatalf("CategoryPath(1) error: %v", err)
+	}
+	if len(got) != 2 || got[0] != "Ladies' wear" || got[1] != "Dress" {
+		t.Fatalf("CategoryPath(1) = %v, want [Ladies' wear Dress]", got)
+	}
+}
+
+func TestCategoryPathCycle(t *testing.T) {
+	c := tinyCorpus()
+	c.Categories[0].Parent = 1 // 0 -> 1 -> 0 cycle
+	if _, err := c.CategoryPath(1); err == nil {
+		t.Fatal("CategoryPath on cyclic parents = nil error, want cycle error")
+	}
+}
+
+func TestCategoryPathUnknown(t *testing.T) {
+	c := tinyCorpus()
+	if _, err := c.CategoryPath(42); err == nil {
+		t.Fatal("CategoryPath(42) = nil error, want unknown-category error")
+	}
+}

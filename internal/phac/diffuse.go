@@ -1,0 +1,155 @@
+package phac
+
+import (
+	"fmt"
+	"sort"
+
+	"shoal/internal/bsp"
+	"shoal/internal/wgraph"
+)
+
+// Edge is a selected locally-maximal edge (U < V).
+type Edge struct {
+	U, V int32
+	Sim  float64
+}
+
+// Diffuse runs one diffusion+selection pass over a static graph and
+// returns the locally-maximal matching, sorted by (U,V). This is the
+// standalone form of Parallel HAC's step 1–2, exposed for experiment E5
+// (iterations vs. parallelism) and the BSP equivalence check (E9).
+// Edges below threshold do not participate.
+func Diffuse(g *wgraph.Graph, rounds int, threshold float64, workers int) ([]Edge, error) {
+	if g.NumNodes() == 0 {
+		return nil, fmt.Errorf("phac: empty graph")
+	}
+	if rounds < 0 {
+		return nil, fmt.Errorf("phac: negative diffusion rounds %d", rounds)
+	}
+	if workers <= 0 {
+		workers = 1
+	}
+	n := int32(g.NumNodes())
+	know := make([]edgeRef, n)
+	next := make([]edgeRef, n)
+	nodes := make([]int32, n)
+	for i := range nodes {
+		nodes[i] = int32(i)
+	}
+	parallelOver(nodes, workers, func(u int32) {
+		best := noEdge
+		g.ForEachNeighbor(u, func(v int32, w float64) {
+			if w < threshold {
+				return
+			}
+			cu, cv := canon(u, v)
+			cand := edgeRef{u: cu, v: cv, sim: w}
+			if better(cand, best) {
+				best = cand
+			}
+		})
+		know[u] = best
+	})
+	for it := 0; it < rounds; it++ {
+		parallelOver(nodes, workers, func(u int32) {
+			best := know[u]
+			g.ForEachNeighbor(u, func(v int32, _ float64) {
+				if better(know[v], best) {
+					best = know[v]
+				}
+			})
+			next[u] = best
+		})
+		know, next = next, know
+	}
+	return collectSelected(know, threshold), nil
+}
+
+// DiffuseBSP computes the same matching as Diffuse but runs the exchange
+// protocol on the Pregel-style BSP engine (internal/bsp) — the execution
+// model the paper deploys on ODPS. chaos may be nil.
+func DiffuseBSP(g *wgraph.Graph, rounds int, threshold float64, cfg bsp.Config) ([]Edge, error) {
+	if g.NumNodes() == 0 {
+		return nil, fmt.Errorf("phac: empty graph")
+	}
+	if rounds < 0 {
+		return nil, fmt.Errorf("phac: negative diffusion rounds %d", rounds)
+	}
+	prog := &diffusionProgram{
+		g:         g,
+		rounds:    rounds,
+		threshold: threshold,
+		know:      make([]edgeRef, g.NumNodes()),
+	}
+	eng, err := bsp.New[edgeRef](g.NumNodes(), prog, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := eng.Run(); err != nil {
+		return nil, err
+	}
+	return collectSelected(prog.know, threshold), nil
+}
+
+// diffusionProgram is the vertex-centric formulation: superstep 0
+// initializes each vertex with its best incident edge and broadcasts it;
+// supersteps 1..rounds fold the inbox maximum and re-broadcast. The fold is
+// order-independent, so the program is correct under chaotic delivery.
+type diffusionProgram struct {
+	g         *wgraph.Graph
+	rounds    int
+	threshold float64
+	know      []edgeRef
+}
+
+func (p *diffusionProgram) Compute(step int, v bsp.VertexID, inbox []edgeRef, send func(bsp.VertexID, edgeRef)) bool {
+	u := int32(v)
+	if step == 0 {
+		best := noEdge
+		p.g.ForEachNeighbor(u, func(nb int32, w float64) {
+			if w < p.threshold {
+				return
+			}
+			cu, cv := canon(u, nb)
+			cand := edgeRef{u: cu, v: cv, sim: w}
+			if better(cand, best) {
+				best = cand
+			}
+		})
+		p.know[u] = best
+	} else {
+		for _, m := range inbox {
+			if better(m, p.know[u]) {
+				p.know[u] = m
+			}
+		}
+	}
+	if step < p.rounds {
+		p.g.ForEachNeighbor(u, func(nb int32, _ float64) {
+			send(bsp.VertexID(nb), p.know[u])
+		})
+		return false
+	}
+	return true
+}
+
+// collectSelected extracts the mutual locally-maximal edges from know.
+func collectSelected(know []edgeRef, threshold float64) []Edge {
+	var out []Edge
+	for u := int32(0); int(u) < len(know); u++ {
+		e := know[u]
+		if e.u != u || e.sim < threshold {
+			continue
+		}
+		if int(e.v) < len(know) && know[e.v] == e {
+			out = append(out, Edge{U: e.u, V: e.v, Sim: e.sim})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].U != out[j].U {
+			return out[i].U < out[j].U
+		}
+		return out[i].V < out[j].V
+	})
+	return out
+}

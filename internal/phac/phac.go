@@ -1,0 +1,522 @@
+// Package phac implements Parallel Hierarchical Agglomerative Clustering,
+// the core contribution of the paper (§2.2).
+//
+// Classic HAC merges one globally-best pair per iteration, which neither
+// tolerates sparse similarity matrices (Challenge 1) nor scales (Challenge
+// 2). Parallel HAC rounds do three things instead:
+//
+//  1. Diffusion — every node starts knowing its best incident edge; for r
+//     iterations nodes exchange the best edge they know with their
+//     neighbors and keep the maximum. Edges are totally ordered by
+//     (similarity desc, canonical id asc) so ties are deterministic.
+//  2. Selection — an edge is *locally maximal* if, after diffusion, both
+//     of its endpoints still consider it the best edge they have heard
+//     of. Locally maximal edges form a node-disjoint matching: they can
+//     all be merged in parallel. Smaller r ⇒ more selected edges ⇒ more
+//     parallelism (the paper fixes r = 2).
+//  3. Merge + update — each selected pair becomes a new cluster; the
+//     neighborhood similarities are recomputed with the √-normalized rule
+//     of Eq. 4, treating missing edges as 0. When both endpoints of an old
+//     edge merged in the same round the two Eq. 4 applications compose
+//     multiplicatively.
+//
+// Rounds repeat until no edge reaches the stop threshold. The globally
+// maximal edge is always locally maximal, so progress is guaranteed.
+package phac
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"shoal/internal/dendrogram"
+	"shoal/internal/wgraph"
+)
+
+// Linkage selects the similarity-update rule applied on merge. The paper
+// uses SqrtSize (Eq. 4); the alternatives exist for the E8 ablation.
+type Linkage int
+
+const (
+	// LinkageSqrtSize is Eq. 4: weights √nA/(√nA+√nB) and √nB/(√nA+√nB).
+	LinkageSqrtSize Linkage = iota
+	// LinkageUnweighted averages with weights 1/2 regardless of size.
+	LinkageUnweighted
+	// LinkageSizeProportional weights by nA/(nA+nB) (UPGMA-style).
+	LinkageSizeProportional
+)
+
+func (l Linkage) String() string {
+	switch l {
+	case LinkageSqrtSize:
+		return "sqrt-size"
+	case LinkageUnweighted:
+		return "unweighted"
+	case LinkageSizeProportional:
+		return "size-proportional"
+	default:
+		return fmt.Sprintf("Linkage(%d)", int(l))
+	}
+}
+
+// weights returns the (wA, wB) merge weights for sizes nA, nB.
+func (l Linkage) weights(nA, nB float64) (float64, float64) {
+	switch l {
+	case LinkageUnweighted:
+		return 0.5, 0.5
+	case LinkageSizeProportional:
+		den := nA + nB
+		return nA / den, nB / den
+	default:
+		sa, sb := math.Sqrt(nA), math.Sqrt(nB)
+		den := sa + sb
+		return sa / den, sb / den
+	}
+}
+
+// Config controls Parallel HAC.
+type Config struct {
+	// StopThreshold ends clustering when no edge reaches it.
+	StopThreshold float64
+	// DiffusionRounds is r, the number of max-exchange iterations per
+	// round. The paper sets 2.
+	DiffusionRounds int
+	// Workers is the number of goroutines; 0 means GOMAXPROCS.
+	Workers int
+	// MaxRounds caps clustering rounds; 0 means unlimited.
+	MaxRounds int
+	// Linkage is the merge update rule; zero value is the paper's Eq. 4.
+	Linkage Linkage
+}
+
+// DefaultConfig mirrors the paper: r=2, threshold 0.35.
+func DefaultConfig() Config {
+	return Config{StopThreshold: 0.35, DiffusionRounds: 2}
+}
+
+func (c *Config) validate() error {
+	if c.StopThreshold < 0 || c.StopThreshold > 1 {
+		return fmt.Errorf("phac: StopThreshold must be in [0,1], got %f", c.StopThreshold)
+	}
+	if c.DiffusionRounds < 0 {
+		return fmt.Errorf("phac: DiffusionRounds must be non-negative, got %d", c.DiffusionRounds)
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Linkage < LinkageSqrtSize || c.Linkage > LinkageSizeProportional {
+		return fmt.Errorf("phac: unknown linkage %d", c.Linkage)
+	}
+	return nil
+}
+
+// RoundStat profiles one Parallel HAC round — the data behind experiment
+// E5 (diffusion iterations vs. parallelism).
+type RoundStat struct {
+	Round int
+	// ActiveClusters is the number of alive clusters entering the round.
+	ActiveClusters int
+	// ActiveEdges is the number of edges >= StopThreshold entering it.
+	ActiveEdges int
+	// Selected is the number of locally-maximal edges merged.
+	Selected int
+	// BestSim is the global maximum similarity entering the round.
+	BestSim float64
+}
+
+// Result is the output of Parallel HAC.
+type Result struct {
+	Dendrogram *dendrogram.Dendrogram
+	Rounds     []RoundStat
+}
+
+// edgeRef is a totally ordered reference to an edge: better means higher
+// similarity, ties broken by smaller canonical (u,v).
+type edgeRef struct {
+	u, v int32 // canonical: u < v
+	sim  float64
+}
+
+var noEdge = edgeRef{u: -1, v: -1, sim: math.Inf(-1)}
+
+// better reports whether a beats b in the diffusion total order.
+func better(a, b edgeRef) bool {
+	if a.sim != b.sim {
+		return a.sim > b.sim
+	}
+	if a.u != b.u {
+		return a.u < b.u
+	}
+	return a.v < b.v
+}
+
+// Cluster runs Parallel HAC over a copy of g with initial cluster sizes
+// (nil means all 1). Leaf ids in the dendrogram are graph node ids.
+// The result is deterministic and independent of cfg.Workers.
+func Cluster(g *wgraph.Graph, sizes []int, cfg Config) (*Result, error) {
+	n := g.NumNodes()
+	if n == 0 {
+		return nil, fmt.Errorf("phac: empty graph")
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if sizes != nil && len(sizes) != n {
+		return nil, fmt.Errorf("phac: sizes length %d != nodes %d", len(sizes), n)
+	}
+
+	st := newState(g, sizes, cfg)
+	res := &Result{Dendrogram: &dendrogram.Dendrogram{Leaves: n}}
+
+	for round := 0; ; round++ {
+		if cfg.MaxRounds > 0 && round >= cfg.MaxRounds {
+			break
+		}
+		selected, activeEdges, bestSim := st.selectLocalMaxima(cfg.DiffusionRounds, cfg.Workers, cfg.StopThreshold)
+		stat := RoundStat{
+			Round: round, ActiveClusters: st.aliveCount,
+			ActiveEdges: activeEdges, BestSim: bestSim, Selected: len(selected),
+		}
+		if activeEdges == 0 || bestSim < cfg.StopThreshold {
+			break
+		}
+		res.Rounds = append(res.Rounds, stat)
+		if len(selected) == 0 {
+			// Cannot happen while an edge >= threshold exists (the
+			// global max is always mutual), but guard against it so a
+			// bug cannot loop forever.
+			return nil, fmt.Errorf("phac: round %d selected no edges with best sim %f", round, bestSim)
+		}
+
+		st.mergeSelected(selected, round, cfg, res.Dendrogram)
+	}
+	return res, nil
+}
+
+// state is the mutable clustering state. Cluster ids grow past n as merges
+// mint new ids; alive marks current clusters.
+type state struct {
+	adj        []map[int32]float64
+	size       []float64
+	alive      []bool
+	aliveCount int
+	workers    int
+	// know/next are the diffusion double buffers, reused across rounds.
+	know, next []edgeRef
+}
+
+func newState(g *wgraph.Graph, sizes []int, cfg Config) *state {
+	n := g.NumNodes()
+	st := &state{
+		adj:        make([]map[int32]float64, n, 2*n),
+		size:       make([]float64, n, 2*n),
+		alive:      make([]bool, n, 2*n),
+		aliveCount: n,
+		workers:    cfg.Workers,
+	}
+	for i := 0; i < n; i++ {
+		st.alive[i] = true
+		st.size[i] = 1
+		if sizes != nil {
+			st.size[i] = float64(sizes[i])
+		}
+	}
+	for _, e := range g.Edges() {
+		if st.adj[e.U] == nil {
+			st.adj[e.U] = make(map[int32]float64)
+		}
+		if st.adj[e.V] == nil {
+			st.adj[e.V] = make(map[int32]float64)
+		}
+		st.adj[e.U][e.V] = e.W
+		st.adj[e.V][e.U] = e.W
+	}
+	return st
+}
+
+func (st *state) aliveList() []int32 {
+	out := make([]int32, 0, st.aliveCount)
+	for id := int32(0); int(id) < len(st.alive); id++ {
+		if st.alive[id] {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// selectLocalMaxima runs the diffusion protocol and returns the selected
+// node-disjoint matching (sorted canonically) along with the round's edge
+// count and global best similarity, gathered during the same scan. Only
+// edges >= threshold participate in diffusion.
+func (st *state) selectLocalMaxima(rounds, workers int, threshold float64) ([]edgeRef, int, float64) {
+	total := len(st.adj)
+	for len(st.know) < total {
+		st.know = append(st.know, noEdge)
+		st.next = append(st.next, noEdge)
+	}
+	know, next := st.know, st.next
+	nodes := st.aliveList()
+
+	// Iteration 0: best incident edge per node, plus round statistics
+	// (edge endpoints counted once, at the smaller id).
+	degrees := make([]int64, len(nodes))
+	bests := make([]edgeRef, len(nodes))
+	parallelIdx(len(nodes), workers, func(i int) {
+		u := nodes[i]
+		best := noEdge
+		edges := int64(0)
+		bestAny := noEdge
+		for v, w := range st.adj[u] {
+			if u < v {
+				edges++
+			}
+			cu, cv := canon(u, v)
+			cand := edgeRef{u: cu, v: cv, sim: w}
+			if better(cand, bestAny) {
+				bestAny = cand
+			}
+			if w < threshold {
+				continue
+			}
+			if better(cand, best) {
+				best = cand
+			}
+		}
+		know[u] = best
+		degrees[i] = edges
+		bests[i] = bestAny
+	})
+	var activeEdges int64
+	globalBest := noEdge
+	for i := range nodes {
+		activeEdges += degrees[i]
+		if better(bests[i], globalBest) {
+			globalBest = bests[i]
+		}
+	}
+
+	// r exchange iterations: take the max over own and neighbors' known
+	// edges. Double-buffered so reads see only the previous iteration.
+	for it := 0; it < rounds; it++ {
+		parallelOver(nodes, workers, func(u int32) {
+			best := know[u]
+			for v := range st.adj[u] {
+				if better(know[v], best) {
+					best = know[v]
+				}
+			}
+			next[u] = best
+		})
+		know, next = next, know
+	}
+	st.know, st.next = know, next
+
+	// Selection: an edge whose both endpoints know it is locally maximal.
+	var mu sync.Mutex
+	var selected []edgeRef
+	parallelOver(nodes, workers, func(u int32) {
+		e := know[u]
+		if e.u != u { // evaluate each edge once, at its smaller endpoint
+			return
+		}
+		if e.sim < threshold {
+			return
+		}
+		if know[e.v] == e {
+			mu.Lock()
+			selected = append(selected, e)
+			mu.Unlock()
+		}
+	})
+	sort.Slice(selected, func(i, j int) bool {
+		if selected[i].u != selected[j].u {
+			return selected[i].u < selected[j].u
+		}
+		return selected[i].v < selected[j].v
+	})
+	return selected, int(activeEdges), globalBest.sim
+}
+
+// contrib is one old-edge contribution to a new edge's Eq. 4 sum, tagged
+// with its origin for deterministic summation order.
+type contrib struct {
+	key  [2]int32 // canonical new endpoints
+	orig [2]int32 // canonical old endpoints
+	val  float64
+}
+
+// mergeSelected applies a round's matching: mints new cluster ids, emits
+// dendrogram merges, and rebuilds affected adjacency under the linkage
+// rule. Deterministic regardless of worker count: contributions are
+// aggregated in sorted origin order.
+func (st *state) mergeSelected(selected []edgeRef, round int, cfg Config, d *dendrogram.Dendrogram) {
+	base := int32(len(st.adj))
+	// newID maps a merged old cluster to its new cluster id; weight maps
+	// it to its Eq. 4 coefficient.
+	newID := make(map[int32]int32, 2*len(selected))
+	weight := make(map[int32]float64, 2*len(selected))
+	for i, e := range selected {
+		id := base + int32(i)
+		wu, wv := cfg.Linkage.weights(st.size[e.u], st.size[e.v])
+		newID[e.u] = id
+		newID[e.v] = id
+		weight[e.u] = wu
+		weight[e.v] = wv
+		d.Merges = append(d.Merges, dendrogram.Merge{
+			A: e.u, B: e.v, New: id, Sim: e.sim, Round: int32(round),
+		})
+	}
+
+	// Generate contributions from every old edge with >= 1 merged
+	// endpoint. Each selected pair's owner scans its two members;
+	// old edges between two merged nodes are emitted by the owner of the
+	// smaller new id only (dedup).
+	perOwner := make([][]contrib, len(selected))
+	parallelIdx(len(selected), st.workers, func(i int) {
+		e := selected[i]
+		w := base + int32(i)
+		var out []contrib
+		for _, member := range [2]int32{e.u, e.v} {
+			wm := weight[member]
+			for nb, s := range st.adj[member] {
+				mappedNb, merged := newID[nb]
+				var q int32
+				wq := 1.0
+				if merged {
+					if mappedNb == w {
+						continue // internal edge of this merge
+					}
+					q = mappedNb
+					wq = weight[nb]
+					if q < w {
+						continue // the other owner emits this one
+					}
+				} else {
+					q = nb
+				}
+				a, b := canon(w, q)
+				oa, ob := canon(member, nb)
+				out = append(out, contrib{key: [2]int32{a, b}, orig: [2]int32{oa, ob}, val: wm * wq * s})
+			}
+		}
+		perOwner[i] = out
+	})
+
+	// Aggregate: flatten in owner order, group by key, sum each group in
+	// sorted origin order for exact determinism.
+	var all []contrib
+	for _, lst := range perOwner {
+		all = append(all, lst...)
+	}
+	sort.Slice(all, func(a, b int) bool {
+		if all[a].key != all[b].key {
+			if all[a].key[0] != all[b].key[0] {
+				return all[a].key[0] < all[b].key[0]
+			}
+			return all[a].key[1] < all[b].key[1]
+		}
+		if all[a].orig[0] != all[b].orig[0] {
+			return all[a].orig[0] < all[b].orig[0]
+		}
+		return all[a].orig[1] < all[b].orig[1]
+	})
+
+	// Extend state for the minted clusters.
+	for i, e := range selected {
+		_ = i
+		st.adj = append(st.adj, make(map[int32]float64))
+		st.size = append(st.size, st.size[e.u]+st.size[e.v])
+		st.alive = append(st.alive, true)
+	}
+	for _, e := range selected {
+		st.alive[e.u] = false
+		st.alive[e.v] = false
+	}
+	st.aliveCount -= len(selected)
+
+	// Remove stale references to merged nodes from surviving neighbors.
+	for _, e := range selected {
+		for _, member := range [2]int32{e.u, e.v} {
+			for nb := range st.adj[member] {
+				if _, merged := newID[nb]; !merged {
+					delete(st.adj[nb], member)
+				}
+			}
+			st.adj[member] = nil
+		}
+	}
+
+	// Apply aggregated new edges, pruning below threshold: Eq. 4 is a
+	// convex combination, so a sub-threshold edge can never feed a
+	// future >= threshold similarity.
+	for i := 0; i < len(all); {
+		j := i
+		var sum float64
+		for ; j < len(all) && all[j].key == all[i].key; j++ {
+			sum += all[j].val
+		}
+		u, v := all[i].key[0], all[i].key[1]
+		if sum >= cfg.StopThreshold {
+			if st.adj[u] == nil {
+				st.adj[u] = make(map[int32]float64)
+			}
+			if st.adj[v] == nil {
+				st.adj[v] = make(map[int32]float64)
+			}
+			st.adj[u][v] = sum
+			st.adj[v][u] = sum
+		}
+		i = j
+	}
+}
+
+func canon(u, v int32) (int32, int32) {
+	if u < v {
+		return u, v
+	}
+	return v, u
+}
+
+// parallelOver runs fn over the node list with the given parallelism.
+func parallelOver(nodes []int32, workers int, fn func(u int32)) {
+	if workers <= 1 || len(nodes) < 64 {
+		for _, u := range nodes {
+			fn(u)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(nodes); i += workers {
+				fn(nodes[i])
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// parallelIdx runs fn over [0,n) with the given parallelism.
+func parallelIdx(n, workers int, fn func(i int)) {
+	if workers <= 1 || n < 16 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < n; i += workers {
+				fn(i)
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,167 @@
+// Package recommend implements the two recommenders compared in the
+// paper's online A/B test (§3, Fig. 4):
+//
+//   - the control recommends items by matching ontology-driven categories
+//     (the user's seed category, then its siblings under the same parent),
+//   - the experiment recommends items by matching SHOAL topics, which span
+//     categories and therefore cover the user's whole shopping scenario.
+//
+// Both recommenders answer the same question — "given the item a user just
+// engaged with, which items should the panel show?" — so the A/B simulator
+// can compare them like-for-like.
+package recommend
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"shoal/internal/model"
+	"shoal/internal/taxonomy"
+)
+
+// Recommender produces up to k item recommendations for a seed item. The
+// rng makes selection among eligible items reproducible; implementations
+// must not recommend the seed itself.
+type Recommender interface {
+	// Recommend returns up to k items for the seed.
+	Recommend(seed model.ItemID, k int, rng *rand.Rand) []model.ItemID
+	// Name identifies the arm in reports.
+	Name() string
+}
+
+// CategoryRecommender is the control arm: items from the seed's leaf
+// category, padded with items from sibling categories (same ontology
+// parent) when the leaf runs dry.
+type CategoryRecommender struct {
+	corpus  *model.Corpus
+	byCat   map[model.CategoryID][]model.ItemID
+	sibling map[model.CategoryID][]model.CategoryID
+}
+
+// NewCategoryRecommender indexes the corpus by leaf category.
+func NewCategoryRecommender(corpus *model.Corpus) (*CategoryRecommender, error) {
+	if err := corpus.Validate(); err != nil {
+		return nil, fmt.Errorf("recommend: %w", err)
+	}
+	r := &CategoryRecommender{
+		corpus:  corpus,
+		byCat:   make(map[model.CategoryID][]model.ItemID),
+		sibling: make(map[model.CategoryID][]model.CategoryID),
+	}
+	for i := range corpus.Items {
+		r.byCat[corpus.Items[i].Category] = append(r.byCat[corpus.Items[i].Category], corpus.Items[i].ID)
+	}
+	byParent := make(map[model.CategoryID][]model.CategoryID)
+	for i := range corpus.Categories {
+		c := &corpus.Categories[i]
+		if c.Parent != model.RootCategory {
+			byParent[c.Parent] = append(byParent[c.Parent], c.ID)
+		}
+	}
+	for _, siblings := range byParent {
+		for _, c := range siblings {
+			for _, s := range siblings {
+				if s != c {
+					r.sibling[c] = append(r.sibling[c], s)
+				}
+			}
+		}
+	}
+	return r, nil
+}
+
+// Name implements Recommender.
+func (r *CategoryRecommender) Name() string { return "category-match" }
+
+// Recommend implements Recommender. The seed's own leaf category is
+// exhausted first; sibling categories only pad the panel when the leaf
+// pool cannot fill it (a category recommender that diluted every panel
+// with siblings would be an unfairly weak control arm).
+func (r *CategoryRecommender) Recommend(seed model.ItemID, k int, rng *rand.Rand) []model.ItemID {
+	if int(seed) < 0 || int(seed) >= len(r.corpus.Items) || k <= 0 {
+		return nil
+	}
+	cat := r.corpus.Items[seed].Category
+	pool := make([]model.ItemID, 0, k)
+	for _, it := range r.byCat[cat] {
+		if it != seed {
+			pool = append(pool, it)
+		}
+	}
+	out := sample(pool, k, rng)
+	if len(out) < k {
+		var padding []model.ItemID
+		for _, sib := range r.sibling[cat] {
+			padding = append(padding, r.byCat[sib]...)
+		}
+		out = append(out, sample(padding, k-len(out), rng)...)
+	}
+	return out
+}
+
+// TopicRecommender is the experiment arm: items from the seed's SHOAL
+// topic, widening to the parent topic (and ultimately the root topic) when
+// the deepest topic has too few items.
+type TopicRecommender struct {
+	corpus *model.Corpus
+	tx     *taxonomy.Taxonomy
+}
+
+// NewTopicRecommender wraps a built taxonomy.
+func NewTopicRecommender(corpus *model.Corpus, tx *taxonomy.Taxonomy) (*TopicRecommender, error) {
+	if tx == nil {
+		return nil, fmt.Errorf("recommend: nil taxonomy")
+	}
+	if len(tx.ItemTopic) != len(corpus.Items) {
+		return nil, fmt.Errorf("recommend: taxonomy covers %d items, corpus has %d", len(tx.ItemTopic), len(corpus.Items))
+	}
+	return &TopicRecommender{corpus: corpus, tx: tx}, nil
+}
+
+// Name implements Recommender.
+func (r *TopicRecommender) Name() string { return "topic-match" }
+
+// Recommend implements Recommender.
+func (r *TopicRecommender) Recommend(seed model.ItemID, k int, rng *rand.Rand) []model.ItemID {
+	if int(seed) < 0 || int(seed) >= len(r.corpus.Items) || k <= 0 {
+		return nil
+	}
+	tid := r.tx.ItemTopic[seed]
+	if tid == taxonomy.NoTopic {
+		return nil
+	}
+	// Widen until the pool can fill the panel or we hit the root.
+	for {
+		t := &r.tx.Topics[tid]
+		if len(t.Items) > k || t.Parent == taxonomy.NoTopic {
+			break
+		}
+		tid = t.Parent
+	}
+	t := &r.tx.Topics[tid]
+	pool := make([]model.ItemID, 0, len(t.Items))
+	for _, it := range t.Items {
+		if it != seed {
+			pool = append(pool, it)
+		}
+	}
+	return sample(pool, k, rng)
+}
+
+// sample returns k items drawn without replacement (all of pool when
+// len(pool) <= k), in a deterministic order for a given rng state.
+func sample(pool []model.ItemID, k int, rng *rand.Rand) []model.ItemID {
+	if len(pool) <= k {
+		out := make([]model.ItemID, len(pool))
+		copy(out, pool)
+		return out
+	}
+	// Partial Fisher–Yates over a copy.
+	cp := make([]model.ItemID, len(pool))
+	copy(cp, pool)
+	for i := 0; i < k; i++ {
+		j := i + rng.IntN(len(cp)-i)
+		cp[i], cp[j] = cp[j], cp[i]
+	}
+	return cp[:k]
+}

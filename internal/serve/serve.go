@@ -1,0 +1,231 @@
+// Package serve exposes a built SHOAL system over HTTP/JSON. The deployed
+// system "supports millions of searches for online shopping per day" (§1);
+// this handler is that serving surface: read-only, safe for concurrent
+// use, one endpoint per demo scenario (Fig. 5).
+//
+//	GET /api/search?q=beach+dress&k=5      scenario A: query → topics
+//	GET /api/topics/{id}                   scenario B: topic + sub-topics
+//	GET /api/topics/{id}/items?category=3  scenario C: topic → category → items
+//	GET /api/categories/{id}/related       scenario D: category correlations
+//	GET /api/stats                         build statistics
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"shoal/internal/catcorr"
+	"shoal/internal/core"
+	"shoal/internal/model"
+	"shoal/internal/taxonomy"
+)
+
+// Handler serves a single immutable build.
+type Handler struct {
+	b   *core.Build
+	mux *http.ServeMux
+}
+
+// NewHandler wraps a completed build. The build must not be mutated while
+// the handler is in use.
+func NewHandler(b *core.Build) (*Handler, error) {
+	if b == nil || b.Taxonomy == nil {
+		return nil, fmt.Errorf("serve: nil build")
+	}
+	h := &Handler{b: b, mux: http.NewServeMux()}
+	h.mux.HandleFunc("GET /api/search", h.search)
+	h.mux.HandleFunc("GET /api/topics/{id}", h.topic)
+	h.mux.HandleFunc("GET /api/topics/{id}/items", h.topicItems)
+	h.mux.HandleFunc("GET /api/categories/{id}/related", h.related)
+	h.mux.HandleFunc("GET /api/stats", h.stats)
+	return h, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) { h.mux.ServeHTTP(w, r) }
+
+// TopicSummary is the wire form of a topic reference.
+type TopicSummary struct {
+	ID          model.TopicID `json:"id"`
+	Description string        `json:"description"`
+	Level       int           `json:"level"`
+	Items       int           `json:"items"`
+	Categories  int           `json:"categories"`
+	Score       float64       `json:"score,omitempty"`
+}
+
+// TopicDetail is the wire form of one topic (scenario B).
+type TopicDetail struct {
+	TopicSummary
+	Queries    []string       `json:"queries"`
+	SubTopics  []TopicSummary `json:"subTopics"`
+	Categories []CategoryRef  `json:"categoryRefs"`
+}
+
+// CategoryRef names a category.
+type CategoryRef struct {
+	ID   model.CategoryID `json:"id"`
+	Name string           `json:"name"`
+}
+
+// ItemRef is the wire form of an item.
+type ItemRef struct {
+	ID       model.ItemID     `json:"id"`
+	Title    string           `json:"title"`
+	Category model.CategoryID `json:"category"`
+}
+
+// RelatedCategory is one Eq. 5 correlation edge (scenario D).
+type RelatedCategory struct {
+	CategoryRef
+	Strength int `json:"strength"`
+}
+
+func (h *Handler) search(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		httpError(w, http.StatusBadRequest, "missing query parameter q")
+		return
+	}
+	k := 5
+	if ks := r.URL.Query().Get("k"); ks != "" {
+		v, err := strconv.Atoi(ks)
+		if err != nil || v <= 0 || v > 100 {
+			httpError(w, http.StatusBadRequest, "k must be an integer in [1,100]")
+			return
+		}
+		k = v
+	}
+	var hits []taxonomy.Hit
+	if h.b.Searcher != nil {
+		hits = h.b.Searcher.Search(q, k)
+	}
+	out := make([]TopicSummary, 0, len(hits))
+	for _, hit := range hits {
+		t := &h.b.Taxonomy.Topics[hit.Topic]
+		out = append(out, h.summary(t, hit.Score))
+	}
+	writeJSON(w, out)
+}
+
+func (h *Handler) topic(w http.ResponseWriter, r *http.Request) {
+	t, ok := h.topicFromPath(w, r)
+	if !ok {
+		return
+	}
+	detail := TopicDetail{
+		TopicSummary: h.summary(t, 0),
+		Queries:      t.DescQueries,
+	}
+	for _, c := range t.Children {
+		detail.SubTopics = append(detail.SubTopics, h.summary(&h.b.Taxonomy.Topics[c], 0))
+	}
+	for _, cat := range t.Categories {
+		detail.Categories = append(detail.Categories, CategoryRef{
+			ID: cat, Name: h.b.Corpus.Categories[cat].Name,
+		})
+	}
+	writeJSON(w, detail)
+}
+
+func (h *Handler) topicItems(w http.ResponseWriter, r *http.Request) {
+	t, ok := h.topicFromPath(w, r)
+	if !ok {
+		return
+	}
+	items := t.Items
+	if cs := r.URL.Query().Get("category"); cs != "" {
+		cat, err := strconv.Atoi(cs)
+		if err != nil || cat < 0 || cat >= len(h.b.Corpus.Categories) {
+			httpError(w, http.StatusBadRequest, "unknown category")
+			return
+		}
+		filtered, err := h.b.Taxonomy.ItemsInCategory(t.ID, model.CategoryID(cat), h.b.Corpus)
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		items = filtered
+	}
+	out := make([]ItemRef, 0, len(items))
+	for _, it := range items {
+		item := &h.b.Corpus.Items[it]
+		out = append(out, ItemRef{ID: it, Title: item.Title, Category: item.Category})
+	}
+	writeJSON(w, out)
+}
+
+func (h *Handler) related(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil || id < 0 || id >= len(h.b.Corpus.Categories) {
+		httpError(w, http.StatusNotFound, "unknown category")
+		return
+	}
+	var rel []catcorr.Correlation
+	if h.b.Correlations != nil {
+		rel = h.b.Correlations.Related(model.CategoryID(id))
+	}
+	out := make([]RelatedCategory, 0, len(rel))
+	for _, c := range rel {
+		other := c.A
+		if other == model.CategoryID(id) {
+			other = c.B
+		}
+		out = append(out, RelatedCategory{
+			CategoryRef: CategoryRef{ID: other, Name: h.b.Corpus.Categories[other].Name},
+			Strength:    c.Strength,
+		})
+	}
+	writeJSON(w, out)
+}
+
+func (h *Handler) stats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]int{
+		"items":        len(h.b.Corpus.Items),
+		"queries":      len(h.b.Corpus.Queries),
+		"categories":   len(h.b.Corpus.Categories),
+		"entities":     len(h.b.Entities.Entities),
+		"topics":       len(h.b.Taxonomy.Topics),
+		"rootTopics":   len(h.b.Taxonomy.Roots()),
+		"correlations": len(h.b.Correlations.Pairs()),
+	})
+}
+
+func (h *Handler) topicFromPath(w http.ResponseWriter, r *http.Request) (*taxonomy.Topic, bool) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "topic id must be an integer")
+		return nil, false
+	}
+	t, err := h.b.Taxonomy.Topic(model.TopicID(id))
+	if err != nil {
+		httpError(w, http.StatusNotFound, err.Error())
+		return nil, false
+	}
+	return t, true
+}
+
+func (h *Handler) summary(t *taxonomy.Topic, score float64) TopicSummary {
+	return TopicSummary{
+		ID: t.ID, Description: t.Description, Level: t.Level,
+		Items: len(t.Items), Categories: len(t.Categories), Score: score,
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		// Headers already sent; nothing more we can do.
+		return
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}

@@ -1,0 +1,238 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"shoal/internal/core"
+	"shoal/internal/synth"
+)
+
+var (
+	buildOnce sync.Once
+	testBuild *core.Build
+	buildErr  error
+)
+
+func getBuild(t *testing.T) *core.Build {
+	t.Helper()
+	buildOnce.Do(func() {
+		cfg := core.DefaultConfig()
+		cfg.Word2Vec.Epochs = 1
+		cfg.Word2Vec.MinCount = 1
+		cfg.Graph.MinSimilarity = 0.2
+		cfg.HAC.StopThreshold = 0.12
+		cfg.Taxonomy.Levels = []float64{0.12, 0.4}
+		cfg.CatCorr.MinStrength = 0
+		testBuild, buildErr = core.Run(synth.Curated(), cfg)
+	})
+	if buildErr != nil {
+		t.Fatal(buildErr)
+	}
+	return testBuild
+}
+
+func newServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	h, err := NewHandler(getBuild(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(h)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decoding %s: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestNewHandlerValidation(t *testing.T) {
+	if _, err := NewHandler(nil); err == nil {
+		t.Fatal("nil build accepted")
+	}
+}
+
+func TestSearchEndpoint(t *testing.T) {
+	srv := newServer(t)
+	var hits []TopicSummary
+	code := getJSON(t, srv.URL+"/api/search?q=beach+dress&k=3", &hits)
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if len(hits) == 0 {
+		t.Fatal("no hits for beach dress")
+	}
+	if hits[0].Score <= 0 || hits[0].Items == 0 {
+		t.Fatalf("bad hit payload: %+v", hits[0])
+	}
+}
+
+func TestSearchValidation(t *testing.T) {
+	srv := newServer(t)
+	if code := getJSON(t, srv.URL+"/api/search", nil); code != http.StatusBadRequest {
+		t.Fatalf("missing q: status = %d, want 400", code)
+	}
+	if code := getJSON(t, srv.URL+"/api/search?q=x&k=0", nil); code != http.StatusBadRequest {
+		t.Fatalf("k=0: status = %d, want 400", code)
+	}
+	if code := getJSON(t, srv.URL+"/api/search?q=x&k=boom", nil); code != http.StatusBadRequest {
+		t.Fatalf("k=boom: status = %d, want 400", code)
+	}
+}
+
+func TestTopicEndpoint(t *testing.T) {
+	srv := newServer(t)
+	b := getBuild(t)
+	root := b.Taxonomy.Roots()[0]
+	var detail TopicDetail
+	code := getJSON(t, fmt.Sprintf("%s/api/topics/%d", srv.URL, root), &detail)
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if detail.ID != root {
+		t.Fatalf("detail.ID = %d, want %d", detail.ID, root)
+	}
+	if len(detail.Categories) == 0 {
+		t.Fatal("no category refs")
+	}
+	for _, sub := range detail.SubTopics {
+		if sub.Level != detail.Level+1 {
+			t.Fatalf("subtopic level %d under level %d", sub.Level, detail.Level)
+		}
+	}
+}
+
+func TestTopicNotFound(t *testing.T) {
+	srv := newServer(t)
+	if code := getJSON(t, srv.URL+"/api/topics/9999", nil); code != http.StatusNotFound {
+		t.Fatalf("status = %d, want 404", code)
+	}
+	if code := getJSON(t, srv.URL+"/api/topics/abc", nil); code != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", code)
+	}
+}
+
+func TestTopicItemsEndpoint(t *testing.T) {
+	srv := newServer(t)
+	b := getBuild(t)
+	root := b.Taxonomy.Roots()[0]
+	var all []ItemRef
+	if code := getJSON(t, fmt.Sprintf("%s/api/topics/%d/items", srv.URL, root), &all); code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if len(all) == 0 {
+		t.Fatal("no items")
+	}
+	// Filter by the first category of the topic.
+	cat := b.Taxonomy.Topics[root].Categories[0]
+	var filtered []ItemRef
+	if code := getJSON(t, fmt.Sprintf("%s/api/topics/%d/items?category=%d", srv.URL, root, cat), &filtered); code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if len(filtered) == 0 || len(filtered) > len(all) {
+		t.Fatalf("filtered = %d, all = %d", len(filtered), len(all))
+	}
+	for _, it := range filtered {
+		if it.Category != cat {
+			t.Fatalf("item %d leaked from category %d", it.ID, it.Category)
+		}
+	}
+	if code := getJSON(t, fmt.Sprintf("%s/api/topics/%d/items?category=999", srv.URL, root), nil); code != http.StatusBadRequest {
+		t.Fatalf("bad category: status = %d, want 400", code)
+	}
+}
+
+func TestRelatedEndpoint(t *testing.T) {
+	srv := newServer(t)
+	b := getBuild(t)
+	// Find a category with correlations.
+	pairs := b.Correlations.Pairs()
+	if len(pairs) == 0 {
+		t.Skip("no correlations in fixture")
+	}
+	var rel []RelatedCategory
+	code := getJSON(t, fmt.Sprintf("%s/api/categories/%d/related", srv.URL, pairs[0].A), &rel)
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if len(rel) == 0 {
+		t.Fatal("no related categories")
+	}
+	if rel[0].Name == "" || rel[0].Strength <= 0 {
+		t.Fatalf("bad payload: %+v", rel[0])
+	}
+	if code := getJSON(t, srv.URL+"/api/categories/9999/related", nil); code != http.StatusNotFound {
+		t.Fatalf("status = %d, want 404", code)
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	srv := newServer(t)
+	var stats map[string]int
+	if code := getJSON(t, srv.URL+"/api/stats", &stats); code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	for _, key := range []string{"items", "topics", "rootTopics", "entities"} {
+		if stats[key] <= 0 {
+			t.Fatalf("stats[%s] = %d, want positive", key, stats[key])
+		}
+	}
+}
+
+func TestConcurrentRequests(t *testing.T) {
+	srv := newServer(t)
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			url := srv.URL + "/api/search?q=beach+dress"
+			if i%3 == 1 {
+				url = srv.URL + "/api/stats"
+			}
+			resp, err := http.Get(url)
+			if err != nil {
+				errs <- err
+				return
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("status %d for %s", resp.StatusCode, url)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	srv := newServer(t)
+	resp, err := http.Post(srv.URL+"/api/search?q=x", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST status = %d, want 405", resp.StatusCode)
+	}
+}

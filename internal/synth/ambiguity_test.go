@@ -1,0 +1,141 @@
+package synth
+
+import (
+	"strings"
+	"testing"
+
+	"shoal/internal/model"
+)
+
+func TestAmbiguousTitleRateZero(t *testing.T) {
+	cfg := smallConfig()
+	cfg.AmbiguousTitleRate = 0
+	c, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, it := range c.Items {
+		if it.TitleAmbiguous {
+			t.Fatalf("item %d ambiguous despite rate 0", it.ID)
+		}
+	}
+}
+
+func TestAmbiguousTitleRateOne(t *testing.T) {
+	cfg := smallConfig()
+	cfg.AmbiguousTitleRate = 1
+	c, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, it := range c.Items {
+		if it.Scenario == model.NoScenario {
+			continue // noise items are never flagged
+		}
+		if !it.TitleAmbiguous {
+			t.Fatalf("scenario item %d not ambiguous despite rate 1", it.ID)
+		}
+	}
+}
+
+func TestAmbiguousTitlesUseGenericWords(t *testing.T) {
+	cfg := smallConfig()
+	cfg.AmbiguousTitleRate = 0.5
+	c, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	generic := make(map[string]bool, len(genericTitleWords))
+	for _, w := range genericTitleWords {
+		generic[w] = true
+	}
+	catNames := make(map[string]bool)
+	for _, cat := range c.Categories {
+		catNames[cat.Name] = true
+	}
+	var ambiguous, descriptive int
+	for _, it := range c.Items {
+		if it.Scenario == model.NoScenario {
+			continue
+		}
+		words := strings.Fields(it.Title)
+		if it.TitleAmbiguous {
+			ambiguous++
+			for _, w := range words {
+				if !generic[w] && !catNames[w] {
+					t.Fatalf("ambiguous item %d title has non-generic word %q: %q", it.ID, w, it.Title)
+				}
+			}
+		} else {
+			descriptive++
+		}
+	}
+	if ambiguous == 0 || descriptive == 0 {
+		t.Fatalf("rate 0.5 gave ambiguous=%d descriptive=%d, want both populated", ambiguous, descriptive)
+	}
+}
+
+func TestAmbiguousRateValidation(t *testing.T) {
+	cfg := smallConfig()
+	cfg.AmbiguousTitleRate = 1.5
+	if _, err := Generate(cfg); err == nil {
+		t.Fatal("rate > 1 accepted")
+	}
+	cfg.AmbiguousTitleRate = -0.1
+	if _, err := Generate(cfg); err == nil {
+		t.Fatal("negative rate accepted")
+	}
+}
+
+// Families must be scenario-pure so entity formation cannot mix scenarios.
+func TestFamiliesAreScenarioPure(t *testing.T) {
+	cfg := smallConfig()
+	c, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byModel := make(map[string]model.ScenarioID)
+	for _, it := range c.Items {
+		if it.Scenario == model.NoScenario || len(it.Attrs) == 0 {
+			continue
+		}
+		key := it.Attrs[0] // "model=sX-fY"
+		if !strings.HasPrefix(key, "model=") {
+			t.Fatalf("item %d first attr %q is not a model tag", it.ID, key)
+		}
+		if prev, ok := byModel[key]; ok && prev != it.Scenario {
+			t.Fatalf("family %q spans scenarios %d and %d", key, prev, it.Scenario)
+		}
+		byModel[key] = it.Scenario
+	}
+	if len(byModel) == 0 {
+		t.Fatal("no families found")
+	}
+}
+
+// Variant prices must stay within one 2x price band most of the time so
+// entity formation actually groups them.
+func TestFamilyVariantsShareEntities(t *testing.T) {
+	cfg := smallConfig()
+	c, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Count items per model tag; families with >1 item must exist.
+	sizes := make(map[string]int)
+	for _, it := range c.Items {
+		if it.Scenario == model.NoScenario || len(it.Attrs) == 0 {
+			continue
+		}
+		sizes[it.Attrs[0]]++
+	}
+	multi := 0
+	for _, n := range sizes {
+		if n > 1 {
+			multi++
+		}
+	}
+	if multi == 0 {
+		t.Fatal("no multi-variant families generated")
+	}
+}

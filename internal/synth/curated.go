@@ -1,0 +1,141 @@
+package synth
+
+import (
+	"math/rand/v2"
+
+	"shoal/internal/model"
+)
+
+// Curated builds the small Fig. 1(b)-style corpus used by examples and
+// golden tests: two overlapping outdoor scenarios ("trip to the beach",
+// "mountaineering") plus a disjoint "home office" scenario, over a
+// realistic mini ontology. It exercises exactly the motivating case of the
+// paper's introduction: the query "beach dress" should lead to a topic that
+// spans Dress, Swimwear and Sunblock — categories an ontology keeps apart.
+func Curated() *model.Corpus {
+	c := &model.Corpus{}
+
+	addCat := func(name string, parent model.CategoryID) model.CategoryID {
+		id := model.CategoryID(len(c.Categories))
+		c.Categories = append(c.Categories, model.Category{ID: id, Name: name, Parent: parent})
+		return id
+	}
+
+	ladies := addCat("Ladies' wear", model.RootCategory)
+	outdoor := addCat("Outdoor", model.RootCategory)
+	beauty := addCat("Beauty care", model.RootCategory)
+	electronics := addCat("Electronics", model.RootCategory)
+
+	dress := addCat("Dress", ladies)
+	swimwear := addCat("Swimwear", ladies)
+	beachPants := addCat("Beach pants", ladies)
+	sunglassesCat := addCat("Sunglasses", ladies)
+	sunblock := addCat("Sunblock", beauty)
+	backpackCat := addCat("Backpack", outdoor)
+	alpenstockCat := addCat("Alpenstock", outdoor)
+	hikingShoes := addCat("Hiking shoes", outdoor)
+	sportsBottle := addCat("Sports bottle", outdoor)
+	jackets := addCat("Waterproof jackets", outdoor)
+	keyboards := addCat("Keyboards", electronics)
+	monitors := addCat("Monitors", electronics)
+
+	type itemSpec struct {
+		title string
+		cat   model.CategoryID
+		scen  model.ScenarioID
+	}
+	const (
+		beachTrip model.ScenarioID = 0
+		mountain  model.ScenarioID = 1
+		homeOff   model.ScenarioID = 2
+	)
+	c.Scenarios = []string{"trip to the beach", "mountaineering", "home office"}
+
+	specs := []itemSpec{
+		// Trip to the beach: spans Dress/Swimwear/Beach pants/Sunblock/Sunglasses.
+		{"beach dress floral summer", dress, beachTrip},
+		{"beach dress long chiffon seaside", dress, beachTrip},
+		{"beach swimwear bikini sunny", swimwear, beachTrip},
+		{"beach swimwear one piece resort", swimwear, beachTrip},
+		{"beach pants quick dry surf", beachPants, beachTrip},
+		{"beach pants boardshorts holiday", beachPants, beachTrip},
+		{"beach sunblock spf50 waterproof lotion", sunblock, beachTrip},
+		{"beach sunblock spray coconut", sunblock, beachTrip},
+		{"beach sunglasses polarized seaside", sunglassesCat, beachTrip},
+		{"beach sunglasses uv400 summer", sunglassesCat, beachTrip},
+		// Mountaineering: spans Backpack/Alpenstock/Hiking shoes/Bottle/Jackets.
+		{"mountain backpack 40l trekking", backpackCat, mountain},
+		{"mountain backpack frame hiking", backpackCat, mountain},
+		{"mountain alpenstock carbon trekking pole", alpenstockCat, mountain},
+		{"mountain alpenstock folding hiking stick", alpenstockCat, mountain},
+		{"mountain hiking shoes waterproof trail", hikingShoes, mountain},
+		{"mountain hiking shoes grip boots", hikingShoes, mountain},
+		{"mountain sports bottle insulated trekking", sportsBottle, mountain},
+		{"mountain sports bottle flask hiking", sportsBottle, mountain},
+		{"mountain waterproof jacket shell trekking", jackets, mountain},
+		{"mountain waterproof jacket windproof alpine", jackets, mountain},
+		// Home office (disjoint control cluster).
+		{"office mechanical keyboard rgb quiet", keyboards, homeOff},
+		{"office keyboard wireless compact", keyboards, homeOff},
+		{"office monitor 27 inch ips", monitors, homeOff},
+		{"office monitor 4k ergonomic stand", monitors, homeOff},
+	}
+	for i, s := range specs {
+		c.Items = append(c.Items, model.Item{
+			ID: model.ItemID(i), Title: s.title, Category: s.cat,
+			PriceCents: int64(1000 + 137*i), Scenario: s.scen,
+		})
+	}
+
+	type querySpec struct {
+		text string
+		scen model.ScenarioID
+	}
+	queries := []querySpec{
+		{"beach dress", beachTrip},
+		{"beach swimwear", beachTrip},
+		{"beach pants", beachTrip},
+		{"beach sunblock", beachTrip},
+		{"beach sunglasses", beachTrip},
+		{"trip to the beach", beachTrip},
+		{"seaside holiday outfit", beachTrip},
+		{"mountain backpack", mountain},
+		{"alpenstock trekking", mountain},
+		{"hiking shoes", mountain},
+		{"mountaineering gear", mountain},
+		{"waterproof jacket", mountain},
+		{"sports bottle", mountain},
+		{"mechanical keyboard", homeOff},
+		{"office monitor", homeOff},
+	}
+	for i, q := range queries {
+		c.Queries = append(c.Queries, model.Query{ID: model.QueryID(i), Text: q.text, Scenario: q.scen})
+	}
+
+	// Clicks: each query clicks every item of its scenario a few times,
+	// with deterministic pseudo-random counts and days; a pinch of cross
+	// noise keeps the graph from being trivially disconnected.
+	rng := rand.New(rand.NewPCG(42, 0))
+	for qi := range c.Queries {
+		scen := c.Queries[qi].Scenario
+		for ii := range c.Items {
+			if c.Items[ii].Scenario != scen {
+				continue
+			}
+			// Queries click most — not all — items of their scenario.
+			if rng.Float64() < 0.25 {
+				continue
+			}
+			c.Clicks = append(c.Clicks, model.ClickEvent{
+				Query: model.QueryID(qi), Item: model.ItemID(ii),
+				Day: int32(rng.IntN(7)), Count: 1 + int32(rng.IntN(4)),
+			})
+		}
+	}
+	// Noise: the "beach dress" query occasionally clicks a mountain item.
+	c.Clicks = append(c.Clicks,
+		model.ClickEvent{Query: 0, Item: 14, Day: 2, Count: 1},
+		model.ClickEvent{Query: 9, Item: 3, Day: 4, Count: 1},
+	)
+	return c
+}

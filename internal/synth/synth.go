@@ -1,0 +1,348 @@
+// Package synth generates synthetic Taobao-like corpora with ground truth.
+//
+// The paper builds SHOAL from "hundreds of millions of items and a sliding
+// window containing search queries in the last seven days" on Alibaba's
+// platform — a closed dataset. This package is the substitution (DESIGN.md
+// §1.3): a generative model whose latent variables are *shopping scenarios*
+// (the very thing SHOAL tries to recover as topics). Each scenario spans
+// several ontology categories, has its own vocabulary, and emits items,
+// queries and clicks. Because the generator keeps the scenario labels, the
+// reproduction can *measure* what the paper had to ask human experts:
+// whether items land in the right topics.
+package synth
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"shoal/internal/model"
+)
+
+// Config parameterizes corpus generation. The zero value is invalid; start
+// from DefaultConfig.
+type Config struct {
+	// Seed drives every random choice; equal seeds give equal corpora.
+	Seed uint64
+	// Scenarios is the number of ground-truth shopping scenarios.
+	Scenarios int
+	// Departments is the number of ontology roots (capped by the name
+	// bank; extra departments get numbered names).
+	Departments int
+	// LeavesPerDepartment is the number of leaf categories per root.
+	LeavesPerDepartment int
+	// CategoriesPerScenario is how many leaf categories one scenario
+	// spans. Values >1 make topics cross-category, the property Fig. 1(b)
+	// illustrates.
+	CategoriesPerScenario int
+	// CrossDeptProb is the probability that a scenario's category is
+	// drawn from a different department than its first one.
+	CrossDeptProb float64
+	// ItemsPerScenario is the number of items emitted per scenario.
+	ItemsPerScenario int
+	// NoiseItems is the number of extra items with no scenario.
+	NoiseItems int
+	// VocabPerScenario is the number of scenario-specific words.
+	VocabPerScenario int
+	// TitleLen is the number of words in an item title.
+	TitleLen int
+	// QueriesPerScenario is the number of distinct queries per scenario.
+	QueriesPerScenario int
+	// HeadQueries is the number of generic queries spanning scenarios.
+	HeadQueries int
+	// ClicksPerQuery is the mean number of distinct items a query clicks.
+	ClicksPerQuery int
+	// ClickNoise is the probability that a click lands on a uniformly
+	// random item instead of a same-scenario item.
+	ClickNoise float64
+	// Days is the click-log span (paper: seven).
+	Days int
+	// AttrsPerItem is the number of attribute labels per item.
+	AttrsPerItem int
+	// AmbiguousTitleRate is the fraction of scenario items whose titles
+	// are generic boilerplate ("hot sale gift ...") with no scenario
+	// vocabulary. Those items exercise the paper's core argument: search
+	// queries capture intent that item content does not.
+	AmbiguousTitleRate float64
+}
+
+// DefaultConfig returns a laptop-scale corpus: ~6k items, ~1.5k queries.
+func DefaultConfig() Config {
+	return Config{
+		Seed:                  1,
+		Scenarios:             30,
+		Departments:           8,
+		LeavesPerDepartment:   12,
+		CategoriesPerScenario: 4,
+		CrossDeptProb:         0.45,
+		ItemsPerScenario:      200,
+		NoiseItems:            150,
+		VocabPerScenario:      18,
+		TitleLen:              7,
+		QueriesPerScenario:    40,
+		HeadQueries:           25,
+		ClicksPerQuery:        14,
+		ClickNoise:            0.04,
+		Days:                  7,
+		AttrsPerItem:          2,
+		AmbiguousTitleRate:    0.2,
+	}
+}
+
+func (c Config) validate() error {
+	switch {
+	case c.Scenarios <= 0:
+		return fmt.Errorf("synth: Scenarios must be positive, got %d", c.Scenarios)
+	case c.Departments <= 0 || c.LeavesPerDepartment <= 0:
+		return fmt.Errorf("synth: need positive Departments and LeavesPerDepartment")
+	case c.CategoriesPerScenario <= 0:
+		return fmt.Errorf("synth: CategoriesPerScenario must be positive")
+	case c.ItemsPerScenario <= 0:
+		return fmt.Errorf("synth: ItemsPerScenario must be positive")
+	case c.VocabPerScenario < 2:
+		return fmt.Errorf("synth: VocabPerScenario must be >= 2")
+	case c.TitleLen < 2:
+		return fmt.Errorf("synth: TitleLen must be >= 2")
+	case c.QueriesPerScenario <= 0:
+		return fmt.Errorf("synth: QueriesPerScenario must be positive")
+	case c.ClicksPerQuery <= 0:
+		return fmt.Errorf("synth: ClicksPerQuery must be positive")
+	case c.Days <= 0:
+		return fmt.Errorf("synth: Days must be positive")
+	case c.ClickNoise < 0 || c.ClickNoise > 1:
+		return fmt.Errorf("synth: ClickNoise must be in [0,1]")
+	case c.CrossDeptProb < 0 || c.CrossDeptProb > 1:
+		return fmt.Errorf("synth: CrossDeptProb must be in [0,1]")
+	case c.AmbiguousTitleRate < 0 || c.AmbiguousTitleRate > 1:
+		return fmt.Errorf("synth: AmbiguousTitleRate must be in [0,1]")
+	}
+	return nil
+}
+
+// scenario is the generator's latent state for one shopping scenario.
+type scenario struct {
+	name       string
+	categories []model.CategoryID
+	vocab      []string // scenario-specific words
+	nameWords  []string // the 2 words that name the scenario
+}
+
+// Generate builds a corpus from cfg. The result passes model.Validate and
+// carries ground-truth scenario labels on items and queries.
+func Generate(cfg Config) (*model.Corpus, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewPCG(cfg.Seed, 0x5104A1))
+	bank := newWordBank()
+
+	corpus := &model.Corpus{}
+
+	// --- Ontology ------------------------------------------------------
+	// Root categories (departments) then leaves. Dense ids: roots first.
+	var leafIDs []model.CategoryID
+	for d := 0; d < cfg.Departments; d++ {
+		name := fmt.Sprintf("Department %d", d)
+		if d < len(departmentNames) {
+			name = departmentNames[d]
+		}
+		root := model.CategoryID(len(corpus.Categories))
+		corpus.Categories = append(corpus.Categories, model.Category{
+			ID: root, Name: name, Parent: model.RootCategory,
+		})
+		for l := 0; l < cfg.LeavesPerDepartment; l++ {
+			// Leaf names reuse bank words so titles can mention them.
+			leaf := model.CategoryID(len(corpus.Categories))
+			w := bank.word(d*cfg.LeavesPerDepartment + l)
+			corpus.Categories = append(corpus.Categories, model.Category{
+				ID: leaf, Name: w, Parent: root,
+			})
+			leafIDs = append(leafIDs, leaf)
+		}
+	}
+	// leafDept[i] is the department index of leafIDs[i].
+	leafDept := func(i int) int { return i / cfg.LeavesPerDepartment }
+
+	// --- Scenarios -----------------------------------------------------
+	// Scenario vocabularies start after the leaf-name words in the bank.
+	vocabBase := cfg.Departments * cfg.LeavesPerDepartment
+	scenarios := make([]scenario, cfg.Scenarios)
+	for s := range scenarios {
+		sc := &scenarios[s]
+		// Vocabulary: a disjoint block per scenario.
+		for w := 0; w < cfg.VocabPerScenario; w++ {
+			sc.vocab = append(sc.vocab, bank.word(vocabBase+s*cfg.VocabPerScenario+w))
+		}
+		sc.nameWords = sc.vocab[:2]
+		sc.name = sc.nameWords[0] + " " + sc.nameWords[1]
+		// Categories: first uniform, rest same-department unless the
+		// cross-department coin flips.
+		first := rng.IntN(len(leafIDs))
+		chosen := map[int]bool{first: true}
+		sc.categories = append(sc.categories, leafIDs[first])
+		for len(sc.categories) < cfg.CategoriesPerScenario && len(chosen) < len(leafIDs) {
+			var cand int
+			if rng.Float64() < cfg.CrossDeptProb {
+				cand = rng.IntN(len(leafIDs))
+			} else {
+				d := leafDept(first)
+				cand = d*cfg.LeavesPerDepartment + rng.IntN(cfg.LeavesPerDepartment)
+			}
+			if chosen[cand] {
+				continue
+			}
+			chosen[cand] = true
+			sc.categories = append(sc.categories, leafIDs[cand])
+		}
+		corpus.Scenarios = append(corpus.Scenarios, sc.name)
+	}
+
+	// --- Items ---------------------------------------------------------
+	// itemsByScenario collects ids for click targeting.
+	itemsByScenario := make([][]model.ItemID, cfg.Scenarios)
+	emitItem := func(sid model.ScenarioID, cat model.CategoryID, title string, attrs []string, price int64, ambiguous bool) model.ItemID {
+		id := model.ItemID(len(corpus.Items))
+		corpus.Items = append(corpus.Items, model.Item{
+			ID: id, Title: title, Category: cat, PriceCents: price,
+			Attrs: attrs, Scenario: sid, TitleAmbiguous: ambiguous,
+		})
+		return id
+	}
+	// Items are emitted per product family: sellers list several
+	// variants of one model with near-equivalent attribute labels and
+	// price, which is exactly what entity formation groups (paper §2.1).
+	// Families are scenario-local, so grouping by (category, attrs,
+	// price band) never collapses items across scenarios — as in a real
+	// catalog, where one SKU belongs to one product line.
+	for s := range scenarios {
+		sc := &scenarios[s]
+		emitted := 0
+		family := 0
+		for emitted < cfg.ItemsPerScenario {
+			family++
+			cat := sc.categories[rng.IntN(len(sc.categories))]
+			variants := 1 + rng.IntN(3)
+			if rem := cfg.ItemsPerScenario - emitted; variants > rem {
+				variants = rem
+			}
+			attrs := make([]string, 0, cfg.AttrsPerItem)
+			attrs = append(attrs, fmt.Sprintf("model=s%d-f%d", s, family))
+			for a := 1; a < cfg.AttrsPerItem; a++ {
+				attrs = append(attrs, fmt.Sprintf("a%d=%d", a, rng.IntN(6)))
+			}
+			basePrice := int64(500 + rng.IntN(20000))
+			// A whole family is either descriptive or generic: sellers
+			// write one listing style per product line.
+			ambiguous := rng.Float64() < cfg.AmbiguousTitleRate
+			for v := 0; v < variants; v++ {
+				title := make([]string, 0, cfg.TitleLen)
+				if ambiguous {
+					// Generic boilerplate: category word only; no
+					// scenario vocabulary. Query clicks remain the
+					// sole evidence of intent.
+					title = append(title, corpus.Categories[cat].Name)
+					for len(title) < cfg.TitleLen {
+						title = append(title, genericTitleWords[rng.IntN(len(genericTitleWords))])
+					}
+				} else {
+					// Title = scenario name word + category word + vocab.
+					title = append(title, sc.nameWords[rng.IntN(2)])
+					title = append(title, corpus.Categories[cat].Name)
+					for len(title) < cfg.TitleLen {
+						title = append(title, sc.vocab[rng.IntN(len(sc.vocab))])
+					}
+				}
+				// Variant prices jitter within ~10% of the family base.
+				price := basePrice + int64(rng.IntN(int(basePrice/10)+1))
+				id := emitItem(model.ScenarioID(s), cat, joinWords(title), attrs, price, ambiguous)
+				itemsByScenario[s] = append(itemsByScenario[s], id)
+				emitted++
+			}
+		}
+	}
+	for i := 0; i < cfg.NoiseItems; i++ {
+		cat := leafIDs[rng.IntN(len(leafIDs))]
+		title := make([]string, cfg.TitleLen)
+		for w := range title {
+			title[w] = bank.word(rng.IntN(vocabBase + cfg.Scenarios*cfg.VocabPerScenario))
+		}
+		emitItem(model.NoScenario, cat, joinWords(title), nil, int64(500+rng.IntN(20000)), false)
+	}
+
+	// --- Queries ---------------------------------------------------------
+	queriesByScenario := make([][]model.QueryID, cfg.Scenarios)
+	emitQuery := func(sid model.ScenarioID, text string) model.QueryID {
+		id := model.QueryID(len(corpus.Queries))
+		corpus.Queries = append(corpus.Queries, model.Query{ID: id, Text: text, Scenario: sid})
+		return id
+	}
+	for s := range scenarios {
+		sc := &scenarios[s]
+		for q := 0; q < cfg.QueriesPerScenario; q++ {
+			n := 1 + rng.IntN(3)
+			words := make([]string, 0, n+1)
+			// Queries usually carry a scenario name word, mirroring
+			// how "beach dress" signals "trip to the beach".
+			if rng.Float64() < 0.8 {
+				words = append(words, sc.nameWords[rng.IntN(2)])
+			}
+			for len(words) < n {
+				words = append(words, sc.vocab[rng.IntN(len(sc.vocab))])
+			}
+			queriesByScenario[s] = append(queriesByScenario[s], emitQuery(model.ScenarioID(s), joinWords(words)))
+		}
+	}
+	var headQueries []model.QueryID
+	for h := 0; h < cfg.HeadQueries; h++ {
+		// Head queries use leaf-category names: generic intent.
+		w := bank.word(rng.IntN(vocabBase))
+		headQueries = append(headQueries, emitQuery(model.NoScenario, w))
+	}
+
+	// --- Clicks ----------------------------------------------------------
+	totalItems := len(corpus.Items)
+	for s := range scenarios {
+		for _, q := range queriesByScenario[s] {
+			n := 1 + rng.IntN(2*cfg.ClicksPerQuery) // mean ~ClicksPerQuery
+			for k := 0; k < n; k++ {
+				var item model.ItemID
+				if rng.Float64() < cfg.ClickNoise {
+					item = model.ItemID(rng.IntN(totalItems))
+				} else {
+					own := itemsByScenario[s]
+					item = own[rng.IntN(len(own))]
+				}
+				corpus.Clicks = append(corpus.Clicks, model.ClickEvent{
+					Query: q, Item: item,
+					Day:   int32(rng.IntN(cfg.Days)),
+					Count: 1 + int32(rng.IntN(3)),
+				})
+			}
+		}
+	}
+	for _, q := range headQueries {
+		n := 2 * cfg.ClicksPerQuery // head queries click broadly
+		for k := 0; k < n; k++ {
+			corpus.Clicks = append(corpus.Clicks, model.ClickEvent{
+				Query: q, Item: model.ItemID(rng.IntN(totalItems)),
+				Day:   int32(rng.IntN(cfg.Days)),
+				Count: 1 + int32(rng.IntN(3)),
+			})
+		}
+	}
+
+	if err := corpus.Validate(); err != nil {
+		return nil, fmt.Errorf("synth: generated corpus invalid: %w", err)
+	}
+	return corpus, nil
+}
+
+func joinWords(ws []string) string {
+	out := ""
+	for i, w := range ws {
+		if i > 0 {
+			out += " "
+		}
+		out += w
+	}
+	return out
+}

@@ -1,0 +1,211 @@
+package synth
+
+import (
+	"reflect"
+	"testing"
+
+	"shoal/internal/model"
+)
+
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Scenarios = 6
+	cfg.ItemsPerScenario = 40
+	cfg.QueriesPerScenario = 10
+	cfg.NoiseItems = 20
+	cfg.HeadQueries = 5
+	return cfg
+}
+
+func TestGenerateValidCorpus(t *testing.T) {
+	c, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatalf("generated corpus invalid: %v", err)
+	}
+	cfg := smallConfig()
+	wantItems := cfg.Scenarios*cfg.ItemsPerScenario + cfg.NoiseItems
+	if len(c.Items) != wantItems {
+		t.Fatalf("items = %d, want %d", len(c.Items), wantItems)
+	}
+	wantQueries := cfg.Scenarios*cfg.QueriesPerScenario + cfg.HeadQueries
+	if len(c.Queries) != wantQueries {
+		t.Fatalf("queries = %d, want %d", len(c.Queries), wantQueries)
+	}
+	if len(c.Scenarios) != cfg.Scenarios {
+		t.Fatalf("scenario names = %d, want %d", len(c.Scenarios), cfg.Scenarios)
+	}
+	if len(c.Clicks) == 0 {
+		t.Fatal("no clicks generated")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different corpora")
+	}
+	cfg := smallConfig()
+	cfg.Seed = 2
+	c, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.Clicks, c.Clicks) {
+		t.Fatal("different seeds produced identical click logs")
+	}
+}
+
+func TestGenerateScenarioLabels(t *testing.T) {
+	c, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := smallConfig()
+	labeled := 0
+	for _, it := range c.Items {
+		if it.Scenario != model.NoScenario {
+			labeled++
+			if int(it.Scenario) < 0 || int(it.Scenario) >= cfg.Scenarios {
+				t.Fatalf("item %d has out-of-range scenario %d", it.ID, it.Scenario)
+			}
+		}
+	}
+	if labeled != cfg.Scenarios*cfg.ItemsPerScenario {
+		t.Fatalf("labeled items = %d, want %d", labeled, cfg.Scenarios*cfg.ItemsPerScenario)
+	}
+}
+
+func TestGenerateScenariosSpanCategories(t *testing.T) {
+	c, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cats := make(map[model.ScenarioID]map[model.CategoryID]bool)
+	for _, it := range c.Items {
+		if it.Scenario == model.NoScenario {
+			continue
+		}
+		if cats[it.Scenario] == nil {
+			cats[it.Scenario] = make(map[model.CategoryID]bool)
+		}
+		cats[it.Scenario][it.Category] = true
+	}
+	multi := 0
+	for _, set := range cats {
+		if len(set) > 1 {
+			multi++
+		}
+	}
+	if multi < len(cats)/2 {
+		t.Fatalf("only %d/%d scenarios span multiple categories", multi, len(cats))
+	}
+}
+
+func TestGenerateClicksMostlyInScenario(t *testing.T) {
+	c, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var in, out int
+	for _, ev := range c.Clicks {
+		qs := c.Queries[ev.Query].Scenario
+		if qs == model.NoScenario {
+			continue
+		}
+		if c.Items[ev.Item].Scenario == qs {
+			in++
+		} else {
+			out++
+		}
+	}
+	if in == 0 || float64(out)/float64(in+out) > 0.15 {
+		t.Fatalf("click noise too high: in=%d out=%d", in, out)
+	}
+}
+
+func TestGenerateDaysWithinWindow(t *testing.T) {
+	c, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range c.Clicks {
+		if ev.Day < 0 || int(ev.Day) >= smallConfig().Days {
+			t.Fatalf("click day %d outside [0,%d)", ev.Day, smallConfig().Days)
+		}
+	}
+}
+
+func TestGenerateConfigValidation(t *testing.T) {
+	mutations := []func(*Config){
+		func(c *Config) { c.Scenarios = 0 },
+		func(c *Config) { c.Departments = 0 },
+		func(c *Config) { c.CategoriesPerScenario = 0 },
+		func(c *Config) { c.ItemsPerScenario = 0 },
+		func(c *Config) { c.VocabPerScenario = 1 },
+		func(c *Config) { c.TitleLen = 1 },
+		func(c *Config) { c.QueriesPerScenario = 0 },
+		func(c *Config) { c.ClicksPerQuery = 0 },
+		func(c *Config) { c.Days = 0 },
+		func(c *Config) { c.ClickNoise = 1.5 },
+		func(c *Config) { c.CrossDeptProb = -0.1 },
+	}
+	for i, mut := range mutations {
+		cfg := smallConfig()
+		mut(&cfg)
+		if _, err := Generate(cfg); err == nil {
+			t.Errorf("mutation %d: Generate accepted invalid config", i)
+		}
+	}
+}
+
+func TestCuratedCorpus(t *testing.T) {
+	c := Curated()
+	if err := c.Validate(); err != nil {
+		t.Fatalf("curated corpus invalid: %v", err)
+	}
+	if len(c.Scenarios) != 3 {
+		t.Fatalf("curated scenarios = %d, want 3", len(c.Scenarios))
+	}
+	// The beach scenario must span at least 4 leaf categories (Fig. 1(b)).
+	cats := make(map[model.CategoryID]bool)
+	for _, it := range c.Items {
+		if it.Scenario == 0 {
+			cats[it.Category] = true
+		}
+	}
+	if len(cats) < 4 {
+		t.Fatalf("beach scenario spans %d categories, want >=4", len(cats))
+	}
+	// Deterministic.
+	if !reflect.DeepEqual(Curated(), Curated()) {
+		t.Fatal("Curated not deterministic")
+	}
+}
+
+func TestWordBankDistinct(t *testing.T) {
+	b := newWordBank()
+	seen := make(map[string]bool)
+	for i := 0; i < 3000; i++ {
+		w := b.word(i)
+		if w == "" {
+			t.Fatalf("word(%d) is empty", i)
+		}
+		if seen[w] {
+			t.Fatalf("word(%d) = %q duplicates an earlier word", i, w)
+		}
+		seen[w] = true
+	}
+	if b.word(5) != b.word(5) {
+		t.Fatal("word not stable")
+	}
+}

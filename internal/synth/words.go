@@ -1,0 +1,88 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand/v2"
+)
+
+// The generator needs an unbounded supply of distinct, pronounceable words
+// so that scenario vocabularies stay disjoint-ish at any scale. Words are
+// built from syllables; a small curated e-commerce lexicon seeds the most
+// common positions so small corpora still read naturally.
+
+var onsets = []string{"b", "br", "c", "ch", "d", "dr", "f", "fl", "g", "gl",
+	"h", "j", "k", "kr", "l", "m", "n", "p", "pl", "pr", "r", "s", "sh",
+	"sk", "sl", "sn", "st", "t", "tr", "v", "w", "z"}
+
+var nuclei = []string{"a", "e", "i", "o", "u", "ai", "ea", "ou", "oo"}
+
+var codas = []string{"", "n", "r", "l", "s", "t", "k", "m", "nd", "st"}
+
+// lexicon are real e-commerce tokens used for the first word ids, so tiny
+// corpora produce readable titles and queries.
+var lexicon = []string{
+	"beach", "dress", "swimwear", "sunblock", "sunglasses", "pants",
+	"backpack", "alpenstock", "hiking", "boots", "bottle", "jacket",
+	"waterproof", "tent", "camping", "lantern", "stove", "sleeping",
+	"bag", "fitness", "dumbbell", "yoga", "mat", "protein", "running",
+	"shoes", "snack", "nuts", "coffee", "breakfast", "cereal", "milk",
+	"router", "keyboard", "mouse", "monitor", "headphones", "charger",
+	"tripod", "camera", "lens", "drone", "skincare", "serum", "cream",
+	"cleanser", "mask", "lipstick", "perfume", "shampoo", "stroller",
+	"diaper", "crib", "puzzle", "doll", "balloon", "chopsticks",
+	"kettle", "wok", "knife", "cutting", "board", "blender", "vacuum",
+	"sofa", "curtain", "pillow", "blanket", "lamp", "desk", "chair",
+	"notebook", "pencil", "marker", "easel", "canvas", "guitar",
+	"ukulele", "piano", "violin", "soccer", "ball", "racket", "net",
+	"helmet", "gloves", "scarf", "sweater", "hoodie", "jeans", "skirt",
+	"blouse", "tie", "suit", "watch", "bracelet", "necklace", "ring",
+	"wallet", "umbrella", "towel", "swimsuit", "goggles", "flippers",
+}
+
+// wordBank deterministically yields distinct words: the curated lexicon
+// first, then generated syllable words ("w" + composition) with an id
+// suffix only on collision-prone high indices.
+type wordBank struct {
+	cache []string
+}
+
+func newWordBank() *wordBank { return &wordBank{} }
+
+// word returns the i-th word of the bank (i >= 0).
+func (b *wordBank) word(i int) string {
+	for len(b.cache) <= i {
+		b.cache = append(b.cache, b.make(len(b.cache)))
+	}
+	return b.cache[i]
+}
+
+func (b *wordBank) make(i int) string {
+	if i < len(lexicon) {
+		return lexicon[i]
+	}
+	// Derive syllables from the index itself so the mapping is pure.
+	n := i - len(lexicon)
+	rng := rand.New(rand.NewPCG(uint64(n), 0xABCD))
+	syls := 2 + rng.IntN(2)
+	w := ""
+	for s := 0; s < syls; s++ {
+		w += onsets[rng.IntN(len(onsets))] + nuclei[rng.IntN(len(nuclei))]
+	}
+	w += codas[rng.IntN(len(codas))]
+	// Guarantee global uniqueness across the generated range.
+	return fmt.Sprintf("%s%d", w, n)
+}
+
+// genericTitleWords are commerce boilerplate for ambiguous titles: they
+// carry no scenario signal whatsoever.
+var genericTitleWords = []string{
+	"new", "hot", "sale", "gift", "premium", "quality", "2026", "fashion",
+	"free", "shipping", "style", "classic", "portable", "deluxe", "value",
+	"bestseller", "limited", "edition", "official", "original",
+}
+
+// departmentNames are ontology roots, echoing Fig. 4's left-hand menu.
+var departmentNames = []string{
+	"Ladies' wear", "Men's wear", "Shoes", "Electronics", "Commodities",
+	"Foods", "Beauty care", "Outdoor", "Sports", "Home", "Toys", "Books",
+}

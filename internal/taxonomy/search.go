@@ -1,0 +1,96 @@
+package taxonomy
+
+import (
+	"fmt"
+	"io"
+
+	"encoding/gob"
+	"encoding/json"
+
+	"shoal/internal/bm25"
+	"shoal/internal/model"
+	"shoal/internal/textutil"
+)
+
+// Searcher answers Query→Topic lookups (demo scenario A) with BM25 over
+// per-topic pseudo documents.
+type Searcher struct {
+	idx    *bm25.Index
+	topics []model.TopicID
+}
+
+// NewSearcher indexes one token document per topic. topicDocs[i] is the
+// document of tx.Topics[i] (typically: description queries + member query
+// texts + category names). Topics with empty documents are searchable but
+// never match.
+func NewSearcher(tx *Taxonomy, topicDocs [][]string) (*Searcher, error) {
+	if len(topicDocs) != len(tx.Topics) {
+		return nil, fmt.Errorf("taxonomy: %d docs for %d topics", len(topicDocs), len(tx.Topics))
+	}
+	if len(topicDocs) == 0 {
+		return nil, fmt.Errorf("taxonomy: no topics to index")
+	}
+	idx, err := bm25.Build(topicDocs, bm25.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	topics := make([]model.TopicID, len(tx.Topics))
+	for i := range topics {
+		topics[i] = tx.Topics[i].ID
+	}
+	return &Searcher{idx: idx, topics: topics}, nil
+}
+
+// Hit is a scored topic.
+type Hit struct {
+	Topic model.TopicID
+	Score float64
+}
+
+// Search returns the k best-matching topics for a free-text query.
+func (s *Searcher) Search(query string, k int) []Hit {
+	toks := textutil.TokenizeFiltered(query)
+	hits := s.idx.TopK(toks, k)
+	out := make([]Hit, len(hits))
+	for i, h := range hits {
+		out[i] = Hit{Topic: s.topics[h.Doc], Score: h.Score}
+	}
+	return out
+}
+
+// Save writes the taxonomy in gob encoding.
+func (tx *Taxonomy) Save(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(tx)
+}
+
+// Load reads a gob-encoded taxonomy.
+func Load(r io.Reader) (*Taxonomy, error) {
+	var tx Taxonomy
+	if err := gob.NewDecoder(r).Decode(&tx); err != nil {
+		return nil, fmt.Errorf("taxonomy: decoding: %w", err)
+	}
+	if err := tx.Validate(); err != nil {
+		return nil, err
+	}
+	return &tx, nil
+}
+
+// SaveJSON writes the taxonomy as indented JSON (the interchange format of
+// cmd/shoal-build).
+func (tx *Taxonomy) SaveJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(tx)
+}
+
+// LoadJSON reads a JSON taxonomy.
+func LoadJSON(r io.Reader) (*Taxonomy, error) {
+	var tx Taxonomy
+	if err := json.NewDecoder(r).Decode(&tx); err != nil {
+		return nil, fmt.Errorf("taxonomy: decoding JSON: %w", err)
+	}
+	if err := tx.Validate(); err != nil {
+		return nil, err
+	}
+	return &tx, nil
+}

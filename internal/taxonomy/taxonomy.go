@@ -1,0 +1,314 @@
+// Package taxonomy assembles the SHOAL hierarchical topic taxonomy from a
+// clustering dendrogram and provides the navigation the demo GUI exposes
+// (paper Fig. 5): query→topic search, topic→sub-topic descent, and
+// topic→category→item exploration.
+//
+// Topics are obtained by cutting the Parallel HAC dendrogram at a ladder of
+// similarity thresholds: the loosest cut yields the root topics (conceptual
+// shopping scenarios such as "trip to the beach"), tighter cuts yield
+// nested sub-topics. Because cuts of one dendrogram are nested refinements,
+// the result is a proper tree.
+package taxonomy
+
+import (
+	"fmt"
+	"sort"
+
+	"shoal/internal/dendrogram"
+	"shoal/internal/entitygraph"
+	"shoal/internal/model"
+)
+
+// NoTopic marks items/entities not placed under any topic (clusters below
+// the minimum size).
+const NoTopic model.TopicID = -1
+
+// Topic is one node of the topic tree.
+type Topic struct {
+	ID     model.TopicID
+	Parent model.TopicID // NoTopic for roots
+	// Level is the depth: 0 for root topics.
+	Level    int
+	Children []model.TopicID
+	// Entities are the member item entities, ascending.
+	Entities []model.EntityID
+	// Items are the member items, ascending.
+	Items []model.ItemID
+	// Categories are the distinct leaf categories of member items,
+	// ascending — the category set Ck used by Eq. 5.
+	Categories []model.CategoryID
+	// Description is the most representative query (§2.3), set by the
+	// description-matching stage.
+	Description string
+	// DescQueries are the top representative queries, best first.
+	DescQueries []string
+	// Sim is the dendrogram similarity at which this topic's cluster
+	// was intact (the cut threshold of its level).
+	Sim float64
+}
+
+// Taxonomy is the full topic tree plus item/entity placement.
+type Taxonomy struct {
+	Topics []Topic
+	// EntityTopic maps each entity to its deepest topic, or NoTopic.
+	EntityTopic []model.TopicID
+	// ItemTopic maps each item to its deepest topic, or NoTopic.
+	ItemTopic []model.TopicID
+	// Levels are the cut thresholds, loosest first.
+	Levels []float64
+}
+
+// Config controls taxonomy assembly.
+type Config struct {
+	// Levels are cut thresholds in ascending order. The first defines
+	// root topics; each subsequent one adds a nesting level.
+	Levels []float64
+	// MinTopicSize is the minimum number of entities for a cluster to
+	// become a topic; smaller clusters stay part of their parent (or are
+	// unassigned at root level).
+	MinTopicSize int
+}
+
+// DefaultConfig uses three levels above the default clustering threshold.
+func DefaultConfig() Config {
+	return Config{Levels: []float64{0.35, 0.5, 0.65}, MinTopicSize: 2}
+}
+
+func (c Config) validate() error {
+	if len(c.Levels) == 0 {
+		return fmt.Errorf("taxonomy: need at least one cut level")
+	}
+	prev := -1.0
+	for _, l := range c.Levels {
+		if l < 0 || l > 1 {
+			return fmt.Errorf("taxonomy: level %f outside [0,1]", l)
+		}
+		if l <= prev {
+			return fmt.Errorf("taxonomy: levels must be strictly ascending")
+		}
+		prev = l
+	}
+	if c.MinTopicSize < 1 {
+		return fmt.Errorf("taxonomy: MinTopicSize must be >= 1")
+	}
+	return nil
+}
+
+// Build cuts the dendrogram at cfg.Levels and assembles the topic tree.
+// Dendrogram leaves must be entity ids of es.
+func Build(d *dendrogram.Dendrogram, es *entitygraph.EntitySet, corpus *model.Corpus, cfg Config) (*Taxonomy, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if d.Leaves != len(es.Entities) {
+		return nil, fmt.Errorf("taxonomy: dendrogram has %d leaves but entity set has %d", d.Leaves, len(es.Entities))
+	}
+	if err := d.Validate(); err != nil {
+		return nil, fmt.Errorf("taxonomy: %w", err)
+	}
+
+	tx := &Taxonomy{
+		EntityTopic: make([]model.TopicID, len(es.Entities)),
+		ItemTopic:   make([]model.TopicID, len(corpus.Items)),
+		Levels:      append([]float64(nil), cfg.Levels...),
+	}
+	for i := range tx.EntityTopic {
+		tx.EntityTopic[i] = NoTopic
+	}
+	for i := range tx.ItemTopic {
+		tx.ItemTopic[i] = NoTopic
+	}
+
+	// clusterTopic[level][label] -> topic id for clusters that became
+	// topics at that level.
+	prevAssign := make([]model.TopicID, len(es.Entities))
+	for i := range prevAssign {
+		prevAssign[i] = NoTopic
+	}
+	for level, threshold := range cfg.Levels {
+		labels := d.CutAt(threshold)
+		// Group entities by label.
+		groups := make(map[int32][]model.EntityID)
+		for ent, lab := range labels {
+			groups[lab] = append(groups[lab], model.EntityID(ent))
+		}
+		labs := make([]int32, 0, len(groups))
+		for lab := range groups {
+			labs = append(labs, lab)
+		}
+		sort.Slice(labs, func(i, j int) bool { return labs[i] < labs[j] })
+
+		assign := make([]model.TopicID, len(es.Entities))
+		copy(assign, prevAssign)
+		for _, lab := range labs {
+			members := groups[lab]
+			if len(members) < cfg.MinTopicSize {
+				continue
+			}
+			// Parent topic: the (level-1) topic of the first member;
+			// nested cuts guarantee all members share it.
+			parent := NoTopic
+			if level > 0 {
+				parent = prevAssign[members[0]]
+				if parent == NoTopic {
+					continue // parent cluster was too small: skip subtree
+				}
+				// Skip clusters identical to their parent: no new
+				// information, avoids single-child chains.
+				if len(tx.Topics[parent].Entities) == len(members) {
+					continue
+				}
+			}
+			id := model.TopicID(len(tx.Topics))
+			depth := 0
+			if parent != NoTopic {
+				depth = tx.Topics[parent].Level + 1
+			}
+			t := Topic{
+				ID: id, Parent: parent, Level: depth, Sim: threshold,
+				Entities: members,
+			}
+			if parent != NoTopic {
+				tx.Topics[parent].Children = append(tx.Topics[parent].Children, id)
+			}
+			tx.Topics = append(tx.Topics, t)
+			for _, e := range members {
+				assign[e] = id
+			}
+		}
+		prevAssign = assign
+	}
+	copy(tx.EntityTopic, prevAssign)
+
+	// Fill items and categories per topic, bottom-up through ancestors.
+	for e, tid := range tx.EntityTopic {
+		if tid == NoTopic {
+			continue
+		}
+		for _, it := range es.Entities[e].Items {
+			tx.ItemTopic[it] = tid
+		}
+	}
+	catSets := make([]map[model.CategoryID]bool, len(tx.Topics))
+	for i := range catSets {
+		catSets[i] = make(map[model.CategoryID]bool)
+	}
+	for e := range es.Entities {
+		// Items/categories propagate to every ancestor topic of the
+		// entity's deepest topic.
+		for tid := tx.EntityTopic[e]; tid != NoTopic; tid = tx.Topics[tid].Parent {
+			t := &tx.Topics[tid]
+			t.Items = append(t.Items, es.Entities[e].Items...)
+			catSets[tid][es.Entities[e].Category] = true
+			if tid == tx.Topics[tid].Parent {
+				return nil, fmt.Errorf("taxonomy: topic %d is its own parent", tid)
+			}
+		}
+	}
+	for i := range tx.Topics {
+		t := &tx.Topics[i]
+		sort.Slice(t.Items, func(a, b int) bool { return t.Items[a] < t.Items[b] })
+		for c := range catSets[i] {
+			t.Categories = append(t.Categories, c)
+		}
+		sort.Slice(t.Categories, func(a, b int) bool { return t.Categories[a] < t.Categories[b] })
+	}
+	return tx, nil
+}
+
+// Roots returns the root topic ids, ascending.
+func (tx *Taxonomy) Roots() []model.TopicID {
+	var out []model.TopicID
+	for i := range tx.Topics {
+		if tx.Topics[i].Parent == NoTopic {
+			out = append(out, tx.Topics[i].ID)
+		}
+	}
+	return out
+}
+
+// Topic returns the topic with the given id, or an error.
+func (tx *Taxonomy) Topic(id model.TopicID) (*Topic, error) {
+	if id < 0 || int(id) >= len(tx.Topics) {
+		return nil, fmt.Errorf("taxonomy: topic %d out of range [0,%d)", id, len(tx.Topics))
+	}
+	return &tx.Topics[id], nil
+}
+
+// RootOf returns the root ancestor of topic id.
+func (tx *Taxonomy) RootOf(id model.TopicID) (model.TopicID, error) {
+	t, err := tx.Topic(id)
+	if err != nil {
+		return NoTopic, err
+	}
+	for t.Parent != NoTopic {
+		t = &tx.Topics[t.Parent]
+	}
+	return t.ID, nil
+}
+
+// ItemsInCategory returns topic members restricted to one category — the
+// Topic→Category→Item drill-down of demo scenario C.
+func (tx *Taxonomy) ItemsInCategory(id model.TopicID, cat model.CategoryID, corpus *model.Corpus) ([]model.ItemID, error) {
+	t, err := tx.Topic(id)
+	if err != nil {
+		return nil, err
+	}
+	var out []model.ItemID
+	for _, it := range t.Items {
+		if corpus.Items[it].Category == cat {
+			out = append(out, it)
+		}
+	}
+	return out, nil
+}
+
+// Validate checks structural invariants: parent/child consistency, nested
+// member sets, item placement agreeing with entity placement.
+func (tx *Taxonomy) Validate() error {
+	for i := range tx.Topics {
+		t := &tx.Topics[i]
+		if t.ID != model.TopicID(i) {
+			return fmt.Errorf("taxonomy: topic at index %d has id %d", i, t.ID)
+		}
+		if t.Parent != NoTopic {
+			if int(t.Parent) >= len(tx.Topics) || t.Parent == t.ID {
+				return fmt.Errorf("taxonomy: topic %d has bad parent %d", t.ID, t.Parent)
+			}
+			p := &tx.Topics[t.Parent]
+			if p.Level != t.Level-1 {
+				return fmt.Errorf("taxonomy: topic %d level %d under parent level %d", t.ID, t.Level, p.Level)
+			}
+			// Member sets nest.
+			set := make(map[model.EntityID]bool, len(p.Entities))
+			for _, e := range p.Entities {
+				set[e] = true
+			}
+			for _, e := range t.Entities {
+				if !set[e] {
+					return fmt.Errorf("taxonomy: topic %d member %d missing from parent %d", t.ID, e, t.Parent)
+				}
+			}
+			found := false
+			for _, c := range p.Children {
+				if c == t.ID {
+					found = true
+				}
+			}
+			if !found {
+				return fmt.Errorf("taxonomy: topic %d missing from parent %d children", t.ID, t.Parent)
+			}
+		} else if t.Level != 0 {
+			return fmt.Errorf("taxonomy: root topic %d has level %d", t.ID, t.Level)
+		}
+	}
+	for e, tid := range tx.EntityTopic {
+		if tid == NoTopic {
+			continue
+		}
+		if int(tid) >= len(tx.Topics) {
+			return fmt.Errorf("taxonomy: entity %d assigned to unknown topic %d", e, tid)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,155 @@
+package textutil
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestTokenizeBasic(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"Beach Dress", []string{"beach", "dress"}},
+		{"sunblock SPF-50!", []string{"sunblock", "spf", "50"}},
+		{"  ", nil},
+		{"", nil},
+		{"men's wear", []string{"men", "s", "wear"}},
+		{"防晒霜 spf50", []string{"防", "晒", "霜", "spf50"}},
+		{"trip-to-the-beach", []string{"trip", "to", "the", "beach"}},
+	}
+	for _, tc := range cases {
+		got := Tokenize(tc.in)
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("Tokenize(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestTokenizeLowercases(t *testing.T) {
+	got := Tokenize("BEACH")
+	if len(got) != 1 || got[0] != "beach" {
+		t.Fatalf("Tokenize(BEACH) = %v, want [beach]", got)
+	}
+}
+
+func TestTokenizeFiltered(t *testing.T) {
+	got := TokenizeFiltered("trip to the beach")
+	want := []string{"trip", "beach"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("TokenizeFiltered = %v, want %v", got, want)
+	}
+}
+
+func TestTokenizeFilteredAllStopwords(t *testing.T) {
+	// A query made entirely of stopwords must not be emptied.
+	got := TokenizeFiltered("for the")
+	want := []string{"for", "the"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("TokenizeFiltered(all stopwords) = %v, want %v", got, want)
+	}
+}
+
+func TestStopword(t *testing.T) {
+	if !Stopword("the") {
+		t.Error("Stopword(the) = false, want true")
+	}
+	if Stopword("beach") {
+		t.Error("Stopword(beach) = true, want false")
+	}
+}
+
+// Property: every token produced by Tokenize is non-empty and lowercase
+// (re-tokenizing a token yields itself).
+func TestTokenizeIdempotent(t *testing.T) {
+	f := func(s string) bool {
+		for _, tok := range Tokenize(s) {
+			if tok == "" {
+				return false
+			}
+			rt := Tokenize(tok)
+			if len(rt) != 1 || rt[0] != tok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVocabAddAndLookup(t *testing.T) {
+	v := NewVocab()
+	a := v.Add("beach")
+	b := v.Add("dress")
+	a2 := v.Add("beach")
+	if a != a2 {
+		t.Fatalf("Add(beach) twice gave ids %d and %d", a, a2)
+	}
+	if a == b {
+		t.Fatal("distinct words got the same id")
+	}
+	if v.Size() != 2 {
+		t.Fatalf("Size() = %d, want 2", v.Size())
+	}
+	if v.Total() != 3 {
+		t.Fatalf("Total() = %d, want 3", v.Total())
+	}
+	if v.Count(a) != 2 {
+		t.Fatalf("Count(beach) = %d, want 2", v.Count(a))
+	}
+	if got := v.Word(a); got != "beach" {
+		t.Fatalf("Word(%d) = %q, want beach", a, got)
+	}
+	if id, ok := v.ID("dress"); !ok || id != b {
+		t.Fatalf("ID(dress) = %d,%v want %d,true", id, ok, b)
+	}
+	if _, ok := v.ID("unknown"); ok {
+		t.Fatal("ID(unknown) reported ok")
+	}
+}
+
+func TestVocabAddAll(t *testing.T) {
+	v := NewVocab()
+	ids := v.AddAll([]string{"a", "b", "a"})
+	if len(ids) != 3 || ids[0] != ids[2] || ids[0] == ids[1] {
+		t.Fatalf("AddAll ids = %v", ids)
+	}
+}
+
+func TestVocabTopK(t *testing.T) {
+	v := NewVocab()
+	for i := 0; i < 3; i++ {
+		v.Add("beach")
+	}
+	for i := 0; i < 2; i++ {
+		v.Add("dress")
+	}
+	v.Add("alpenstock")
+	v.Add("backpack")
+	got := v.TopK(3)
+	want := []string{"beach", "dress", "alpenstock"} // tie alpenstock<backpack
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("TopK(3) = %v, want %v", got, want)
+	}
+	if n := len(v.TopK(100)); n != 4 {
+		t.Fatalf("TopK(100) returned %d words, want 4", n)
+	}
+}
+
+func TestVocabWordPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Word(-1) did not panic")
+		}
+	}()
+	NewVocab().Word(-1)
+}
+
+func TestVocabCountOutOfRange(t *testing.T) {
+	if got := NewVocab().Count(5); got != 0 {
+		t.Fatalf("Count(5) on empty vocab = %d, want 0", got)
+	}
+}

@@ -1,0 +1,71 @@
+// Package textutil provides the text-processing substrate SHOAL depends on:
+// a unicode-aware tokenizer, a stopword filter, and a vocabulary builder.
+//
+// The paper segments item titles into words before feeding them to word2vec
+// (§2.1, Eq. 2) and tokenizes queries for description matching (§2.3). The
+// production system uses Alibaba's internal segmenter; this package is the
+// stdlib-only stand-in, adequate for space-separated synthetic corpora and
+// for western-language text.
+package textutil
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Tokenize splits s into lowercase word tokens. Letters and digits form
+// tokens; everything else separates them. CJK ideographs are emitted as
+// single-rune tokens, which approximates character-level segmentation for
+// Chinese titles.
+func Tokenize(s string) []string {
+	var toks []string
+	var b strings.Builder
+	flush := func() {
+		if b.Len() > 0 {
+			toks = append(toks, b.String())
+			b.Reset()
+		}
+	}
+	for _, r := range s {
+		switch {
+		case unicode.In(r, unicode.Han):
+			flush()
+			toks = append(toks, string(unicode.ToLower(r)))
+		case unicode.IsLetter(r) || unicode.IsDigit(r):
+			b.WriteRune(unicode.ToLower(r))
+		default:
+			flush()
+		}
+	}
+	flush()
+	return toks
+}
+
+// defaultStopwords are high-frequency function words that carry no shopping
+// intent. Kept deliberately small: over-aggressive stopping hurts short
+// queries like "for breakfast" (Fig. 4).
+var defaultStopwords = map[string]bool{
+	"a": true, "an": true, "and": true, "at": true, "by": true,
+	"for": true, "from": true, "in": true, "of": true, "on": true,
+	"or": true, "the": true, "to": true, "with": true,
+}
+
+// Stopword reports whether tok is in the default stopword list.
+func Stopword(tok string) bool { return defaultStopwords[tok] }
+
+// TokenizeFiltered tokenizes s and drops stopwords. If every token is a
+// stopword the unfiltered tokens are returned instead, so short queries are
+// never emptied.
+func TokenizeFiltered(s string) []string {
+	toks := Tokenize(s)
+	kept := toks[:0:0]
+	for _, t := range toks {
+		if !defaultStopwords[t] {
+			kept = append(kept, t)
+		}
+	}
+	if len(kept) == 0 {
+		return toks
+	}
+	return kept
+}

@@ -1,0 +1,98 @@
+package textutil
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Vocab maps word strings to dense integer ids and records corpus
+// frequencies. Downstream stages (word2vec, BM25) operate on ids only.
+type Vocab struct {
+	ids    map[string]int
+	words  []string
+	counts []int64
+	total  int64
+}
+
+// NewVocab returns an empty vocabulary.
+func NewVocab() *Vocab {
+	return &Vocab{ids: make(map[string]int)}
+}
+
+// Add inserts tok (or bumps its count) and returns its id.
+func (v *Vocab) Add(tok string) int {
+	if id, ok := v.ids[tok]; ok {
+		v.counts[id]++
+		v.total++
+		return id
+	}
+	id := len(v.words)
+	v.ids[tok] = id
+	v.words = append(v.words, tok)
+	v.counts = append(v.counts, 1)
+	v.total++
+	return id
+}
+
+// AddAll inserts every token and returns their ids.
+func (v *Vocab) AddAll(toks []string) []int {
+	out := make([]int, len(toks))
+	for i, t := range toks {
+		out[i] = v.Add(t)
+	}
+	return out
+}
+
+// ID returns the id of tok and whether it is known. It does not modify
+// counts.
+func (v *Vocab) ID(tok string) (int, bool) {
+	id, ok := v.ids[tok]
+	return id, ok
+}
+
+// Word returns the token for id. It panics on out-of-range ids, which always
+// indicates a programming error.
+func (v *Vocab) Word(id int) string {
+	if id < 0 || id >= len(v.words) {
+		panic(fmt.Sprintf("textutil: word id %d out of range [0,%d)", id, len(v.words)))
+	}
+	return v.words[id]
+}
+
+// Count returns the corpus frequency of id.
+func (v *Vocab) Count(id int) int64 {
+	if id < 0 || id >= len(v.counts) {
+		return 0
+	}
+	return v.counts[id]
+}
+
+// Size returns the number of distinct tokens.
+func (v *Vocab) Size() int { return len(v.words) }
+
+// Total returns the number of token occurrences added.
+func (v *Vocab) Total() int64 { return v.total }
+
+// TopK returns the k most frequent tokens, most frequent first; ties break
+// alphabetically so output is deterministic.
+func (v *Vocab) TopK(k int) []string {
+	idx := make([]int, len(v.words))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		ia, ib := idx[a], idx[b]
+		if v.counts[ia] != v.counts[ib] {
+			return v.counts[ia] > v.counts[ib]
+		}
+		return v.words[ia] < v.words[ib]
+	})
+	if k > len(idx) {
+		k = len(idx)
+	}
+	out := make([]string, k)
+	for i := 0; i < k; i++ {
+		out[i] = v.words[idx[i]]
+	}
+	return out
+}

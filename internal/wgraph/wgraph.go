@@ -1,0 +1,203 @@
+// Package wgraph provides the sparse weighted undirected graph shared by
+// the clustering stages (sequential HAC, Parallel HAC, modularity). Nodes
+// are dense int32 ids; each edge carries a float64 similarity weight.
+package wgraph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is a sparse weighted undirected graph. The zero value is not
+// usable; call New.
+type Graph struct {
+	adj []map[int32]float64
+}
+
+// New returns a graph with n isolated nodes.
+func New(n int) *Graph {
+	g := &Graph{adj: make([]map[int32]float64, n)}
+	return g
+}
+
+// NumNodes returns the number of nodes (including isolated ones).
+func (g *Graph) NumNodes() int { return len(g.adj) }
+
+// NumEdges returns the number of undirected edges.
+func (g *Graph) NumEdges() int {
+	total := 0
+	for _, m := range g.adj {
+		total += len(m)
+	}
+	return total / 2
+}
+
+// SetEdge sets the weight of undirected edge (u,v), inserting it if absent.
+// Self-loops and out-of-range nodes are errors.
+func (g *Graph) SetEdge(u, v int32, w float64) error {
+	if u == v {
+		return fmt.Errorf("wgraph: self-loop on node %d", u)
+	}
+	if err := g.check(u); err != nil {
+		return err
+	}
+	if err := g.check(v); err != nil {
+		return err
+	}
+	if g.adj[u] == nil {
+		g.adj[u] = make(map[int32]float64)
+	}
+	if g.adj[v] == nil {
+		g.adj[v] = make(map[int32]float64)
+	}
+	g.adj[u][v] = w
+	g.adj[v][u] = w
+	return nil
+}
+
+// RemoveEdge deletes edge (u,v) if present.
+func (g *Graph) RemoveEdge(u, v int32) {
+	if int(u) >= len(g.adj) || int(v) >= len(g.adj) || u < 0 || v < 0 {
+		return
+	}
+	delete(g.adj[u], v)
+	delete(g.adj[v], u)
+}
+
+// Weight returns the weight of edge (u,v) and whether it exists.
+func (g *Graph) Weight(u, v int32) (float64, bool) {
+	if u < 0 || int(u) >= len(g.adj) {
+		return 0, false
+	}
+	w, ok := g.adj[u][v]
+	return w, ok
+}
+
+// Degree returns the number of neighbors of u.
+func (g *Graph) Degree(u int32) int {
+	if u < 0 || int(u) >= len(g.adj) {
+		return 0
+	}
+	return len(g.adj[u])
+}
+
+// WeightedDegree returns the sum of incident edge weights of u.
+func (g *Graph) WeightedDegree(u int32) float64 {
+	if u < 0 || int(u) >= len(g.adj) {
+		return 0
+	}
+	var s float64
+	for _, w := range g.adj[u] {
+		s += w
+	}
+	return s
+}
+
+// Neighbors returns the neighbor ids of u in ascending order.
+func (g *Graph) Neighbors(u int32) []int32 {
+	if u < 0 || int(u) >= len(g.adj) {
+		return nil
+	}
+	out := make([]int32, 0, len(g.adj[u]))
+	for v := range g.adj[u] {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Edge is a canonical undirected edge (U < V).
+type Edge struct {
+	U, V int32
+	W    float64
+}
+
+// Edges returns every edge once, sorted by (U,V).
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, 0, g.NumEdges())
+	for u := range g.adj {
+		for v, w := range g.adj[u] {
+			if int32(u) < v {
+				out = append(out, Edge{U: int32(u), V: v, W: w})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].U != out[j].U {
+			return out[i].U < out[j].U
+		}
+		return out[i].V < out[j].V
+	})
+	return out
+}
+
+// ForEachNeighbor calls fn for every neighbor of u in ascending id order.
+func (g *Graph) ForEachNeighbor(u int32, fn func(v int32, w float64)) {
+	for _, v := range g.Neighbors(u) {
+		fn(v, g.adj[u][v])
+	}
+}
+
+// TotalWeight returns the sum of all edge weights (each edge once).
+func (g *Graph) TotalWeight() float64 {
+	var s float64
+	for u := range g.adj {
+		for v, w := range g.adj[u] {
+			if int32(u) < v {
+				s += w
+			}
+		}
+	}
+	return s
+}
+
+// Clone returns a deep copy.
+func (g *Graph) Clone() *Graph {
+	c := New(len(g.adj))
+	for u := range g.adj {
+		if g.adj[u] == nil {
+			continue
+		}
+		c.adj[u] = make(map[int32]float64, len(g.adj[u]))
+		for v, w := range g.adj[u] {
+			c.adj[u][v] = w
+		}
+	}
+	return c
+}
+
+// Components returns a partition id per node, labeling connected
+// components; labels are the smallest node id in each component.
+func (g *Graph) Components() []int32 {
+	comp := make([]int32, len(g.adj))
+	for i := range comp {
+		comp[i] = -1
+	}
+	var stack []int32
+	for s := range g.adj {
+		if comp[s] != -1 {
+			continue
+		}
+		root := int32(s)
+		stack = append(stack[:0], root)
+		comp[s] = root
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for v := range g.adj[u] {
+				if comp[v] == -1 {
+					comp[v] = root
+					stack = append(stack, v)
+				}
+			}
+		}
+	}
+	return comp
+}
+
+func (g *Graph) check(u int32) error {
+	if u < 0 || int(u) >= len(g.adj) {
+		return fmt.Errorf("wgraph: node %d out of range [0,%d)", u, len(g.adj))
+	}
+	return nil
+}

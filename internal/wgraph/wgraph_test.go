@@ -1,0 +1,186 @@
+package wgraph
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSetAndWeight(t *testing.T) {
+	g := New(4)
+	if err := g.SetEdge(0, 1, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	w, ok := g.Weight(0, 1)
+	if !ok || w != 0.5 {
+		t.Fatalf("Weight(0,1) = %f,%v want 0.5,true", w, ok)
+	}
+	// Symmetric.
+	w, ok = g.Weight(1, 0)
+	if !ok || w != 0.5 {
+		t.Fatalf("Weight(1,0) = %f,%v want 0.5,true", w, ok)
+	}
+	// Overwrite.
+	if err := g.SetEdge(1, 0, 0.9); err != nil {
+		t.Fatal(err)
+	}
+	if w, _ := g.Weight(0, 1); w != 0.9 {
+		t.Fatalf("overwritten weight = %f, want 0.9", w)
+	}
+	if g.NumEdges() != 1 {
+		t.Fatalf("NumEdges = %d, want 1", g.NumEdges())
+	}
+}
+
+func TestSetEdgeErrors(t *testing.T) {
+	g := New(3)
+	if err := g.SetEdge(1, 1, 0.5); err == nil {
+		t.Fatal("self-loop accepted")
+	}
+	if err := g.SetEdge(0, 5, 0.5); err == nil {
+		t.Fatal("out-of-range node accepted")
+	}
+	if err := g.SetEdge(-1, 0, 0.5); err == nil {
+		t.Fatal("negative node accepted")
+	}
+}
+
+func TestRemoveEdge(t *testing.T) {
+	g := New(3)
+	if err := g.SetEdge(0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	g.RemoveEdge(1, 0)
+	if _, ok := g.Weight(0, 1); ok {
+		t.Fatal("edge survived RemoveEdge")
+	}
+	g.RemoveEdge(0, 2)  // absent: no-op
+	g.RemoveEdge(-1, 9) // out of range: no-op
+}
+
+func TestNeighborsSortedAndDegrees(t *testing.T) {
+	g := New(5)
+	for _, v := range []int32{3, 1, 4} {
+		if err := g.SetEdge(0, v, float64(v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	nb := g.Neighbors(0)
+	if len(nb) != 3 || nb[0] != 1 || nb[1] != 3 || nb[2] != 4 {
+		t.Fatalf("Neighbors(0) = %v, want [1 3 4]", nb)
+	}
+	if g.Degree(0) != 3 {
+		t.Fatalf("Degree(0) = %d, want 3", g.Degree(0))
+	}
+	if got := g.WeightedDegree(0); got != 8 {
+		t.Fatalf("WeightedDegree(0) = %f, want 8", got)
+	}
+	if g.Degree(-1) != 0 || g.Neighbors(99) != nil {
+		t.Fatal("out-of-range degree/neighbors not zero")
+	}
+}
+
+func TestEdgesCanonicalSorted(t *testing.T) {
+	g := New(4)
+	edges := []Edge{{0, 1, 0.1}, {0, 3, 0.2}, {2, 3, 0.3}}
+	for _, e := range edges {
+		if err := g.SetEdge(e.V, e.U, e.W); err != nil { // insert reversed
+			t.Fatal(err)
+		}
+	}
+	got := g.Edges()
+	if len(got) != 3 {
+		t.Fatalf("Edges() len = %d, want 3", len(got))
+	}
+	for i, e := range got {
+		if e != edges[i] {
+			t.Fatalf("Edges()[%d] = %v, want %v", i, e, edges[i])
+		}
+	}
+}
+
+func TestTotalWeight(t *testing.T) {
+	g := New(3)
+	_ = g.SetEdge(0, 1, 0.25)
+	_ = g.SetEdge(1, 2, 0.75)
+	if got := g.TotalWeight(); math.Abs(got-1.0) > 1e-12 {
+		t.Fatalf("TotalWeight = %f, want 1.0", got)
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	g := New(3)
+	_ = g.SetEdge(0, 1, 1)
+	c := g.Clone()
+	c.RemoveEdge(0, 1)
+	if _, ok := g.Weight(0, 1); !ok {
+		t.Fatal("Clone shares storage with original")
+	}
+	if err := c.SetEdge(1, 2, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := g.Weight(1, 2); ok {
+		t.Fatal("edge added to clone appeared in original")
+	}
+}
+
+func TestComponents(t *testing.T) {
+	g := New(6)
+	_ = g.SetEdge(0, 1, 1)
+	_ = g.SetEdge(1, 2, 1)
+	_ = g.SetEdge(4, 5, 1)
+	comp := g.Components()
+	if comp[0] != comp[1] || comp[1] != comp[2] {
+		t.Fatalf("nodes 0,1,2 not in one component: %v", comp)
+	}
+	if comp[4] != comp[5] {
+		t.Fatalf("nodes 4,5 not in one component: %v", comp)
+	}
+	if comp[0] == comp[4] || comp[0] == comp[3] {
+		t.Fatalf("distinct components share a label: %v", comp)
+	}
+	if comp[3] != 3 {
+		t.Fatalf("isolated node label = %d, want 3", comp[3])
+	}
+}
+
+// Property: ForEachNeighbor visits exactly Degree(u) nodes in ascending
+// order, and edges are always symmetric.
+func TestGraphSymmetryProperty(t *testing.T) {
+	f := func(pairs []uint16) bool {
+		const n = 12
+		g := New(n)
+		for _, p := range pairs {
+			u := int32(p>>8) % n
+			v := int32(p&0xff) % n
+			if u == v {
+				continue
+			}
+			if err := g.SetEdge(u, v, float64(p)); err != nil {
+				return false
+			}
+		}
+		for u := int32(0); u < n; u++ {
+			prev := int32(-1)
+			count := 0
+			g.ForEachNeighbor(u, func(v int32, w float64) {
+				if v <= prev {
+					t.Errorf("neighbors of %d not ascending", u)
+				}
+				prev = v
+				count++
+				w2, ok := g.Weight(v, u)
+				if !ok || w2 != w {
+					t.Errorf("asymmetric edge (%d,%d)", u, v)
+				}
+			})
+			if count != g.Degree(u) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,56 @@
+package word2vec
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	m := trainTestModel(t)
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Dim() != m.Dim() || got.Words() != m.Words() {
+		t.Fatalf("shape changed: dim %d->%d words %d->%d", m.Dim(), got.Dim(), m.Words(), got.Words())
+	}
+	// Cosines must be identical.
+	a, err := m.Cosine("beach", "swim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := got.Cosine("beach", "swim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("cosine changed across round trip: %f vs %f", a, b)
+	}
+}
+
+func TestLoadRejectsCorrupt(t *testing.T) {
+	if _, err := Load(bytes.NewBufferString("not gob")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	encode := func(w modelWire) *bytes.Buffer {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(&w); err != nil {
+			t.Fatal(err)
+		}
+		return &buf
+	}
+	if _, err := Load(encode(modelWire{Dim: 0})); err == nil {
+		t.Fatal("zero dim accepted")
+	}
+	if _, err := Load(encode(modelWire{Dim: 4, Words: []string{"a"}, Vecs: make([]float32, 3)})); err == nil {
+		t.Fatal("mismatched vector length accepted")
+	}
+	if _, err := Load(encode(modelWire{Dim: 1, Words: []string{"a", "a"}, Vecs: make([]float32, 2)})); err == nil {
+		t.Fatal("duplicate words accepted")
+	}
+}
