@@ -5,6 +5,7 @@
 package shoal_test
 
 import (
+	"context"
 	"net/http/httptest"
 	"net/url"
 	"strconv"
@@ -150,7 +151,7 @@ func BenchmarkE4Scaling(b *testing.B) {
 	for _, workers := range []int{1, 2, 4, 8} {
 		b.Run("parallel-w"+strconv.Itoa(workers), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				_, err := phac.Cluster(w.build.Graph, w.sizes, phac.Config{
+				_, err := phac.Cluster(context.Background(), w.build.Graph, w.sizes, phac.Config{
 					StopThreshold: 0.12, DiffusionRounds: 2, Workers: workers,
 				})
 				if err != nil {
@@ -194,11 +195,11 @@ func BenchmarkE6Alpha(b *testing.B) {
 				gcfg := entitygraph.DefaultConfig()
 				gcfg.Alpha = alpha
 				gcfg.MinSimilarity = 0.25
-				res, err := entitygraph.Build(w.build.Entities, clicks, w.build.Embeddings, gcfg)
+				res, err := entitygraph.Build(context.Background(), w.build.Entities, clicks, w.build.Embeddings, gcfg)
 				if err != nil {
 					b.Fatal(err)
 				}
-				cres, err := phac.Cluster(res.Graph, w.sizes, phac.Config{StopThreshold: 0.12, DiffusionRounds: 2})
+				cres, err := phac.Cluster(context.Background(), res.Graph, w.sizes, phac.Config{StopThreshold: 0.12, DiffusionRounds: 2})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -223,7 +224,7 @@ func BenchmarkE7CatCorr(b *testing.B) {
 	w := getWorld(b)
 	var pairs int
 	for i := 0; i < b.N; i++ {
-		g, err := catcorr.Mine(w.build.Taxonomy, catcorr.DefaultConfig())
+		g, err := catcorr.Mine(context.Background(), w.build.Taxonomy, catcorr.DefaultConfig())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -241,7 +242,7 @@ func BenchmarkE8Linkage(b *testing.B) {
 		b.Run(linkage.String(), func(b *testing.B) {
 			var q float64
 			for i := 0; i < b.N; i++ {
-				res, err := phac.Cluster(w.build.Graph, w.sizes, phac.Config{
+				res, err := phac.Cluster(context.Background(), w.build.Graph, w.sizes, phac.Config{
 					StopThreshold: 0.12, DiffusionRounds: 2, Linkage: linkage,
 				})
 				if err != nil {
@@ -308,22 +309,24 @@ func BenchmarkF3Figure(b *testing.B) {
 
 // --- substrate micro-benchmarks -------------------------------------
 
-func BenchmarkPipelineEndToEnd(b *testing.B) {
+func benchPipeline(b *testing.B, sequential bool) {
 	gen := synth.DefaultConfig()
-	gen.Scenarios = 6
-	gen.ItemsPerScenario = 50
-	gen.QueriesPerScenario = 12
-	gen.NoiseItems = 20
-	gen.HeadQueries = 5
+	gen.Scenarios = 12
+	gen.ItemsPerScenario = 80
+	gen.QueriesPerScenario = 20
+	gen.NoiseItems = 60
+	gen.HeadQueries = 10
 	corpus, err := synth.Generate(gen)
 	if err != nil {
 		b.Fatal(err)
 	}
+	// Default word2vec settings (3 epochs, dim 32): the embedding stage is
+	// heavy enough that the concurrent schedule can hide click-graph and
+	// entity formation behind it.
 	cfg := shoal.DefaultConfig()
-	cfg.Word2Vec.Epochs = 1
-	cfg.Word2Vec.Dim = 16
 	cfg.HAC.StopThreshold = 0.12
 	cfg.Taxonomy.Levels = []float64{0.12, 0.3}
+	cfg.Sequential = sequential
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := shoal.Build(corpus, cfg); err != nil {
@@ -331,6 +334,15 @@ func BenchmarkPipelineEndToEnd(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkPipelineSequential runs the stage graph one stage at a time —
+// the pre-engine baseline schedule.
+func BenchmarkPipelineSequential(b *testing.B) { benchPipeline(b, true) }
+
+// BenchmarkPipelineConcurrent lets the engine overlap independent stages
+// (word2vec next to click-graph/entities). Output is identical to the
+// sequential schedule; only wall-clock differs.
+func BenchmarkPipelineConcurrent(b *testing.B) { benchPipeline(b, false) }
 
 func BenchmarkEntityGraphBuild(b *testing.B) {
 	w := getWorld(b)
@@ -340,7 +352,7 @@ func BenchmarkEntityGraphBuild(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := entitygraph.Build(w.build.Entities, clicks, w.build.Embeddings, entitygraph.DefaultConfig()); err != nil {
+		if _, err := entitygraph.Build(context.Background(), w.build.Entities, clicks, w.build.Embeddings, entitygraph.DefaultConfig()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -357,7 +369,7 @@ func BenchmarkWord2VecTrain(b *testing.B) {
 	cfg.Dim = 16
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := word2vec.Train(sentences, cfg); err != nil {
+		if _, err := word2vec.Train(context.Background(), sentences, cfg); err != nil {
 			b.Fatal(err)
 		}
 	}

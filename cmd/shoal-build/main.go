@@ -8,10 +8,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"shoal/internal/core"
 	"shoal/internal/store"
@@ -29,9 +32,15 @@ func main() {
 		diffusion  = flag.Int("r", 2, "diffusion iterations per Parallel HAC round")
 		minSim     = flag.Float64("minsim", 0.25, "entity-graph edge filter")
 		noEmbed    = flag.Bool("no-embeddings", false, "skip word2vec (query-driven similarity only)")
+		sequential = flag.Bool("sequential", false, "run pipeline stages one at a time instead of concurrently")
 		verbose    = flag.Bool("v", false, "print stage timings and statistics")
 	)
 	flag.Parse()
+
+	// Ctrl-C / SIGTERM cancels the in-flight stages instead of killing the
+	// process mid-write.
+	ctx, cancel := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer cancel()
 
 	corpus, err := store.LoadCorpus(*corpusPath)
 	if err != nil {
@@ -43,19 +52,20 @@ func main() {
 	cfg.HAC.StopThreshold = *stop
 	cfg.HAC.DiffusionRounds = *diffusion
 	cfg.TrainEmbeddings = !*noEmbed
+	cfg.Sequential = *sequential
 	cfg.Word2Vec.Epochs = 2
 	cfg.Word2Vec.Dim = 24
 	if *stop < cfg.Taxonomy.Levels[0] {
 		cfg.Taxonomy.Levels = []float64{*stop, 0.3, 0.5}
 	}
 
-	b, err := core.Run(corpus, cfg)
+	b, err := core.RunContext(ctx, corpus, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
 	if *verbose {
 		for _, st := range b.StageTimings {
-			fmt.Fprintf(os.Stderr, "%-22s %v\n", st.Stage, st.Elapsed)
+			fmt.Fprintf(os.Stderr, "%-22s start=%-12v elapsed=%v\n", st.Stage, st.Start, st.Elapsed)
 		}
 	}
 	f, err := os.Create(*out)

@@ -1,0 +1,3 @@
+module shoal
+
+go 1.24

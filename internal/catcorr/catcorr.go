@@ -9,6 +9,7 @@
 package catcorr
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -40,17 +41,26 @@ type Graph struct {
 	cfg   Config
 }
 
-// Mine computes Eq. 5 over the root topics of tx.
-func Mine(tx *taxonomy.Taxonomy, cfg Config) (*Graph, error) {
+// Mine computes Eq. 5 over the root topics of tx. Cancellation is checked
+// between root topics.
+func Mine(ctx context.Context, tx *taxonomy.Taxonomy, cfg Config) (*Graph, error) {
 	if cfg.MinStrength < 0 {
 		return nil, fmt.Errorf("catcorr: MinStrength must be non-negative, got %d", cfg.MinStrength)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	g := &Graph{
 		pairs: make(map[[2]model.CategoryID]int),
 		adj:   make(map[model.CategoryID]map[model.CategoryID]int),
 		cfg:   cfg,
 	}
-	for _, root := range tx.Roots() {
+	for ri, root := range tx.Roots() {
+		if ri%256 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		cats := tx.Topics[root].Categories // sorted, distinct
 		for i := 0; i < len(cats); i++ {
 			for j := i + 1; j < len(cats); j++ {

@@ -1,6 +1,7 @@
 package catcorr
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -28,7 +29,7 @@ func TestMineCountsCoOccurrence(t *testing.T) {
 	tx := makeTaxonomy([][]model.CategoryID{
 		{1, 2}, {1, 2}, {1, 2, 3}, {2, 4},
 	})
-	g, err := Mine(tx, Config{MinStrength: 2})
+	g, err := Mine(context.Background(), tx, Config{MinStrength: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,7 +58,7 @@ func TestMineThresholdIsStrict(t *testing.T) {
 		rootCats[i] = []model.CategoryID{7, 8}
 	}
 	tx := makeTaxonomy(rootCats)
-	g, err := Mine(tx, Config{MinStrength: 10})
+	g, err := Mine(context.Background(), tx, Config{MinStrength: 10})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +67,7 @@ func TestMineThresholdIsStrict(t *testing.T) {
 	}
 	// One more topic pushes it over.
 	tx2 := makeTaxonomy(append(rootCats, []model.CategoryID{7, 8}))
-	g2, err := Mine(tx2, Config{MinStrength: 10})
+	g2, err := Mine(context.Background(), tx2, Config{MinStrength: 10})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +83,7 @@ func TestMineIgnoresNonRootTopics(t *testing.T) {
 		ID: 1, Parent: 0, Level: 1, Categories: []model.CategoryID{3, 4},
 	})
 	tx.Topics[0].Children = []model.TopicID{1}
-	g, err := Mine(tx, Config{MinStrength: 0})
+	g, err := Mine(context.Background(), tx, Config{MinStrength: 0})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,7 +101,7 @@ func TestRelatedSortedByStrength(t *testing.T) {
 		{0, 2}, {0, 2}, // 0-2 x2
 		{0, 3}, // 0-3 x1
 	})
-	g, err := Mine(tx, Config{MinStrength: 0})
+	g, err := Mine(context.Background(), tx, Config{MinStrength: 0})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,7 +131,7 @@ func TestPairsSortedCanonical(t *testing.T) {
 			cats[0], cats[1] = cats[1], cats[0]
 		}
 	}
-	g, err := Mine(tx, Config{MinStrength: 1})
+	g, err := Mine(context.Background(), tx, Config{MinStrength: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,10 +144,10 @@ func TestPairsSortedCanonical(t *testing.T) {
 
 func TestMineValidation(t *testing.T) {
 	tx := makeTaxonomy(nil)
-	if _, err := Mine(tx, Config{MinStrength: -1}); err == nil {
+	if _, err := Mine(context.Background(), tx, Config{MinStrength: -1}); err == nil {
 		t.Fatal("negative threshold accepted")
 	}
-	g, err := Mine(tx, DefaultConfig())
+	g, err := Mine(context.Background(), tx, DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}

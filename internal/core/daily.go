@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -64,7 +65,13 @@ func (p *DailyPipeline) WindowStats() (queries, items int, maxDay int32) {
 // Rebuild runs the full pipeline over the current window and remembers the
 // result for Stability comparisons.
 func (p *DailyPipeline) Rebuild() (*Build, error) {
-	b, err := RunWithClicks(p.corpus, p.clicks, p.cfg)
+	return p.RebuildContext(context.Background())
+}
+
+// RebuildContext is Rebuild with cancellation: a canceled ctx aborts the
+// in-flight build without touching the last published one.
+func (p *DailyPipeline) RebuildContext(ctx context.Context) (*Build, error) {
+	b, err := RunWithClicksContext(ctx, p.corpus, p.clicks, p.cfg)
 	if err != nil {
 		return nil, err
 	}

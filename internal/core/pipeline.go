@@ -1,10 +1,17 @@
 // Package core orchestrates the SHOAL framework end to end (paper §2):
 // click logs → item entity graph → Parallel HAC → hierarchical topics →
 // topic descriptions → category correlations. Each stage is an internal
-// package; this package owns sequencing, configuration and timing.
+// package; this package owns the stage graph, configuration and timing.
+//
+// Stages are declared as a dependency graph (see pipelineStages) and
+// executed by the Engine: independent stages — e.g. word2vec next to the
+// click-graph and entity formation — run concurrently, while every
+// read-after-write relation is an explicit edge, so the concurrent
+// schedule produces output identical to the sequential one.
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -29,12 +36,16 @@ type Config struct {
 	// TrainEmbeddings enables the word2vec content signal. When false,
 	// similarity is query-driven only (entitygraph handles the blend).
 	TrainEmbeddings bool
-	Word2Vec        word2vec.Config
-	Graph           entitygraph.Config
-	HAC             phac.Config
-	Taxonomy        taxonomy.Config
-	Describe        describe.Config
-	CatCorr         catcorr.Config
+	// Sequential forces stages to run one at a time in topological order
+	// instead of concurrently. Output is identical either way; this is
+	// the debugging / benchmark baseline.
+	Sequential bool
+	Word2Vec   word2vec.Config
+	Graph      entitygraph.Config
+	HAC        phac.Config
+	Taxonomy   taxonomy.Config
+	Describe   describe.Config
+	CatCorr    catcorr.Config
 	// SearchDocTokenCap bounds tokens contributed per topic to the
 	// search index.
 	SearchDocTokenCap int
@@ -70,177 +81,211 @@ type Build struct {
 	Descriptions []describe.Description
 	Correlations *catcorr.Graph
 	Searcher     *taxonomy.Searcher
-	// StageTimings records wall time per pipeline stage, in order.
+	// StageTimings records wall time per pipeline stage, in stage
+	// declaration order.
 	StageTimings []StageTiming
 }
 
-// StageTiming is one stage's wall-clock cost.
+// StageTiming is one stage's wall-clock cost. Start is the offset from
+// pipeline start, so overlapping stages are visible in the timings.
 type StageTiming struct {
 	Stage   string
+	Start   time.Duration
 	Elapsed time.Duration
 }
 
 // Run executes the full pipeline over the corpus, ingesting the corpus's
 // click log into a fresh sliding-window graph.
 func Run(corpus *model.Corpus, cfg Config) (*Build, error) {
-	return run(corpus, nil, cfg)
+	return RunContext(context.Background(), corpus, cfg)
+}
+
+// RunContext is Run with cancellation: canceling ctx aborts in-flight
+// stages and returns the context error.
+func RunContext(ctx context.Context, corpus *model.Corpus, cfg Config) (*Build, error) {
+	return run(ctx, corpus, nil, cfg)
 }
 
 // RunWithClicks executes the pipeline over an externally maintained click
 // graph (e.g. the daily sliding-window pipeline); corpus.Clicks is ignored.
 func RunWithClicks(corpus *model.Corpus, clicks *bipartite.Graph, cfg Config) (*Build, error) {
+	return RunWithClicksContext(context.Background(), corpus, clicks, cfg)
+}
+
+// RunWithClicksContext is RunWithClicks with cancellation.
+func RunWithClicksContext(ctx context.Context, corpus *model.Corpus, clicks *bipartite.Graph, cfg Config) (*Build, error) {
 	if clicks == nil {
 		return nil, fmt.Errorf("core: nil click graph")
 	}
-	return run(corpus, clicks, cfg)
+	return run(ctx, corpus, clicks, cfg)
 }
 
-func run(corpus *model.Corpus, clicks *bipartite.Graph, cfg Config) (*Build, error) {
+func run(ctx context.Context, corpus *model.Corpus, clicks *bipartite.Graph, cfg Config) (*Build, error) {
 	if err := corpus.Validate(); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
 	b := &Build{Corpus: corpus, Clicks: clicks}
-	timed := func(stage string, fn func() error) error {
-		start := time.Now()
-		if err := fn(); err != nil {
-			return fmt.Errorf("core: stage %s: %w", stage, err)
-		}
-		b.StageTimings = append(b.StageTimings, StageTiming{Stage: stage, Elapsed: time.Since(start)})
-		return nil
-	}
-
-	if b.Clicks == nil {
-		if err := timed("click-graph", func() error {
-			b.Clicks = bipartite.New(cfg.WindowDays)
-			return b.Clicks.AddAll(corpus.Clicks)
-		}); err != nil {
-			return nil, err
-		}
-	}
-
-	if err := timed("entities", func() error {
-		es, err := entitygraph.BuildEntities(corpus)
-		b.Entities = es
-		return err
-	}); err != nil {
+	eng, err := NewEngine(pipelineStages(cfg, clicks != nil)...)
+	if err != nil {
 		return nil, err
 	}
-
-	if cfg.TrainEmbeddings {
-		if err := timed("word2vec", func() error {
-			sentences := make([][]string, 0, len(corpus.Items))
-			for i := range corpus.Items {
-				sentences = append(sentences, textutil.Tokenize(corpus.Items[i].Title))
-			}
-			m, err := word2vec.Train(sentences, cfg.Word2Vec)
-			b.Embeddings = m
-			return err
-		}); err != nil {
-			return nil, err
-		}
+	maxConcurrent := 0 // full graph parallelism
+	if cfg.Sequential {
+		maxConcurrent = 1
 	}
-
-	if err := timed("entity-graph", func() error {
-		res, err := entitygraph.Build(b.Entities, b.Clicks, b.Embeddings, cfg.Graph)
-		if err != nil {
-			return err
-		}
-		b.Graph = res.Graph
-		b.QuerySets = res.QuerySets
-		return nil
-	}); err != nil {
+	timings, err := eng.Execute(ctx, b, maxConcurrent)
+	if err != nil {
 		return nil, err
 	}
-
-	if err := timed("parallel-hac", func() error {
-		sizes := make([]int, len(b.Entities.Entities))
-		for i := range sizes {
-			sizes[i] = b.Entities.Entities[i].Size()
-		}
-		res, err := phac.Cluster(b.Graph, sizes, cfg.HAC)
-		if err != nil {
-			return err
-		}
-		b.Dendrogram = res.Dendrogram
-		b.Rounds = res.Rounds
-		return nil
-	}); err != nil {
-		return nil, err
-	}
-
-	if err := timed("taxonomy", func() error {
-		tx, err := taxonomy.Build(b.Dendrogram, b.Entities, corpus, cfg.Taxonomy)
-		b.Taxonomy = tx
-		return err
-	}); err != nil {
-		return nil, err
-	}
-
-	if err := timed("describe", func() error {
-		descs, err := describe.Describe(b.Taxonomy, corpus, b.Clicks, cfg.Describe)
-		b.Descriptions = descs
-		return err
-	}); err != nil {
-		return nil, err
-	}
-
-	if err := timed("category-correlation", func() error {
-		g, err := catcorr.Mine(b.Taxonomy, cfg.CatCorr)
-		b.Correlations = g
-		return err
-	}); err != nil {
-		return nil, err
-	}
-
-	if len(b.Taxonomy.Topics) > 0 {
-		if err := timed("search-index", func() error {
-			s, err := taxonomy.NewSearcher(b.Taxonomy, b.searchDocs(cfg.SearchDocTokenCap))
-			b.Searcher = s
-			return err
-		}); err != nil {
-			return nil, err
-		}
-	}
+	b.StageTimings = timings
 	return b, nil
 }
 
+// pipelineStages declares the SHOAL build graph. Dependency edges encode
+// every read-after-write relation between stages:
+//
+//	click-graph ─┬─▶ entity-graph ─▶ parallel-hac ─▶ taxonomy ─┬─▶ describe ─▶ search-index
+//	entities ────┤                                             └─▶ category-correlation
+//	word2vec ────┘
+//
+// click-graph is omitted when the caller supplies an external click graph,
+// and word2vec when embeddings are disabled.
+func pipelineStages(cfg Config, externalClicks bool) []Stage {
+	var stages []Stage
+	graphDeps := []string{"entities"}
+
+	if !externalClicks {
+		stages = append(stages, StageFunc("click-graph", nil, func(ctx context.Context, b *Build) error {
+			b.Clicks = bipartite.New(cfg.WindowDays)
+			return b.Clicks.AddAll(b.Corpus.Clicks)
+		}))
+		graphDeps = append(graphDeps, "click-graph")
+	}
+
+	stages = append(stages, StageFunc("entities", nil, func(ctx context.Context, b *Build) error {
+		es, err := entitygraph.BuildEntities(ctx, b.Corpus)
+		b.Entities = es
+		return err
+	}))
+
+	if cfg.TrainEmbeddings {
+		stages = append(stages, StageFunc("word2vec", nil, func(ctx context.Context, b *Build) error {
+			sentences := make([][]string, 0, len(b.Corpus.Items))
+			for i := range b.Corpus.Items {
+				sentences = append(sentences, textutil.Tokenize(b.Corpus.Items[i].Title))
+			}
+			m, err := word2vec.Train(ctx, sentences, cfg.Word2Vec)
+			b.Embeddings = m
+			return err
+		}))
+		graphDeps = append(graphDeps, "word2vec")
+	}
+
+	stages = append(stages,
+		StageFunc("entity-graph", graphDeps, func(ctx context.Context, b *Build) error {
+			res, err := entitygraph.Build(ctx, b.Entities, b.Clicks, b.Embeddings, cfg.Graph)
+			if err != nil {
+				return err
+			}
+			b.Graph = res.Graph
+			b.QuerySets = res.QuerySets
+			return nil
+		}),
+		StageFunc("parallel-hac", []string{"entity-graph"}, func(ctx context.Context, b *Build) error {
+			sizes := make([]int, len(b.Entities.Entities))
+			for i := range sizes {
+				sizes[i] = b.Entities.Entities[i].Size()
+			}
+			res, err := phac.Cluster(ctx, b.Graph, sizes, cfg.HAC)
+			if err != nil {
+				return err
+			}
+			b.Dendrogram = res.Dendrogram
+			b.Rounds = res.Rounds
+			return nil
+		}),
+		StageFunc("taxonomy", []string{"parallel-hac"}, func(ctx context.Context, b *Build) error {
+			tx, err := taxonomy.Build(ctx, b.Dendrogram, b.Entities, b.Corpus, cfg.Taxonomy)
+			b.Taxonomy = tx
+			return err
+		}),
+		// describe writes Topic.Description/DescQueries while
+		// category-correlation reads only Topic.Categories, so the two can
+		// share the taxonomy concurrently.
+		StageFunc("describe", []string{"taxonomy"}, func(ctx context.Context, b *Build) error {
+			descs, err := describe.Describe(ctx, b.Taxonomy, b.Corpus, b.Clicks, cfg.Describe)
+			b.Descriptions = descs
+			return err
+		}),
+		StageFunc("category-correlation", []string{"taxonomy"}, func(ctx context.Context, b *Build) error {
+			g, err := catcorr.Mine(ctx, b.Taxonomy, cfg.CatCorr)
+			b.Correlations = g
+			return err
+		}),
+		StageFunc("search-index", []string{"describe"}, func(ctx context.Context, b *Build) error {
+			if len(b.Taxonomy.Topics) == 0 {
+				return nil
+			}
+			s, err := taxonomy.NewSearcher(ctx, b.Taxonomy, b.searchDocs(cfg.SearchDocTokenCap))
+			b.Searcher = s
+			return err
+		}),
+	)
+	return stages
+}
+
 // searchDocs builds the per-topic search documents: description queries,
-// member query texts, category names, and member title tokens up to cap.
-func (b *Build) searchDocs(cap int) [][]string {
-	if cap <= 0 {
-		cap = 256
+// member query texts, category names, and member title tokens, each doc
+// capped at tokenCap tokens.
+func (b *Build) searchDocs(tokenCap int) [][]string {
+	if tokenCap <= 0 {
+		tokenCap = 256
 	}
 	docs := make([][]string, len(b.Taxonomy.Topics))
 	for i := range b.Taxonomy.Topics {
 		t := &b.Taxonomy.Topics[i]
 		var doc []string
 		for _, q := range t.DescQueries {
-			doc = append(doc, textutil.TokenizeFiltered(q)...)
+			if len(doc) >= tokenCap {
+				break
+			}
+			doc = appendCapped(doc, tokenCap, textutil.TokenizeFiltered(q))
 		}
 		for _, c := range t.Categories {
-			doc = append(doc, textutil.Tokenize(b.Corpus.Categories[c].Name)...)
+			if len(doc) >= tokenCap {
+				break
+			}
+			doc = appendCapped(doc, tokenCap, textutil.Tokenize(b.Corpus.Categories[c].Name))
 		}
 		for _, e := range t.Entities {
-			if len(doc) >= cap {
+			if len(doc) >= tokenCap {
 				break
 			}
 			for _, q := range b.QuerySets[e] {
-				doc = append(doc, textutil.TokenizeFiltered(b.Corpus.Queries[q].Text)...)
-				if len(doc) >= cap {
+				doc = appendCapped(doc, tokenCap, textutil.TokenizeFiltered(b.Corpus.Queries[q].Text))
+				if len(doc) >= tokenCap {
 					break
 				}
 			}
 		}
 		for _, it := range t.Items {
-			if len(doc) >= cap {
+			if len(doc) >= tokenCap {
 				break
 			}
-			doc = append(doc, textutil.Tokenize(b.Corpus.Items[it].Title)...)
-		}
-		if len(doc) > cap {
-			doc = doc[:cap]
+			doc = appendCapped(doc, tokenCap, textutil.Tokenize(b.Corpus.Items[it].Title))
 		}
 		docs[i] = doc
 	}
 	return docs
+}
+
+// appendCapped appends tokens to doc without ever letting it exceed limit.
+func appendCapped(doc []string, limit int, tokens []string) []string {
+	if room := limit - len(doc); room < len(tokens) {
+		if room <= 0 {
+			return doc
+		}
+		tokens = tokens[:room]
+	}
+	return append(doc, tokens...)
 }

@@ -16,6 +16,7 @@
 package describe
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -51,10 +52,14 @@ type Description struct {
 
 // Describe computes representative queries for every topic in tx and
 // writes them into the taxonomy (Topic.Description / Topic.DescQueries).
-// It returns the full ranked descriptions.
-func Describe(tx *taxonomy.Taxonomy, corpus *model.Corpus, clicks *bipartite.Graph, cfg Config) ([]Description, error) {
+// It returns the full ranked descriptions. Cancellation is checked
+// between per-topic scoring passes.
+func Describe(ctx context.Context, tx *taxonomy.Taxonomy, corpus *model.Corpus, clicks *bipartite.Graph, cfg Config) ([]Description, error) {
 	if cfg.TopQueries <= 0 {
 		return nil, fmt.Errorf("describe: TopQueries must be positive, got %d", cfg.TopQueries)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	k := len(tx.Topics)
 	if k == 0 {
@@ -100,6 +105,11 @@ func Describe(tx *taxonomy.Taxonomy, corpus *model.Corpus, clicks *bipartite.Gra
 
 	out := make([]Description, 0, k)
 	for t := range tx.Topics {
+		if t%64 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		cands := perTopic[t]
 		if len(cands) == 0 {
 			out = append(out, Description{Topic: tx.Topics[t].ID})
@@ -124,12 +134,20 @@ func Describe(tx *taxonomy.Taxonomy, corpus *model.Corpus, clicks *bipartite.Gra
 			}
 
 			// Concentration: softmax of BM25 over touched topics, with
-			// the untouched mass added in closed form.
+			// the untouched mass added in closed form. The denominator is
+			// summed in ascending topic order: float addition is not
+			// associative, so summing in map iteration order would make
+			// scores vary run to run.
 			rels := idx.ScoreAll(qToks)
 			relK := rels[t]
+			touched := make([]int, 0, len(rels))
+			for d := range rels {
+				touched = append(touched, d)
+			}
+			sort.Ints(touched)
 			var den float64 = 1 // the "+1" of the formula
-			for _, r := range rels {
-				den += math.Exp(r)
+			for _, d := range touched {
+				den += math.Exp(rels[d])
 			}
 			den += float64(k - len(rels)) // exp(0) per untouched topic
 			con := math.Exp(relK) / den

@@ -1,6 +1,7 @@
 package describe
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -50,7 +51,7 @@ func fixture(t *testing.T) (*taxonomy.Taxonomy, *model.Corpus, *bipartite.Graph)
 	if err := clicks.AddAll(evs); err != nil {
 		t.Fatal(err)
 	}
-	es, err := entitygraph.BuildEntities(corpus)
+	es, err := entitygraph.BuildEntities(context.Background(), corpus)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,7 +62,7 @@ func fixture(t *testing.T) (*taxonomy.Taxonomy, *model.Corpus, *bipartite.Graph)
 			{A: 2, B: 3, New: 5, Sim: 0.9, Round: 0},
 		},
 	}
-	tx, err := taxonomy.Build(d, es, corpus, taxonomy.Config{Levels: []float64{0.5}, MinTopicSize: 2})
+	tx, err := taxonomy.Build(context.Background(), d, es, corpus, taxonomy.Config{Levels: []float64{0.5}, MinTopicSize: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,7 +78,7 @@ func topicByItem(tx *taxonomy.Taxonomy, it model.ItemID) int {
 
 func TestDescribePicksRepresentativeQueries(t *testing.T) {
 	tx, corpus, clicks := fixture(t)
-	descs, err := Describe(tx, corpus, clicks, DefaultConfig())
+	descs, err := Describe(context.Background(), tx, corpus, clicks, DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +97,7 @@ func TestDescribePicksRepresentativeQueries(t *testing.T) {
 
 func TestDescribeWritesIntoTaxonomy(t *testing.T) {
 	tx, corpus, clicks := fixture(t)
-	if _, err := Describe(tx, corpus, clicks, DefaultConfig()); err != nil {
+	if _, err := Describe(context.Background(), tx, corpus, clicks, DefaultConfig()); err != nil {
 		t.Fatal(err)
 	}
 	for i := range tx.Topics {
@@ -114,7 +115,7 @@ func TestDescribeWritesIntoTaxonomy(t *testing.T) {
 
 func TestDescribeGenericQueryRanksLow(t *testing.T) {
 	tx, corpus, clicks := fixture(t)
-	descs, err := Describe(tx, corpus, clicks, DefaultConfig())
+	descs, err := Describe(context.Background(), tx, corpus, clicks, DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,7 +130,7 @@ func TestDescribeGenericQueryRanksLow(t *testing.T) {
 
 func TestDescribeScoresSortedAndBounded(t *testing.T) {
 	tx, corpus, clicks := fixture(t)
-	descs, err := Describe(tx, corpus, clicks, DefaultConfig())
+	descs, err := Describe(context.Background(), tx, corpus, clicks, DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +150,7 @@ func TestDescribeTopQueriesLimit(t *testing.T) {
 	tx, corpus, clicks := fixture(t)
 	cfg := DefaultConfig()
 	cfg.TopQueries = 1
-	descs, err := Describe(tx, corpus, clicks, cfg)
+	descs, err := Describe(context.Background(), tx, corpus, clicks, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,7 +165,7 @@ func TestDescribeValidation(t *testing.T) {
 	tx, corpus, clicks := fixture(t)
 	cfg := DefaultConfig()
 	cfg.TopQueries = 0
-	if _, err := Describe(tx, corpus, clicks, cfg); err == nil {
+	if _, err := Describe(context.Background(), tx, corpus, clicks, cfg); err == nil {
 		t.Fatal("TopQueries=0 accepted")
 	}
 }
@@ -172,7 +173,7 @@ func TestDescribeValidation(t *testing.T) {
 func TestDescribeEmptyTaxonomy(t *testing.T) {
 	_, corpus, clicks := fixture(t)
 	empty := &taxonomy.Taxonomy{}
-	descs, err := Describe(empty, corpus, clicks, DefaultConfig())
+	descs, err := Describe(context.Background(), empty, corpus, clicks, DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -185,7 +186,7 @@ func TestDescribeTopicWithNoQueries(t *testing.T) {
 	tx, corpus, _ := fixture(t)
 	// Click graph with no clicks at all: descriptions must be empty but
 	// Describe must not fail.
-	descs, err := Describe(tx, corpus, bipartite.New(0), DefaultConfig())
+	descs, err := Describe(context.Background(), tx, corpus, bipartite.New(0), DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -198,7 +199,7 @@ func TestDescribeTopicWithNoQueries(t *testing.T) {
 
 func TestDescribeDistinctTopicsGetDistinctTopQueries(t *testing.T) {
 	tx, corpus, clicks := fixture(t)
-	descs, err := Describe(tx, corpus, clicks, DefaultConfig())
+	descs, err := Describe(context.Background(), tx, corpus, clicks, DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}

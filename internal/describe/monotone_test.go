@@ -1,6 +1,7 @@
 package describe
 
 import (
+	"context"
 	"testing"
 
 	"shoal/internal/bipartite"
@@ -11,7 +12,7 @@ import (
 // topic must not lower its rank there.
 func TestMoreClicksNeverLowerRank(t *testing.T) {
 	tx, corpus, clicks := fixture(t)
-	before, err := Describe(tx, corpus, clicks, DefaultConfig())
+	before, err := Describe(context.Background(), tx, corpus, clicks, DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -40,7 +41,7 @@ func TestMoreClicksNeverLowerRank(t *testing.T) {
 	if err := boosted.AddAll(evs); err != nil {
 		t.Fatal(err)
 	}
-	after, err := Describe(tx2, corpus2, boosted, DefaultConfig())
+	after, err := Describe(context.Background(), tx2, corpus2, boosted, DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,12 +57,12 @@ func TestMoreClicksNeverLowerRank(t *testing.T) {
 // Describe must be deterministic for identical inputs.
 func TestDescribeDeterministic(t *testing.T) {
 	tx1, corpus1, clicks1 := fixture(t)
-	a, err := Describe(tx1, corpus1, clicks1, DefaultConfig())
+	a, err := Describe(context.Background(), tx1, corpus1, clicks1, DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
 	tx2, corpus2, clicks2 := fixture(t)
-	b, err := Describe(tx2, corpus2, clicks2, DefaultConfig())
+	b, err := Describe(context.Background(), tx2, corpus2, clicks2, DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -10,6 +10,7 @@
 package entitygraph
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -64,10 +65,14 @@ func priceBand(cents int64) int {
 
 // BuildEntities groups corpus items into entities by (category, sorted
 // attribute labels, price band). Singleton groups are normal: entity
-// formation is a dedup step, not clustering.
-func BuildEntities(c *model.Corpus) (*EntitySet, error) {
+// formation is a dedup step, not clustering. Cancellation is checked
+// between grouping passes.
+func BuildEntities(ctx context.Context, c *model.Corpus) (*EntitySet, error) {
 	if err := c.Validate(); err != nil {
 		return nil, fmt.Errorf("entitygraph: %w", err)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	type key struct {
 		cat   model.CategoryID
@@ -81,6 +86,9 @@ func BuildEntities(c *model.Corpus) (*EntitySet, error) {
 		sort.Strings(attrs)
 		k := key{cat: it.Category, attrs: strings.Join(attrs, "\x1f"), band: priceBand(it.PriceCents)}
 		groups[k] = append(groups[k], it.ID)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	// Deterministic entity ids: sort groups by their smallest item id.
 	keys := make([]key, 0, len(groups))

@@ -1,6 +1,7 @@
 package entitygraph
 
 import (
+	"context"
 	"math"
 	"testing"
 	"testing/quick"
@@ -43,7 +44,7 @@ func TestBuildEntitiesGroups(t *testing.T) {
 			{ID: 3, Title: "other dress", Category: 0, PriceCents: 1000, Attrs: []string{"color=blue"}},
 		},
 	}
-	es, err := BuildEntities(c)
+	es, err := BuildEntities(context.Background(), c)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +79,7 @@ func TestBuildEntitiesMajorityScenario(t *testing.T) {
 			{ID: 2, Title: "c", Category: 0, PriceCents: 100, Scenario: 1},
 		},
 	}
-	es, err := BuildEntities(c)
+	es, err := BuildEntities(context.Background(), c)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,7 +93,7 @@ func TestBuildEntitiesMajorityScenario(t *testing.T) {
 
 func TestBuildEntitiesInvalidCorpus(t *testing.T) {
 	c := &model.Corpus{Items: []model.Item{{ID: 5}}}
-	if _, err := BuildEntities(c); err == nil {
+	if _, err := BuildEntities(context.Background(), c); err == nil {
 		t.Fatal("BuildEntities accepted invalid corpus")
 	}
 }
@@ -102,7 +103,7 @@ func TestBuildEntitiesInvalidCorpus(t *testing.T) {
 func buildFixture(t *testing.T, cfg Config) *Result {
 	t.Helper()
 	c := synth.Curated()
-	es, err := BuildEntities(c)
+	es, err := BuildEntities(context.Background(), c)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,11 +118,11 @@ func buildFixture(t *testing.T, cfg Config) *Result {
 	w2vCfg := word2vec.DefaultConfig()
 	w2vCfg.MinCount = 1
 	w2vCfg.Epochs = 4
-	emb, err := word2vec.Train(sentences, w2vCfg)
+	emb, err := word2vec.Train(context.Background(), sentences, w2vCfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Build(es, clicks, emb, cfg)
+	res, err := Build(context.Background(), es, clicks, emb, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -202,7 +203,7 @@ func TestBuildGraphTopK(t *testing.T) {
 
 func TestBuildNilEmbedding(t *testing.T) {
 	c := synth.Curated()
-	es, err := BuildEntities(c)
+	es, err := BuildEntities(context.Background(), c)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -210,7 +211,7 @@ func TestBuildNilEmbedding(t *testing.T) {
 	if err := clicks.AddAll(c.Clicks); err != nil {
 		t.Fatal(err)
 	}
-	res, err := Build(es, clicks, nil, DefaultConfig())
+	res, err := Build(context.Background(), es, clicks, nil, DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -221,7 +222,7 @@ func TestBuildNilEmbedding(t *testing.T) {
 
 func TestBuildConfigValidation(t *testing.T) {
 	c := synth.Curated()
-	es, _ := BuildEntities(c)
+	es, _ := BuildEntities(context.Background(), c)
 	clicks := bipartite.New(0)
 	_ = clicks.AddAll(c.Clicks)
 	bad := []Config{
@@ -233,11 +234,11 @@ func TestBuildConfigValidation(t *testing.T) {
 		{Alpha: 0.5, MaxQueryFanout: -2},
 	}
 	for i, cfg := range bad {
-		if _, err := Build(es, clicks, nil, cfg); err == nil {
+		if _, err := Build(context.Background(), es, clicks, nil, cfg); err == nil {
 			t.Errorf("case %d: invalid config accepted", i)
 		}
 	}
-	if _, err := Build(nil, clicks, nil, DefaultConfig()); err == nil {
+	if _, err := Build(context.Background(), nil, clicks, nil, DefaultConfig()); err == nil {
 		t.Error("nil entity set accepted")
 	}
 }
@@ -247,7 +248,7 @@ func TestBuildDeterministicAcrossWorkerCounts(t *testing.T) {
 	// are documented as racy, so determinism is asserted for the graph
 	// construction itself, over fixed inputs.
 	c := synth.Curated()
-	es, err := BuildEntities(c)
+	es, err := BuildEntities(context.Background(), c)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -262,7 +263,7 @@ func TestBuildDeterministicAcrossWorkerCounts(t *testing.T) {
 	w2vCfg := word2vec.DefaultConfig()
 	w2vCfg.MinCount = 1
 	w2vCfg.Workers = 1
-	emb, err := word2vec.Train(sentences, w2vCfg)
+	emb, err := word2vec.Train(context.Background(), sentences, w2vCfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -270,11 +271,11 @@ func TestBuildDeterministicAcrossWorkerCounts(t *testing.T) {
 	cfg1.Workers = 1
 	cfgN := DefaultConfig()
 	cfgN.Workers = 4
-	a, err := Build(es, clicks, emb, cfg1)
+	a, err := Build(context.Background(), es, clicks, emb, cfg1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Build(es, clicks, emb, cfgN)
+	b, err := Build(context.Background(), es, clicks, emb, cfgN)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -295,7 +296,7 @@ func TestMeanNormVectorBounded(t *testing.T) {
 	cfg := word2vec.DefaultConfig()
 	cfg.MinCount = 1
 	cfg.Epochs = 2
-	emb, err := word2vec.Train(sents, cfg)
+	emb, err := word2vec.Train(context.Background(), sents, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package entitygraph
 
 import (
+	"context"
 	"math"
 	"testing"
 	"testing/quick"
@@ -69,7 +70,7 @@ func trainTiny(t testing.TB) *word2vec.Model {
 	cfg.Epochs = 3
 	cfg.MinCount = 1
 	cfg.Workers = 1
-	m, err := word2vec.Train(sents, cfg)
+	m, err := word2vec.Train(context.Background(), sents, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

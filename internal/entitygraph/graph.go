@@ -1,6 +1,7 @@
 package entitygraph
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -79,8 +80,13 @@ type Result struct {
 //  4. filter by MinSimilarity and keep the TopK strongest edges per node.
 //
 // The embedding model may be nil, in which case Alpha is effectively 1.
-func Build(es *EntitySet, clicks *bipartite.Graph, emb *word2vec.Model, cfg Config) (*Result, error) {
+// Cancellation is checked between construction phases and inside the
+// scoring workers.
+func Build(ctx context.Context, es *EntitySet, clicks *bipartite.Graph, emb *word2vec.Model, cfg Config) (*Result, error) {
 	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	if es == nil || len(es.Entities) == 0 {
@@ -109,6 +115,9 @@ func Build(es *EntitySet, clicks *bipartite.Graph, emb *word2vec.Model, cfg Conf
 		}
 	}
 
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	// Candidate pairs via shared queries, with fanout cap.
 	inter := make(map[[2]int32]int32)
 	qids := make([]model.QueryID, 0, len(queryEntities))
@@ -158,7 +167,14 @@ func Build(es *EntitySet, clicks *bipartite.Graph, emb *word2vec.Model, cfg Conf
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			var sinceCheck int
 			for i := w; i < len(pairs); i += cfg.Workers {
+				if sinceCheck++; sinceCheck >= 1024 {
+					sinceCheck = 0
+					if ctx.Err() != nil {
+						return
+					}
+				}
 				u, v := pairs[i][0], pairs[i][1]
 				ic := float64(inter[pairs[i]])
 				union := float64(len(querySets[u])+len(querySets[v])) - ic
@@ -182,6 +198,9 @@ func Build(es *EntitySet, clicks *bipartite.Graph, emb *word2vec.Model, cfg Conf
 		}(w)
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	// Filter + TopK sparsification. An edge survives TopK if it ranks in
 	// the top K of *either* endpoint (keeping it in only-one direction

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"shoal/internal/eval"
@@ -65,7 +66,7 @@ func E10Baseline(sc Scale, seed uint64) (*Table, error) {
 		}
 		w2v := word2vec.DefaultConfig()
 		w2v.Epochs = 2
-		emb, err = word2vec.Train(sentences, w2v)
+		emb, err = word2vec.Train(context.Background(), sentences, w2v)
 		if err != nil {
 			return nil, err
 		}

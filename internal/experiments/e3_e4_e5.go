@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"time"
@@ -85,7 +86,7 @@ func E4Scaling(sc Scale, seed uint64) (*Table, error) {
 	for _, r := range []int{0, 2} {
 		for w := 1; w <= maxW; w *= 2 {
 			start := time.Now()
-			if _, err := phac.Cluster(g, sizes, phac.Config{
+			if _, err := phac.Cluster(context.Background(), g, sizes, phac.Config{
 				StopThreshold: stopTh, DiffusionRounds: r, Workers: w,
 			}); err != nil {
 				return nil, err
@@ -131,7 +132,7 @@ func E5Diffusion(sc Scale, seed uint64, maxR int) (*Table, error) {
 	}
 	for r := 0; r <= maxR; r++ {
 		start := time.Now()
-		res, err := phac.Cluster(g, sizes, phac.Config{
+		res, err := phac.Cluster(context.Background(), g, sizes, phac.Config{
 			StopThreshold: stopTh, DiffusionRounds: r,
 		})
 		if err != nil {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"shoal/internal/bipartite"
@@ -23,7 +24,7 @@ func E6Alpha(sc Scale, seed uint64, alphas []float64) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	es, err := entitygraph.BuildEntities(corpus)
+	es, err := entitygraph.BuildEntities(context.Background(), corpus)
 	if err != nil {
 		return nil, err
 	}
@@ -38,7 +39,7 @@ func E6Alpha(sc Scale, seed uint64, alphas []float64) (*Table, error) {
 	w2v := word2vec.DefaultConfig()
 	w2v.Epochs = 2
 	w2v.Dim = 24
-	emb, err := word2vec.Train(sentences, w2v)
+	emb, err := word2vec.Train(context.Background(), sentences, w2v)
 	if err != nil {
 		return nil, err
 	}
@@ -60,15 +61,15 @@ func E6Alpha(sc Scale, seed uint64, alphas []float64) (*Table, error) {
 		gcfg := entitygraph.DefaultConfig()
 		gcfg.Alpha = alpha
 		gcfg.MinSimilarity = 0.25
-		res, err := entitygraph.Build(es, clicks, emb, gcfg)
+		res, err := entitygraph.Build(context.Background(), es, clicks, emb, gcfg)
 		if err != nil {
 			return nil, err
 		}
-		cres, err := phac.Cluster(res.Graph, sizes(es), phac.Config{StopThreshold: stopTh, DiffusionRounds: 2})
+		cres, err := phac.Cluster(context.Background(), res.Graph, sizes(es), phac.Config{StopThreshold: stopTh, DiffusionRounds: 2})
 		if err != nil {
 			return nil, err
 		}
-		tx, err := taxonomy.Build(cres.Dendrogram, es, corpus, taxonomy.Config{
+		tx, err := taxonomy.Build(context.Background(), cres.Dendrogram, es, corpus, taxonomy.Config{
 			Levels: []float64{stopTh}, MinTopicSize: 2,
 		})
 		if err != nil {
@@ -142,7 +143,7 @@ func E7CatCorr(sc Scale, seed uint64, thresholds []int) (*Table, error) {
 		Header:     []string{"threshold", "pairs-kept", "correct", "precision"},
 	}
 	for _, th := range thresholds {
-		g, err := catcorr.Mine(b.Taxonomy, catcorr.Config{MinStrength: th})
+		g, err := catcorr.Mine(context.Background(), b.Taxonomy, catcorr.Config{MinStrength: th})
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"reflect"
 	"time"
@@ -37,7 +38,7 @@ func E8Linkage(sc Scale, seed uint64) (*Table, error) {
 	for _, linkage := range []phac.Linkage{
 		phac.LinkageSqrtSize, phac.LinkageUnweighted, phac.LinkageSizeProportional,
 	} {
-		res, err := phac.Cluster(g, sizes, phac.Config{
+		res, err := phac.Cluster(context.Background(), g, sizes, phac.Config{
 			StopThreshold: stopTh, DiffusionRounds: 2, Linkage: linkage,
 		})
 		if err != nil {

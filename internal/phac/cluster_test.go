@@ -1,6 +1,7 @@
 package phac
 
 import (
+	"context"
 	"math"
 	"reflect"
 	"testing"
@@ -29,7 +30,7 @@ func twoClusters(t testing.TB) *wgraph.Graph {
 
 func TestClusterTwoCommunities(t *testing.T) {
 	g := twoClusters(t)
-	res, err := Cluster(g, nil, DefaultConfig())
+	res, err := Cluster(context.Background(), g, nil, DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,7 +60,7 @@ func TestClusterEq4Update(t *testing.T) {
 	if err := g.SetEdge(0, 2, 0.6); err != nil {
 		t.Fatal(err)
 	}
-	res, err := Cluster(g, nil, Config{StopThreshold: 0.05, DiffusionRounds: 2})
+	res, err := Cluster(context.Background(), g, nil, Config{StopThreshold: 0.05, DiffusionRounds: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +87,7 @@ func TestClusterBothEndpointsMergedCompose(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	res, err := Cluster(g, nil, Config{StopThreshold: 0.05, DiffusionRounds: 0})
+	res, err := Cluster(context.Background(), g, nil, Config{StopThreshold: 0.05, DiffusionRounds: 0})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +114,7 @@ func TestClusterWeightedSizes(t *testing.T) {
 	_ = g.SetEdge(0, 1, 0.9)
 	_ = g.SetEdge(0, 2, 0.6)
 	_ = g.SetEdge(1, 2, 0.3)
-	res, err := Cluster(g, []int{4, 1, 1}, Config{StopThreshold: 0.05, DiffusionRounds: 2})
+	res, err := Cluster(context.Background(), g, []int{4, 1, 1}, Config{StopThreshold: 0.05, DiffusionRounds: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +142,7 @@ func TestClusterLinkageAblation(t *testing.T) {
 		{LinkageSizeProportional, 0.8*0.6 + 0.2*0.3},
 	}
 	for _, tc := range cases {
-		res, err := Cluster(g, sizes, Config{StopThreshold: 0.05, DiffusionRounds: 1, Linkage: tc.linkage})
+		res, err := Cluster(context.Background(), g, sizes, Config{StopThreshold: 0.05, DiffusionRounds: 1, Linkage: tc.linkage})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -158,7 +159,7 @@ func TestClusterDeterministicAcrossWorkers(t *testing.T) {
 		var first *Result
 		for _, workers := range []int{1, 2, 7} {
 			cfg := Config{StopThreshold: 0.3, DiffusionRounds: 2, Workers: workers}
-			res, err := Cluster(g, nil, cfg)
+			res, err := Cluster(context.Background(), g, nil, cfg)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -175,7 +176,7 @@ func TestClusterDeterministicAcrossWorkers(t *testing.T) {
 
 func TestClusterStopThreshold(t *testing.T) {
 	g := twoClusters(t)
-	res, err := Cluster(g, nil, Config{StopThreshold: 0.95, DiffusionRounds: 2})
+	res, err := Cluster(context.Background(), g, nil, Config{StopThreshold: 0.95, DiffusionRounds: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -186,7 +187,7 @@ func TestClusterStopThreshold(t *testing.T) {
 
 func TestClusterMaxRounds(t *testing.T) {
 	g := twoClusters(t)
-	res, err := Cluster(g, nil, Config{StopThreshold: 0.1, DiffusionRounds: 2, MaxRounds: 1})
+	res, err := Cluster(context.Background(), g, nil, Config{StopThreshold: 0.1, DiffusionRounds: 2, MaxRounds: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -197,19 +198,19 @@ func TestClusterMaxRounds(t *testing.T) {
 
 func TestClusterErrors(t *testing.T) {
 	g := twoClusters(t)
-	if _, err := Cluster(wgraph.New(0), nil, DefaultConfig()); err == nil {
+	if _, err := Cluster(context.Background(), wgraph.New(0), nil, DefaultConfig()); err == nil {
 		t.Fatal("empty graph accepted")
 	}
-	if _, err := Cluster(g, nil, Config{StopThreshold: 2, DiffusionRounds: 1}); err == nil {
+	if _, err := Cluster(context.Background(), g, nil, Config{StopThreshold: 2, DiffusionRounds: 1}); err == nil {
 		t.Fatal("bad threshold accepted")
 	}
-	if _, err := Cluster(g, nil, Config{StopThreshold: 0.3, DiffusionRounds: -1}); err == nil {
+	if _, err := Cluster(context.Background(), g, nil, Config{StopThreshold: 0.3, DiffusionRounds: -1}); err == nil {
 		t.Fatal("negative rounds accepted")
 	}
-	if _, err := Cluster(g, []int{1}, DefaultConfig()); err == nil {
+	if _, err := Cluster(context.Background(), g, []int{1}, DefaultConfig()); err == nil {
 		t.Fatal("bad sizes length accepted")
 	}
-	if _, err := Cluster(g, nil, Config{StopThreshold: 0.3, DiffusionRounds: 1, Linkage: Linkage(9)}); err == nil {
+	if _, err := Cluster(context.Background(), g, nil, Config{StopThreshold: 0.3, DiffusionRounds: 1, Linkage: Linkage(9)}); err == nil {
 		t.Fatal("unknown linkage accepted")
 	}
 }
@@ -217,7 +218,7 @@ func TestClusterErrors(t *testing.T) {
 func TestClusterDoesNotModifyInput(t *testing.T) {
 	g := twoClusters(t)
 	before := g.Edges()
-	if _, err := Cluster(g, nil, DefaultConfig()); err != nil {
+	if _, err := Cluster(context.Background(), g, nil, DefaultConfig()); err != nil {
 		t.Fatal(err)
 	}
 	if !reflect.DeepEqual(before, g.Edges()) {
@@ -231,7 +232,7 @@ func TestClusterDoesNotModifyInput(t *testing.T) {
 func TestClusterAgreesWithSequentialAtHighR(t *testing.T) {
 	for seed := uint64(1); seed <= 5; seed++ {
 		g := randomGraph(24, 40, seed)
-		pres, err := Cluster(g, nil, Config{StopThreshold: 0.4, DiffusionRounds: 64})
+		pres, err := Cluster(context.Background(), g, nil, Config{StopThreshold: 0.4, DiffusionRounds: 64})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -275,7 +276,7 @@ func TestClusterWellFormedProperty(t *testing.T) {
 	f := func(seed uint64, rRaw uint8) bool {
 		g := randomGraph(40, 80, seed)
 		r := int(rRaw % 5)
-		res, err := Cluster(g, nil, Config{StopThreshold: 0.25, DiffusionRounds: r})
+		res, err := Cluster(context.Background(), g, nil, Config{StopThreshold: 0.25, DiffusionRounds: r})
 		if err != nil {
 			return false
 		}
@@ -303,7 +304,7 @@ func TestClusterFirstRoundMatchesDiffuse(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := Cluster(g, nil, Config{StopThreshold: 0.3, DiffusionRounds: 2, MaxRounds: 1})
+		res, err := Cluster(context.Background(), g, nil, Config{StopThreshold: 0.3, DiffusionRounds: 2, MaxRounds: 1})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -357,7 +358,7 @@ func TestDiffuseErrors(t *testing.T) {
 func TestClusterSizeBookkeeping(t *testing.T) {
 	g := twoClusters(t)
 	sizes := []int{2, 3, 1, 5, 1, 2}
-	res, err := Cluster(g, sizes, Config{StopThreshold: 0.1, DiffusionRounds: 2})
+	res, err := Cluster(context.Background(), g, sizes, Config{StopThreshold: 0.1, DiffusionRounds: 2})
 	if err != nil {
 		t.Fatal(err)
 	}

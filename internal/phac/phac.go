@@ -25,6 +25,7 @@
 package phac
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -155,7 +156,8 @@ func better(a, b edgeRef) bool {
 // Cluster runs Parallel HAC over a copy of g with initial cluster sizes
 // (nil means all 1). Leaf ids in the dendrogram are graph node ids.
 // The result is deterministic and independent of cfg.Workers.
-func Cluster(g *wgraph.Graph, sizes []int, cfg Config) (*Result, error) {
+// Cancellation is checked between clustering rounds.
+func Cluster(ctx context.Context, g *wgraph.Graph, sizes []int, cfg Config) (*Result, error) {
 	n := g.NumNodes()
 	if n == 0 {
 		return nil, fmt.Errorf("phac: empty graph")
@@ -171,6 +173,9 @@ func Cluster(g *wgraph.Graph, sizes []int, cfg Config) (*Result, error) {
 	res := &Result{Dendrogram: &dendrogram.Dendrogram{Leaves: n}}
 
 	for round := 0; ; round++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if cfg.MaxRounds > 0 && round >= cfg.MaxRounds {
 			break
 		}

@@ -1,6 +1,7 @@
 package phac
 
 import (
+	"context"
 	"math/rand/v2"
 	"reflect"
 	"testing"
@@ -59,7 +60,7 @@ func TestFigure3LocalMaximaAfterTwoIterations(t *testing.T) {
 
 func TestFigure3FirstRoundMergesABAndEF(t *testing.T) {
 	g := figure3(t)
-	res, err := Cluster(g, nil, Config{StopThreshold: 0.3, DiffusionRounds: 2})
+	res, err := Cluster(context.Background(), g, nil, Config{StopThreshold: 0.3, DiffusionRounds: 2})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package recommend
 
 import (
+	"context"
 	"math/rand/v2"
 	"testing"
 
@@ -29,7 +30,7 @@ func world(t *testing.T) (*model.Corpus, *taxonomy.Taxonomy) {
 			{ID: 4, Title: "router x", Category: 3, PriceCents: 100, Scenario: model.NoScenario},
 		},
 	}
-	es, err := entitygraph.BuildEntities(corpus)
+	es, err := entitygraph.BuildEntities(context.Background(), corpus)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,7 +48,7 @@ func world(t *testing.T) (*model.Corpus, *taxonomy.Taxonomy) {
 	if err := d.Validate(); err != nil {
 		t.Fatal(err)
 	}
-	tx, err := taxonomy.Build(d, es, corpus, taxonomy.Config{Levels: []float64{0.5}, MinTopicSize: 2})
+	tx, err := taxonomy.Build(context.Background(), d, es, corpus, taxonomy.Config{Levels: []float64{0.5}, MinTopicSize: 2})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -7,7 +7,12 @@
 //	GET /api/topics/{id}                   scenario B: topic + sub-topics
 //	GET /api/topics/{id}/items?category=3  scenario C: topic → category → items
 //	GET /api/categories/{id}/related       scenario D: category correlations
-//	GET /api/stats                         build statistics
+//	GET /api/stats                         build statistics + stage timings
+//
+// The handler holds the current build behind an atomic pointer: Swap
+// publishes a fresh build (e.g. a daily sliding-window rebuild) with zero
+// downtime. Each request loads one consistent snapshot at entry, so a swap
+// mid-request cannot mix two builds in one response.
 package serve
 
 import (
@@ -15,6 +20,9 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"shoal/internal/catcorr"
 	"shoal/internal/core"
@@ -22,19 +30,30 @@ import (
 	"shoal/internal/taxonomy"
 )
 
-// Handler serves a single immutable build.
+// Handler serves the current build snapshot and supports hot swaps.
 type Handler struct {
-	b   *core.Build
-	mux *http.ServeMux
+	cur atomic.Pointer[snapshot]
+	// swapMu serializes Swap so concurrent publishers cannot lose a swap
+	// count; request handlers never take it.
+	swapMu sync.Mutex
+	mux    *http.ServeMux
 }
 
-// NewHandler wraps a completed build. The build must not be mutated while
-// the handler is in use.
+// snapshot pairs a build with the swap count that published it, so one
+// atomic load yields a fully consistent /api/stats payload.
+type snapshot struct {
+	build *core.Build
+	swaps int64
+}
+
+// NewHandler wraps a completed build. The build must not be mutated after
+// it is handed over; publish updates with Swap instead.
 func NewHandler(b *core.Build) (*Handler, error) {
-	if b == nil || b.Taxonomy == nil {
-		return nil, fmt.Errorf("serve: nil build")
+	if err := checkBuild(b); err != nil {
+		return nil, err
 	}
-	h := &Handler{b: b, mux: http.NewServeMux()}
+	h := &Handler{mux: http.NewServeMux()}
+	h.cur.Store(&snapshot{build: b})
 	h.mux.HandleFunc("GET /api/search", h.search)
 	h.mux.HandleFunc("GET /api/topics/{id}", h.topic)
 	h.mux.HandleFunc("GET /api/topics/{id}/items", h.topicItems)
@@ -42,6 +61,36 @@ func NewHandler(b *core.Build) (*Handler, error) {
 	h.mux.HandleFunc("GET /api/stats", h.stats)
 	return h, nil
 }
+
+func checkBuild(b *core.Build) error {
+	if b == nil || b.Taxonomy == nil {
+		return fmt.Errorf("serve: nil build")
+	}
+	// Handlers dereference these on every request; rejecting a partial
+	// build here keeps Swap's zero-downtime promise.
+	if b.Corpus == nil || b.Entities == nil {
+		return fmt.Errorf("serve: build missing corpus or entities")
+	}
+	return nil
+}
+
+// Swap atomically publishes a new build. In-flight requests finish against
+// the snapshot they started with; subsequent requests see the new build.
+func (h *Handler) Swap(b *core.Build) error {
+	if err := checkBuild(b); err != nil {
+		return err
+	}
+	h.swapMu.Lock()
+	defer h.swapMu.Unlock()
+	h.cur.Store(&snapshot{build: b, swaps: h.cur.Load().swaps + 1})
+	return nil
+}
+
+// Current returns the build snapshot requests are being served from.
+func (h *Handler) Current() *core.Build { return h.cur.Load().build }
+
+// Swaps returns how many times a new build has been published.
+func (h *Handler) Swaps() int64 { return h.cur.Load().swaps }
 
 // ServeHTTP implements http.Handler.
 func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) { h.mux.ServeHTTP(w, r) }
@@ -83,7 +132,30 @@ type RelatedCategory struct {
 	Strength int `json:"strength"`
 }
 
+// StageStat is one pipeline stage's timing in the stats payload. Start is
+// the offset from pipeline start, so overlap between concurrently executed
+// stages is visible.
+type StageStat struct {
+	Stage     string  `json:"stage"`
+	StartMs   float64 `json:"startMs"`
+	ElapsedMs float64 `json:"elapsedMs"`
+}
+
+// Stats is the /api/stats payload.
+type Stats struct {
+	Items        int         `json:"items"`
+	Queries      int         `json:"queries"`
+	Categories   int         `json:"categories"`
+	Entities     int         `json:"entities"`
+	Topics       int         `json:"topics"`
+	RootTopics   int         `json:"rootTopics"`
+	Correlations int         `json:"correlations"`
+	Swaps        int64       `json:"swaps"`
+	Stages       []StageStat `json:"stages"`
+}
+
 func (h *Handler) search(w http.ResponseWriter, r *http.Request) {
+	b := h.cur.Load().build
 	q := r.URL.Query().Get("q")
 	if q == "" {
 		httpError(w, http.StatusBadRequest, "missing query parameter q")
@@ -99,50 +171,52 @@ func (h *Handler) search(w http.ResponseWriter, r *http.Request) {
 		k = v
 	}
 	var hits []taxonomy.Hit
-	if h.b.Searcher != nil {
-		hits = h.b.Searcher.Search(q, k)
+	if b.Searcher != nil {
+		hits = b.Searcher.Search(q, k)
 	}
 	out := make([]TopicSummary, 0, len(hits))
 	for _, hit := range hits {
-		t := &h.b.Taxonomy.Topics[hit.Topic]
-		out = append(out, h.summary(t, hit.Score))
+		t := &b.Taxonomy.Topics[hit.Topic]
+		out = append(out, summarize(t, hit.Score))
 	}
 	writeJSON(w, out)
 }
 
 func (h *Handler) topic(w http.ResponseWriter, r *http.Request) {
-	t, ok := h.topicFromPath(w, r)
+	b := h.cur.Load().build
+	t, ok := topicFromPath(w, r, b)
 	if !ok {
 		return
 	}
 	detail := TopicDetail{
-		TopicSummary: h.summary(t, 0),
+		TopicSummary: summarize(t, 0),
 		Queries:      t.DescQueries,
 	}
 	for _, c := range t.Children {
-		detail.SubTopics = append(detail.SubTopics, h.summary(&h.b.Taxonomy.Topics[c], 0))
+		detail.SubTopics = append(detail.SubTopics, summarize(&b.Taxonomy.Topics[c], 0))
 	}
 	for _, cat := range t.Categories {
 		detail.Categories = append(detail.Categories, CategoryRef{
-			ID: cat, Name: h.b.Corpus.Categories[cat].Name,
+			ID: cat, Name: b.Corpus.Categories[cat].Name,
 		})
 	}
 	writeJSON(w, detail)
 }
 
 func (h *Handler) topicItems(w http.ResponseWriter, r *http.Request) {
-	t, ok := h.topicFromPath(w, r)
+	b := h.cur.Load().build
+	t, ok := topicFromPath(w, r, b)
 	if !ok {
 		return
 	}
 	items := t.Items
 	if cs := r.URL.Query().Get("category"); cs != "" {
 		cat, err := strconv.Atoi(cs)
-		if err != nil || cat < 0 || cat >= len(h.b.Corpus.Categories) {
+		if err != nil || cat < 0 || cat >= len(b.Corpus.Categories) {
 			httpError(w, http.StatusBadRequest, "unknown category")
 			return
 		}
-		filtered, err := h.b.Taxonomy.ItemsInCategory(t.ID, model.CategoryID(cat), h.b.Corpus)
+		filtered, err := b.Taxonomy.ItemsInCategory(t.ID, model.CategoryID(cat), b.Corpus)
 		if err != nil {
 			httpError(w, http.StatusInternalServerError, err.Error())
 			return
@@ -151,21 +225,22 @@ func (h *Handler) topicItems(w http.ResponseWriter, r *http.Request) {
 	}
 	out := make([]ItemRef, 0, len(items))
 	for _, it := range items {
-		item := &h.b.Corpus.Items[it]
+		item := &b.Corpus.Items[it]
 		out = append(out, ItemRef{ID: it, Title: item.Title, Category: item.Category})
 	}
 	writeJSON(w, out)
 }
 
 func (h *Handler) related(w http.ResponseWriter, r *http.Request) {
+	b := h.cur.Load().build
 	id, err := strconv.Atoi(r.PathValue("id"))
-	if err != nil || id < 0 || id >= len(h.b.Corpus.Categories) {
+	if err != nil || id < 0 || id >= len(b.Corpus.Categories) {
 		httpError(w, http.StatusNotFound, "unknown category")
 		return
 	}
 	var rel []catcorr.Correlation
-	if h.b.Correlations != nil {
-		rel = h.b.Correlations.Related(model.CategoryID(id))
+	if b.Correlations != nil {
+		rel = b.Correlations.Related(model.CategoryID(id))
 	}
 	out := make([]RelatedCategory, 0, len(rel))
 	for _, c := range rel {
@@ -174,7 +249,7 @@ func (h *Handler) related(w http.ResponseWriter, r *http.Request) {
 			other = c.B
 		}
 		out = append(out, RelatedCategory{
-			CategoryRef: CategoryRef{ID: other, Name: h.b.Corpus.Categories[other].Name},
+			CategoryRef: CategoryRef{ID: other, Name: b.Corpus.Categories[other].Name},
 			Strength:    c.Strength,
 		})
 	}
@@ -182,24 +257,37 @@ func (h *Handler) related(w http.ResponseWriter, r *http.Request) {
 }
 
 func (h *Handler) stats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, map[string]int{
-		"items":        len(h.b.Corpus.Items),
-		"queries":      len(h.b.Corpus.Queries),
-		"categories":   len(h.b.Corpus.Categories),
-		"entities":     len(h.b.Entities.Entities),
-		"topics":       len(h.b.Taxonomy.Topics),
-		"rootTopics":   len(h.b.Taxonomy.Roots()),
-		"correlations": len(h.b.Correlations.Pairs()),
-	})
+	snap := h.cur.Load()
+	b := snap.build
+	out := Stats{
+		Items:      len(b.Corpus.Items),
+		Queries:    len(b.Corpus.Queries),
+		Categories: len(b.Corpus.Categories),
+		Entities:   len(b.Entities.Entities),
+		Topics:     len(b.Taxonomy.Topics),
+		RootTopics: len(b.Taxonomy.Roots()),
+		Swaps:      snap.swaps,
+	}
+	if b.Correlations != nil {
+		out.Correlations = len(b.Correlations.Pairs())
+	}
+	for _, st := range b.StageTimings {
+		out.Stages = append(out.Stages, StageStat{
+			Stage:     st.Stage,
+			StartMs:   float64(st.Start) / float64(time.Millisecond),
+			ElapsedMs: float64(st.Elapsed) / float64(time.Millisecond),
+		})
+	}
+	writeJSON(w, out)
 }
 
-func (h *Handler) topicFromPath(w http.ResponseWriter, r *http.Request) (*taxonomy.Topic, bool) {
+func topicFromPath(w http.ResponseWriter, r *http.Request, b *core.Build) (*taxonomy.Topic, bool) {
 	id, err := strconv.Atoi(r.PathValue("id"))
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "topic id must be an integer")
 		return nil, false
 	}
-	t, err := h.b.Taxonomy.Topic(model.TopicID(id))
+	t, err := b.Taxonomy.Topic(model.TopicID(id))
 	if err != nil {
 		httpError(w, http.StatusNotFound, err.Error())
 		return nil, false
@@ -207,7 +295,7 @@ func (h *Handler) topicFromPath(w http.ResponseWriter, r *http.Request) (*taxono
 	return t, true
 }
 
-func (h *Handler) summary(t *taxonomy.Topic, score float64) TopicSummary {
+func summarize(t *taxonomy.Topic, score float64) TopicSummary {
 	return TopicSummary{
 		ID: t.ID, Description: t.Description, Level: t.Level,
 		Items: len(t.Items), Categories: len(t.Categories), Score: score,

@@ -6,7 +6,9 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"shoal/internal/core"
 	"shoal/internal/synth"
@@ -184,13 +186,29 @@ func TestRelatedEndpoint(t *testing.T) {
 
 func TestStatsEndpoint(t *testing.T) {
 	srv := newServer(t)
-	var stats map[string]int
+	var stats Stats
 	if code := getJSON(t, srv.URL+"/api/stats", &stats); code != http.StatusOK {
 		t.Fatalf("status = %d", code)
 	}
-	for _, key := range []string{"items", "topics", "rootTopics", "entities"} {
-		if stats[key] <= 0 {
-			t.Fatalf("stats[%s] = %d, want positive", key, stats[key])
+	if stats.Items <= 0 || stats.Topics <= 0 || stats.RootTopics <= 0 || stats.Entities <= 0 {
+		t.Fatalf("non-positive counts in stats: %+v", stats)
+	}
+	if len(stats.Stages) == 0 {
+		t.Fatal("stats has no stage timings")
+	}
+	seen := make(map[string]bool)
+	for _, st := range stats.Stages {
+		if st.Stage == "" {
+			t.Fatalf("unnamed stage in %+v", stats.Stages)
+		}
+		if st.ElapsedMs < 0 || st.StartMs < 0 {
+			t.Fatalf("negative timing: %+v", st)
+		}
+		seen[st.Stage] = true
+	}
+	for _, want := range []string{"entities", "entity-graph", "parallel-hac", "taxonomy"} {
+		if !seen[want] {
+			t.Fatalf("stage %q missing from stats (got %v)", want, stats.Stages)
 		}
 	}
 }
@@ -222,6 +240,117 @@ func TestConcurrentRequests(t *testing.T) {
 	close(errs)
 	for err := range errs {
 		t.Fatal(err)
+	}
+}
+
+// TestSwapValidation checks that a broken build cannot be published.
+func TestSwapValidation(t *testing.T) {
+	h, err := NewHandler(getBuild(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Swap(nil); err == nil {
+		t.Fatal("Swap(nil) accepted")
+	}
+	if err := h.Swap(&core.Build{}); err == nil {
+		t.Fatal("Swap of taxonomy-less build accepted")
+	}
+	if h.Swaps() != 0 {
+		t.Fatalf("rejected swaps counted: %d", h.Swaps())
+	}
+	if h.Current() != getBuild(t) {
+		t.Fatal("rejected swaps replaced the served build")
+	}
+}
+
+// TestSwapUnderLoad hammers the handler with parallel requests while
+// builds are swapped in and out. Run under -race this is the zero-downtime
+// guarantee: no request may observe an error or a torn snapshot.
+func TestSwapUnderLoad(t *testing.T) {
+	first := getBuild(t)
+	// A second, structurally different build to alternate with.
+	cfg := core.DefaultConfig()
+	cfg.Word2Vec.Epochs = 1
+	cfg.Word2Vec.MinCount = 1
+	cfg.Graph.MinSimilarity = 0.2
+	cfg.HAC.StopThreshold = 0.12
+	cfg.Taxonomy.Levels = []float64{0.12}
+	cfg.CatCorr.MinStrength = 0
+	second, err := core.Run(synth.Curated(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := NewHandler(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	stop := make(chan struct{})
+	errs := make(chan error, 32)
+	var completed atomic.Int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	paths := []string{
+		"/api/search?q=beach+dress&k=3",
+		"/api/stats",
+		"/api/topics/0",
+	}
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for n := 0; ; n++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				url := srv.URL + paths[(i+n)%len(paths)]
+				resp, err := http.Get(url)
+				if err != nil {
+					failed.Store(true)
+					errs <- err
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					failed.Store(true)
+					errs <- fmt.Errorf("status %d for %s", resp.StatusCode, url)
+					return
+				}
+				completed.Add(1)
+			}
+		}(i)
+	}
+	// Keep swapping for as long as the readers are producing traffic, so
+	// swaps genuinely interleave with in-flight requests instead of all
+	// landing before the first response. A reader failure or the deadline
+	// breaks the loop rather than hanging the package.
+	builds := [2]*core.Build{first, second}
+	deadline := time.Now().Add(30 * time.Second)
+	for n := 0; completed.Load() < 400 && !failed.Load(); n++ {
+		if time.Now().After(deadline) {
+			t.Error("readers did not reach 400 requests before deadline")
+			break
+		}
+		if err := h.Swap(builds[n%2]); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	close(stop)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if h.Swaps() == 0 {
+		t.Fatal("no swaps performed")
+	}
+	if cur := h.Current(); cur != first && cur != second {
+		t.Fatalf("Current() = %p, not one of the swapped builds", cur)
 	}
 }
 

@@ -1,6 +1,7 @@
 package taxonomy
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -23,7 +24,10 @@ type Searcher struct {
 // document of tx.Topics[i] (typically: description queries + member query
 // texts + category names). Topics with empty documents are searchable but
 // never match.
-func NewSearcher(tx *Taxonomy, topicDocs [][]string) (*Searcher, error) {
+func NewSearcher(ctx context.Context, tx *Taxonomy, topicDocs [][]string) (*Searcher, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if len(topicDocs) != len(tx.Topics) {
 		return nil, fmt.Errorf("taxonomy: %d docs for %d topics", len(topicDocs), len(tx.Topics))
 	}

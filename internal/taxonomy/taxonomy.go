@@ -11,6 +11,7 @@
 package taxonomy
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -95,9 +96,13 @@ func (c Config) validate() error {
 }
 
 // Build cuts the dendrogram at cfg.Levels and assembles the topic tree.
-// Dendrogram leaves must be entity ids of es.
-func Build(d *dendrogram.Dendrogram, es *entitygraph.EntitySet, corpus *model.Corpus, cfg Config) (*Taxonomy, error) {
+// Dendrogram leaves must be entity ids of es. Cancellation is checked
+// between level cuts.
+func Build(ctx context.Context, d *dendrogram.Dendrogram, es *entitygraph.EntitySet, corpus *model.Corpus, cfg Config) (*Taxonomy, error) {
 	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	if d.Leaves != len(es.Entities) {
@@ -126,6 +131,9 @@ func Build(d *dendrogram.Dendrogram, es *entitygraph.EntitySet, corpus *model.Co
 		prevAssign[i] = NoTopic
 	}
 	for level, threshold := range cfg.Levels {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		labels := d.CutAt(threshold)
 		// Group entities by label.
 		groups := make(map[int32][]model.EntityID)

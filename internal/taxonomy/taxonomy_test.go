@@ -2,6 +2,7 @@ package taxonomy
 
 import (
 	"bytes"
+	"context"
 	"reflect"
 	"testing"
 
@@ -30,7 +31,7 @@ func fixture(t *testing.T) (*dendrogram.Dendrogram, *entitygraph.EntitySet, *mod
 			{ID: 5, Title: "alpine pack", Category: 2, PriceCents: 10000},
 		},
 	}
-	es, err := entitygraph.BuildEntities(corpus)
+	es, err := entitygraph.BuildEntities(context.Background(), corpus)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,7 +56,7 @@ func fixture(t *testing.T) (*dendrogram.Dendrogram, *entitygraph.EntitySet, *mod
 func build(t *testing.T, cfg Config) (*Taxonomy, *model.Corpus) {
 	t.Helper()
 	d, es, corpus := fixture(t)
-	tx, err := Build(d, es, corpus, cfg)
+	tx, err := Build(context.Background(), d, es, corpus, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,13 +162,13 @@ func TestBuildConfigValidation(t *testing.T) {
 		{Levels: []float64{0.5}, MinTopicSize: 0},
 	}
 	for i, cfg := range bad {
-		if _, err := Build(d, es, corpus, cfg); err == nil {
+		if _, err := Build(context.Background(), d, es, corpus, cfg); err == nil {
 			t.Errorf("case %d: invalid config accepted", i)
 		}
 	}
 	// Mismatched leaves.
 	d2 := &dendrogram.Dendrogram{Leaves: 3}
-	if _, err := Build(d2, es, corpus, DefaultConfig()); err == nil {
+	if _, err := Build(context.Background(), d2, es, corpus, DefaultConfig()); err == nil {
 		t.Error("mismatched dendrogram accepted")
 	}
 }
@@ -222,7 +223,7 @@ func TestSearcher(t *testing.T) {
 			docs[i] = []string{"mountain", "backpack", "trek"}
 		}
 	}
-	s, err := NewSearcher(tx, docs)
+	s, err := NewSearcher(context.Background(), tx, docs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -237,7 +238,7 @@ func TestSearcher(t *testing.T) {
 		t.Fatal("nonsense query matched")
 	}
 	// Mismatched docs rejected.
-	if _, err := NewSearcher(tx, docs[:1]); err == nil {
+	if _, err := NewSearcher(context.Background(), tx, docs[:1]); err == nil {
 		t.Fatal("mismatched doc count accepted")
 	}
 }

@@ -1,0 +1,6 @@
+//go:build !race
+
+package word2vec
+
+// raceEnabled reports whether the Go race detector is compiled in.
+const raceEnabled = false

@@ -1,0 +1,9 @@
+//go:build race
+
+package word2vec
+
+// raceEnabled reports whether the Go race detector is compiled in. The
+// Hogwild trainer's lock-free weight updates are benign-by-design data
+// races, which the detector would (correctly) flag; race builds therefore
+// clamp training to one worker. See Config.validate.
+const raceEnabled = true

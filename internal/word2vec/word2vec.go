@@ -11,6 +11,7 @@
 package word2vec
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -74,6 +75,11 @@ func (c *Config) validate() error {
 	}
 	if c.Workers <= 0 {
 		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if raceEnabled {
+		// Hogwild updates are benign data races; under the race detector
+		// they would be flagged, so train single-threaded there.
+		c.Workers = 1
 	}
 	return nil
 }
@@ -185,8 +191,13 @@ func (m *Model) Nearest(word string, k int) ([]Neighbor, error) {
 
 // Train learns embeddings from sentences (token slices). Tokens rarer than
 // cfg.MinCount are ignored. It returns an error on empty effective input.
-func Train(sentences [][]string, cfg Config) (*Model, error) {
+// Cancellation is checked between worker sentence batches; a canceled ctx
+// aborts training and returns the context error.
+func Train(ctx context.Context, sentences [][]string, cfg Config) (*Model, error) {
 	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 
@@ -268,8 +279,15 @@ func Train(sentences [][]string, cfg Config) (*Model, error) {
 			rng := rand.New(rand.NewPCG(cfg.Seed, uint64(wk)+1))
 			grad := make([]float32, dim)
 			var done int64
+			var sinceCheck int
 			for ep := 0; ep < cfg.Epochs; ep++ {
 				for si := wk; si < len(encoded); si += cfg.Workers {
+					if sinceCheck++; sinceCheck >= 256 {
+						sinceCheck = 0
+						if ctx.Err() != nil {
+							return
+						}
+					}
 					sent := encoded[si]
 					// Subsample this sentence.
 					kept := make([]int32, 0, len(sent))
@@ -304,6 +322,9 @@ func Train(sentences [][]string, cfg Config) (*Model, error) {
 		}(wk)
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	return &Model{dim: dim, ids: ids, words: words, vecs: vecs}, nil
 }

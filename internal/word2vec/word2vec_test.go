@@ -1,6 +1,7 @@
 package word2vec
 
 import (
+	"context"
 	"math"
 	"math/rand/v2"
 	"strings"
@@ -36,7 +37,7 @@ func trainTestModel(t *testing.T) *Model {
 	cfg.Epochs = 8
 	cfg.Workers = 2
 	cfg.MinCount = 1
-	m, err := Train(syntheticSentences(400, 7), cfg)
+	m, err := Train(context.Background(), syntheticSentences(400, 7), cfg)
 	if err != nil {
 		t.Fatalf("Train: %v", err)
 	}
@@ -133,7 +134,7 @@ func TestTrainMinCountFiltering(t *testing.T) {
 		{"common", "common", "rare"},
 		{"common", "common", "other"},
 	}
-	m, err := Train(sents, cfg)
+	m, err := Train(context.Background(), sents, cfg)
 	if err != nil {
 		t.Fatalf("Train: %v", err)
 	}
@@ -146,12 +147,12 @@ func TestTrainMinCountFiltering(t *testing.T) {
 }
 
 func TestTrainEmptyInput(t *testing.T) {
-	if _, err := Train(nil, DefaultConfig()); err == nil {
+	if _, err := Train(context.Background(), nil, DefaultConfig()); err == nil {
 		t.Fatal("Train(nil) = nil error, want error")
 	}
 	cfg := DefaultConfig()
 	cfg.MinCount = 100
-	if _, err := Train([][]string{{"a", "b"}}, cfg); err == nil {
+	if _, err := Train(context.Background(), [][]string{{"a", "b"}}, cfg); err == nil {
 		t.Fatal("Train with everything filtered = nil error, want error")
 	}
 }
@@ -165,7 +166,7 @@ func TestConfigValidation(t *testing.T) {
 		{Dim: 8, Window: 1, Negative: 1, Epochs: 1, LR: 0},
 	}
 	for i, cfg := range bad {
-		if _, err := Train([][]string{{"a", "b"}}, cfg); err == nil {
+		if _, err := Train(context.Background(), [][]string{{"a", "b"}}, cfg); err == nil {
 			t.Errorf("case %d: Train accepted invalid config %+v", i, cfg)
 		} else if !strings.Contains(err.Error(), "word2vec:") {
 			t.Errorf("case %d: error %v lacks package prefix", i, err)

@@ -23,6 +23,7 @@
 package shoal
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand/v2"
@@ -81,6 +82,9 @@ type (
 	Recommender = recommend.Recommender
 	// RoundStat profiles one Parallel HAC round.
 	RoundStat = phac.RoundStat
+	// StageTiming is one pipeline stage's wall-clock cost; Start offsets
+	// reveal which stages the engine overlapped.
+	StageTiming = core.StageTiming
 	// DailyPipeline maintains SHOAL over a streaming click log with a
 	// sliding day window (the production refresh mode, §3).
 	DailyPipeline = core.DailyPipeline
@@ -118,9 +122,17 @@ type System struct {
 	build *core.Build
 }
 
-// Build runs the full SHOAL pipeline over the corpus.
+// Build runs the full SHOAL pipeline over the corpus. Stages execute
+// concurrently where the stage graph allows (set cfg.Sequential for the
+// one-at-a-time baseline); output is identical either way.
 func Build(corpus *Corpus, cfg Config) (*System, error) {
-	b, err := core.Run(corpus, cfg)
+	return BuildContext(context.Background(), corpus, cfg)
+}
+
+// BuildContext is Build with cancellation: canceling ctx aborts in-flight
+// pipeline stages and returns the context error.
+func BuildContext(ctx context.Context, corpus *Corpus, cfg Config) (*System, error) {
+	b, err := core.RunContext(ctx, corpus, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -145,6 +157,12 @@ func (s *System) RootTopics() []TopicID { return s.build.Taxonomy.Roots() }
 // Rounds returns the Parallel HAC round profile: how many clusters, edges
 // and locally-maximal merges each round saw.
 func (s *System) Rounds() []RoundStat { return append([]RoundStat(nil), s.build.Rounds...) }
+
+// StageTimings returns per-stage wall-clock instrumentation from the build,
+// in stage declaration order.
+func (s *System) StageTimings() []StageTiming {
+	return append([]StageTiming(nil), s.build.StageTimings...)
+}
 
 // SearchTopics implements demo scenario A (Query→Topic): free-text search
 // over topic descriptions and member queries.
