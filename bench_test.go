@@ -124,6 +124,7 @@ func BenchmarkE2ABTest(b *testing.B) {
 // BenchmarkE3Modularity regenerates §2.2's quality metric (paper: > 0.3).
 func BenchmarkE3Modularity(b *testing.B) {
 	w := getWorld(b)
+	b.ReportAllocs()
 	labels := w.build.Dendrogram.CutAt(0.12)
 	var q float64
 	for i := 0; i < b.N; i++ {
@@ -142,6 +143,7 @@ func BenchmarkE3Modularity(b *testing.B) {
 func BenchmarkE4Scaling(b *testing.B) {
 	w := getWorld(b)
 	b.Run("sequential", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := hac.Cluster(w.build.Graph, w.sizes, hac.Config{StopThreshold: 0.12}); err != nil {
 				b.Fatal(err)
@@ -150,6 +152,7 @@ func BenchmarkE4Scaling(b *testing.B) {
 	})
 	for _, workers := range []int{1, 2, 4, 8} {
 		b.Run("parallel-w"+strconv.Itoa(workers), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				_, err := phac.Cluster(context.Background(), w.build.Graph, w.sizes, phac.Config{
 					StopThreshold: 0.12, DiffusionRounds: 2, Workers: workers,
@@ -168,6 +171,7 @@ func BenchmarkE5Diffusion(b *testing.B) {
 	w := getWorld(b)
 	for _, r := range []int{0, 1, 2, 4} {
 		b.Run("r"+strconv.Itoa(r), func(b *testing.B) {
+			b.ReportAllocs()
 			var selected int
 			for i := 0; i < b.N; i++ {
 				sel, err := phac.Diffuse(w.build.Graph, r, 0.12, 0)
@@ -346,6 +350,7 @@ func BenchmarkPipelineConcurrent(b *testing.B) { benchPipeline(b, false) }
 
 func BenchmarkEntityGraphBuild(b *testing.B) {
 	w := getWorld(b)
+	b.ReportAllocs()
 	clicks := bipartite.New(7)
 	if err := clicks.AddAll(w.corpus.Clicks); err != nil {
 		b.Fatal(err)
@@ -377,6 +382,7 @@ func BenchmarkWord2VecTrain(b *testing.B) {
 
 func BenchmarkBM25TopK(b *testing.B) {
 	w := getWorld(b)
+	b.ReportAllocs()
 	docs := make([][]string, 0, len(w.corpus.Items))
 	for i := range w.corpus.Items {
 		docs = append(docs, textutil.Tokenize(w.corpus.Items[i].Title))
@@ -408,6 +414,7 @@ func BenchmarkCoClickPairs(b *testing.B) {
 // searches per day"): one query→topic search through the HTTP handler.
 func BenchmarkServeSearch(b *testing.B) {
 	w := getWorld(b)
+	b.ReportAllocs()
 	h, err := serve.NewHandler(w.build)
 	if err != nil {
 		b.Fatal(err)

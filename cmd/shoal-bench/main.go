@@ -6,6 +6,11 @@
 //	shoal-bench                      # run everything at medium scale
 //	shoal-bench -run E1,E3 -scale small
 //	shoal-bench -run E2 -users 1000000
+//	shoal-bench -benchjson BENCH_2.json   # substrate benchmarks -> JSON
+//
+// -benchjson runs the graph-substrate micro-benchmarks at a fixed larger
+// synthetic scale and writes ns/op + allocs/op per benchmark, so each PR
+// can record a comparable BENCH_<pr>.json trajectory point.
 package main
 
 import (
@@ -15,6 +20,7 @@ import (
 	"strconv"
 	"strings"
 
+	"shoal/internal/benchjson"
 	"shoal/internal/experiments"
 )
 
@@ -23,13 +29,22 @@ func main() {
 	log.SetPrefix("shoal-bench: ")
 
 	var (
-		run    = flag.String("run", "all", "comma-separated experiment ids (E1..E9,F3) or 'all'")
-		scale  = flag.String("scale", "medium", "corpus scale: small|medium|large")
-		users  = flag.Int("users", 200_000, "simulated users for E2")
-		seeds  = flag.String("seeds", "1,2,3", "comma-separated corpus seeds")
-		noFail = flag.Bool("keep-going", true, "continue after a failing experiment")
+		run       = flag.String("run", "all", "comma-separated experiment ids (E1..E9,F3) or 'all'")
+		scale     = flag.String("scale", "medium", "corpus scale: small|medium|large")
+		users     = flag.Int("users", 200_000, "simulated users for E2")
+		seeds     = flag.String("seeds", "1,2,3", "comma-separated corpus seeds")
+		noFail    = flag.Bool("keep-going", true, "continue after a failing experiment")
+		benchJSON = flag.String("benchjson", "", "run substrate benchmarks at a fixed scale and write JSON results to this path")
 	)
 	flag.Parse()
+
+	if *benchJSON != "" {
+		if err := benchjson.WriteFile(*benchJSON); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %s", *benchJSON)
+		return
+	}
 
 	sc, err := experiments.ParseScale(*scale)
 	if err != nil {

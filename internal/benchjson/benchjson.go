@@ -1,0 +1,166 @@
+// Package benchjson runs the graph-substrate micro-benchmarks at a
+// fixed, larger-than-unit-test synthetic scale and emits machine-readable
+// ns/op + allocs/op per benchmark. cmd/shoal-bench -benchjson uses it to
+// write BENCH_<pr>.json files, giving the repo a benchmark trajectory
+// across PRs that CI and future perf work can diff against.
+package benchjson
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"testing"
+
+	"shoal/internal/bipartite"
+	"shoal/internal/bm25"
+	"shoal/internal/core"
+	"shoal/internal/entitygraph"
+	"shoal/internal/hac"
+	"shoal/internal/modularity"
+	"shoal/internal/phac"
+	"shoal/internal/synth"
+	"shoal/internal/textutil"
+	"shoal/internal/wgraph"
+)
+
+// Result is one benchmark's outcome at the fixed scale.
+type Result struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Iterations  int     `json:"iterations"`
+}
+
+// fixedWorld builds the shared fixture: a synthetic corpus roughly 4x
+// the unit-test bench scale, plus a full pipeline build over it. The
+// scale is fixed (not flag-tunable) so BENCH_*.json files from
+// different PRs are comparable.
+func fixedWorld() (*core.Build, *bipartite.Graph, []int, error) {
+	gen := synth.DefaultConfig()
+	gen.Scenarios = 32
+	gen.ItemsPerScenario = 150
+	gen.QueriesPerScenario = 30
+	gen.NoiseItems = 160
+	gen.HeadQueries = 20
+	corpus, err := synth.Generate(gen)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	cfg := core.DefaultConfig()
+	cfg.Word2Vec.Epochs = 2
+	cfg.Word2Vec.Dim = 24
+	cfg.Graph.MinSimilarity = 0.25
+	cfg.Graph.MaxQueryFanout = 50
+	cfg.HAC.StopThreshold = 0.12
+	cfg.Taxonomy.Levels = []float64{0.12, 0.3, 0.5}
+	b, err := core.Run(corpus, cfg)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	clicks := bipartite.New(7)
+	if err := clicks.AddAll(corpus.Clicks); err != nil {
+		return nil, nil, nil, err
+	}
+	sizes := make([]int, len(b.Entities.Entities))
+	for i := range sizes {
+		sizes[i] = b.Entities.Entities[i].Size()
+	}
+	return b, clicks, sizes, nil
+}
+
+// Run executes every substrate benchmark once and returns the results
+// sorted by name.
+func Run() ([]Result, error) {
+	b, clicks, sizes, err := fixedWorld()
+	if err != nil {
+		return nil, err
+	}
+	g := b.Graph
+	labels := b.Dendrogram.CutAt(0.12)
+	docs := make([][]string, 0, len(b.Corpus.Items))
+	for i := range b.Corpus.Items {
+		docs = append(docs, textutil.Tokenize(b.Corpus.Items[i].Title))
+	}
+	idx, err := bm25.Build(docs, bm25.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	query := textutil.Tokenize(b.Corpus.Queries[0].Text)
+	edges := g.Edges() // materialized once: csr-from-edges times CSR construction only
+	ctx := context.Background()
+
+	var firstErr error
+	record := func(op func() error) func(*testing.B) {
+		return func(tb *testing.B) {
+			tb.ReportAllocs()
+			for i := 0; i < tb.N; i++ {
+				if err := op(); err != nil && firstErr == nil {
+					firstErr = err
+				}
+			}
+		}
+	}
+	benches := map[string]func(*testing.B){
+		"diffuse-r2": record(func() error {
+			_, err := phac.Diffuse(g, 2, 0.12, 0)
+			return err
+		}),
+		"phac-cluster": record(func() error {
+			_, err := phac.Cluster(ctx, g, sizes, phac.Config{StopThreshold: 0.12, DiffusionRounds: 2})
+			return err
+		}),
+		"hac-sequential": record(func() error {
+			_, err := hac.Cluster(g, sizes, hac.Config{StopThreshold: 0.12})
+			return err
+		}),
+		"modularity": record(func() error {
+			_, err := modularity.Compute(g, labels)
+			return err
+		}),
+		"entitygraph-build": record(func() error {
+			_, err := entitygraph.Build(ctx, b.Entities, clicks, b.Embeddings, entitygraph.DefaultConfig())
+			return err
+		}),
+		"csr-from-edges": record(func() error {
+			_, err := wgraph.FromEdges(g.NumNodes(), edges)
+			return err
+		}),
+		"bm25-topk": record(func() error {
+			idx.TopK(query, 10)
+			return nil
+		}),
+	}
+
+	out := make([]Result, 0, len(benches))
+	for name, fn := range benches {
+		r := testing.Benchmark(fn)
+		if firstErr != nil {
+			return nil, fmt.Errorf("benchjson: %s: %w", name, firstErr)
+		}
+		out = append(out, Result{
+			Name:        name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			Iterations:  r.N,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+// WriteFile runs the suite and writes the results as indented JSON.
+func WriteFile(path string) error {
+	results, err := Run()
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 )
 
 // Config holds the standard Okapi parameters.
@@ -35,6 +36,20 @@ type Index struct {
 	docLen   []int
 	avgLen   float64
 	n        int
+	// scratchPool recycles the dense per-query scoring state used by
+	// TopK, so the serving hot path allocates only the result slice.
+	scratchPool sync.Pool
+}
+
+// scratch is the pooled dense scoring state: a score per document, a
+// touched marker per document, and the list of touched docs for O(hits)
+// reset. Scores can legitimately be 0 (idf floors at 0), so marking is
+// explicit rather than inferred from the score.
+type scratch struct {
+	scores  []float64
+	marked  []bool
+	touched []int32
+	terms   []string
 }
 
 // Build indexes docs. Empty documents are permitted (they simply never
@@ -132,23 +147,104 @@ func (idx *Index) ScoreAll(query []string) map[int]float64 {
 }
 
 // TopK returns the k highest-scoring documents for the query, best first;
-// ties break on lower document id.
+// ties break on lower document id. Scoring accumulates into a pooled
+// dense array with a touched-doc list (no per-query map), and selection
+// keeps a partial top-k instead of sorting every hit, so the only
+// allocation on the hot path is the returned slice.
 func (idx *Index) TopK(query []string, k int) []Hit {
-	scores := idx.ScoreAll(query)
-	hits := make([]Hit, 0, len(scores))
-	for d, s := range scores {
-		hits = append(hits, Hit{Doc: d, Score: s})
+	if k <= 0 {
+		return nil
 	}
-	sort.Slice(hits, func(i, j int) bool {
-		if hits[i].Score != hits[j].Score {
-			return hits[i].Score > hits[j].Score
+	sc := idx.getScratch()
+	defer idx.putScratch(sc)
+	touched := sc.touched[:0]
+	for _, term := range dedupOrdered(query, &sc.terms) {
+		plist := idx.postings[term]
+		if len(plist) == 0 {
+			continue
 		}
-		return hits[i].Doc < hits[j].Doc
-	})
-	if k < len(hits) {
-		hits = hits[:k]
+		idf := idx.idf(term)
+		for _, p := range plist {
+			if !sc.marked[p.doc] {
+				sc.marked[p.doc] = true
+				touched = append(touched, p.doc)
+			}
+			tf := float64(p.tf)
+			dl := float64(idx.docLen[p.doc])
+			denom := tf + idx.cfg.K1*(1-idx.cfg.B+idx.cfg.B*dl/idx.avgLen)
+			sc.scores[p.doc] += idf * tf * (idx.cfg.K1 + 1) / denom
+		}
 	}
+
+	// Partial selection: keep the best k in a sorted prefix (best first,
+	// ties on lower doc id). k is small on the serving path, so ordered
+	// insertion beats a full sort of every touched doc.
+	if k > len(touched) {
+		k = len(touched)
+	}
+	hits := make([]Hit, 0, k)
+	for _, d := range touched {
+		h := Hit{Doc: int(d), Score: sc.scores[d]}
+		if len(hits) == cap(hits) {
+			worst := hits[len(hits)-1]
+			if h.Score < worst.Score || (h.Score == worst.Score && h.Doc > worst.Doc) {
+				continue
+			}
+			hits = hits[:len(hits)-1]
+		}
+		i := sort.Search(len(hits), func(i int) bool {
+			if hits[i].Score != h.Score {
+				return hits[i].Score < h.Score
+			}
+			return hits[i].Doc > h.Doc
+		})
+		hits = append(hits, Hit{})
+		copy(hits[i+1:], hits[i:])
+		hits[i] = h
+	}
+
+	// Reset only what this query touched before pooling the scratch.
+	for _, d := range touched {
+		sc.scores[d] = 0
+		sc.marked[d] = false
+	}
+	sc.touched = touched[:0]
 	return hits
+}
+
+// getScratch pops (or builds) dense scoring state sized to the corpus.
+func (idx *Index) getScratch() *scratch {
+	if sc, ok := idx.scratchPool.Get().(*scratch); ok {
+		return sc
+	}
+	return &scratch{
+		scores: make([]float64, idx.n),
+		marked: make([]bool, idx.n),
+	}
+}
+
+func (idx *Index) putScratch(sc *scratch) { idx.scratchPool.Put(sc) }
+
+// dedupOrdered is dedup preserving first-occurrence order (so score
+// accumulation order — and therefore float rounding — matches Score and
+// ScoreAll exactly) without allocating a set: query terms are few, so a
+// quadratic scan into the pooled terms buffer wins.
+func dedupOrdered(terms []string, buf *[]string) []string {
+	out := (*buf)[:0]
+	for _, t := range terms {
+		dup := false
+		for _, seen := range out {
+			if seen == t {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, t)
+		}
+	}
+	*buf = out
+	return out
 }
 
 // Hit is a scored document.

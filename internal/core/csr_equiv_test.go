@@ -1,0 +1,78 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"encoding/gob"
+	"testing"
+
+	"shoal/internal/phac"
+	"shoal/internal/taxonomy"
+	"shoal/internal/wgraph"
+)
+
+// TestTaxonomyIdenticalOnMutableGraph is the end-to-end half of the CSR
+// equivalence property: clustering and taxonomy construction over the
+// pipeline's frozen CSR must match the same stages run over a mutable
+// map-backed reconstruction of the identical graph, byte for byte.
+func TestTaxonomyIdenticalOnMutableGraph(t *testing.T) {
+	corpus := smallCorpus(t)
+	cfg := testConfig()
+	b, err := Run(corpus, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Rebuild the entity graph in mutable form from the CSR's edge list.
+	mutable := wgraph.New(b.Graph.NumNodes())
+	for _, e := range b.Graph.Edges() {
+		if err := mutable.SetEdge(e.U, e.V, e.W); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	sizes := make([]int, len(b.Entities.Entities))
+	for i := range sizes {
+		sizes[i] = b.Entities.Entities[i].Size()
+	}
+	ctx := context.Background()
+	fromCSR, err := phac.Cluster(ctx, b.Graph, sizes, cfg.HAC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromMap, err := phac.Cluster(ctx, mutable, sizes, cfg.HAC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gobEqual(t, fromCSR, fromMap) {
+		t.Fatal("phac.Cluster differs between CSR and mutable graph")
+	}
+
+	txCSR, err := taxonomy.Build(ctx, fromCSR.Dendrogram, b.Entities, corpus, cfg.Taxonomy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	txMap, err := taxonomy.Build(ctx, fromMap.Dendrogram, b.Entities, corpus, cfg.Taxonomy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gobEqual(t, txCSR, txMap) {
+		t.Fatal("taxonomy differs between CSR and mutable graph")
+	}
+	// The pipeline's own dendrogram must agree with both.
+	if !gobEqual(t, b.Dendrogram, fromCSR.Dendrogram) {
+		t.Fatal("pipeline dendrogram differs from re-clustered CSR dendrogram")
+	}
+}
+
+func gobEqual(t *testing.T, a, b any) bool {
+	t.Helper()
+	var ba, bb bytes.Buffer
+	if err := gob.NewEncoder(&ba).Encode(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := gob.NewEncoder(&bb).Encode(b); err != nil {
+		t.Fatal(err)
+	}
+	return bytes.Equal(ba.Bytes(), bb.Bytes())
+}

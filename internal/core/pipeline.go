@@ -72,7 +72,7 @@ type Build struct {
 	Corpus       *model.Corpus
 	Clicks       *bipartite.Graph
 	Entities     *entitygraph.EntitySet
-	Graph        *wgraph.Graph
+	Graph        *wgraph.CSR
 	QuerySets    [][]model.QueryID
 	Embeddings   *word2vec.Model
 	Dendrogram   *dendrogram.Dendrogram

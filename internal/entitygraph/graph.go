@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"slices"
 	"sort"
 	"sync"
 
@@ -60,10 +61,12 @@ func (c *Config) validate() error {
 }
 
 // Result bundles the entity graph with the entity metadata it was built
-// over. The wgraph node ids equal entity ids.
+// over. The wgraph node ids equal entity ids. The graph is emitted
+// directly in frozen CSR form — the build path's sorted pair arrays are
+// its natural input — so downstream clustering never touches a map.
 type Result struct {
 	Set   *EntitySet
-	Graph *wgraph.Graph
+	Graph *wgraph.CSR
 	// QuerySets[e] is the sorted query-id set of entity e, the Qu of
 	// Eq. 1. Exposed for description matching (§2.3).
 	QuerySets [][]model.QueryID
@@ -118,27 +121,75 @@ func Build(ctx context.Context, es *EntitySet, clicks *bipartite.Graph, emb *wor
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	// Candidate pairs via shared queries, with fanout cap.
-	inter := make(map[[2]int32]int32)
+	// Candidate pairs via shared queries, with fanout cap. Pairs are
+	// generated as packed uint64 keys into per-worker shards, then the
+	// concatenated list is sorted and run-length counted — the sort
+	// canonicalizes shard order, so the result is deterministic and the
+	// former map[[2]int32]int32 counter (the largest map on the build
+	// path) is gone.
 	qids := make([]model.QueryID, 0, len(queryEntities))
 	for q := range queryEntities {
 		qids = append(qids, q)
 	}
 	sort.Slice(qids, func(a, b int) bool { return qids[a] < qids[b] })
-	for _, q := range qids {
-		ents := queryEntities[q]
-		if cfg.MaxQueryFanout > 0 && len(ents) > cfg.MaxQueryFanout {
-			continue
-		}
-		for i := 0; i < len(ents); i++ {
-			for j := i + 1; j < len(ents); j++ {
-				a, b := int32(ents[i]), int32(ents[j])
-				if a > b {
-					a, b = b, a
+	shards := make([][]uint64, cfg.Workers)
+	{
+		var wg sync.WaitGroup
+		for w := 0; w < cfg.Workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				var out []uint64
+				var sinceCheck int
+				for qi := w; qi < len(qids); qi += cfg.Workers {
+					if sinceCheck++; sinceCheck >= 256 {
+						sinceCheck = 0
+						if ctx.Err() != nil {
+							break
+						}
+					}
+					ents := queryEntities[qids[qi]]
+					if cfg.MaxQueryFanout > 0 && len(ents) > cfg.MaxQueryFanout {
+						continue
+					}
+					for i := 0; i < len(ents); i++ {
+						for j := i + 1; j < len(ents); j++ {
+							a, b := uint64(ents[i]), uint64(ents[j])
+							if a > b {
+								a, b = b, a
+							}
+							out = append(out, a<<32|b)
+						}
+					}
 				}
-				inter[[2]int32{a, b}]++
-			}
+				shards[w] = out
+			}(w)
 		}
+		wg.Wait()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	total := 0
+	for _, s := range shards {
+		total += len(s)
+	}
+	packed := make([]uint64, 0, total)
+	for _, s := range shards {
+		packed = append(packed, s...)
+	}
+	slices.Sort(packed)
+	// Run-length encode the sorted pair keys into canonical (a,b) pairs
+	// with shared-query counts.
+	pairs := make([][2]int32, 0, len(packed))
+	counts := make([]int32, 0, len(packed))
+	for i := 0; i < len(packed); {
+		j := i
+		for ; j < len(packed) && packed[j] == packed[i]; j++ {
+		}
+		pairs = append(pairs, [2]int32{int32(packed[i] >> 32), int32(packed[i] & 0xffffffff)})
+		counts = append(counts, int32(j-i))
+		i = j
 	}
 
 	// Mean normalized word vectors per entity (Eq. 2 factored form).
@@ -151,16 +202,6 @@ func Build(ctx context.Context, es *EntitySet, clicks *bipartite.Graph, emb *wor
 
 	// Score all candidates in parallel; deterministic because each pair
 	// is scored independently and written to its own slot.
-	pairs := make([][2]int32, 0, len(inter))
-	for k := range inter {
-		pairs = append(pairs, k)
-	}
-	sort.Slice(pairs, func(a, b int) bool {
-		if pairs[a][0] != pairs[b][0] {
-			return pairs[a][0] < pairs[b][0]
-		}
-		return pairs[a][1] < pairs[b][1]
-	})
 	sims := make([]float64, len(pairs))
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.Workers; w++ {
@@ -176,7 +217,7 @@ func Build(ctx context.Context, es *EntitySet, clicks *bipartite.Graph, emb *wor
 					}
 				}
 				u, v := pairs[i][0], pairs[i][1]
-				ic := float64(inter[pairs[i]])
+				ic := float64(counts[i])
 				union := float64(len(querySets[u])+len(querySets[v])) - ic
 				sq := 0.0
 				if union > 0 {
@@ -205,7 +246,6 @@ func Build(ctx context.Context, es *EntitySet, clicks *bipartite.Graph, emb *wor
 	// Filter + TopK sparsification. An edge survives TopK if it ranks in
 	// the top K of *either* endpoint (keeping it in only-one direction
 	// would break symmetry).
-	g := wgraph.New(n)
 	type scored struct {
 		other int32
 		sim   float64
@@ -236,12 +276,17 @@ func Build(ctx context.Context, es *EntitySet, clicks *bipartite.Graph, emb *wor
 			keep[lst[i].idx] = true
 		}
 	}
+	// Emit CSR directly: pairs are already canonical and sorted, so the
+	// kept subset is a valid FromEdges input.
+	kept := make([]wgraph.Edge, 0, len(pairs))
 	for i, p := range pairs {
 		if keep[i] {
-			if err := g.SetEdge(p[0], p[1], sims[i]); err != nil {
-				return nil, err
-			}
+			kept = append(kept, wgraph.Edge{U: p[0], V: p[1], W: sims[i]})
 		}
+	}
+	g, err := wgraph.FromEdges(n, kept)
+	if err != nil {
+		return nil, err
 	}
 
 	return &Result{Set: es, Graph: g, QuerySets: querySets}, nil

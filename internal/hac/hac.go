@@ -37,8 +37,9 @@ func DefaultConfig() Config { return Config{StopThreshold: 0.35} }
 
 // Cluster runs HAC over a copy of g (the input graph is not modified) with
 // initial cluster sizes sizes[i] (nil means all 1). It returns the merge
-// dendrogram; leaf ids are graph node ids.
-func Cluster(g *wgraph.Graph, sizes []int, cfg Config) (*dendrogram.Dendrogram, error) {
+// dendrogram; leaf ids are graph node ids. The input graph is scanned
+// exactly once (a frozen CSR scans allocation-free).
+func Cluster(g wgraph.View, sizes []int, cfg Config) (*dendrogram.Dendrogram, error) {
 	n := g.NumNodes()
 	if n == 0 {
 		return nil, fmt.Errorf("hac: empty graph")
@@ -74,7 +75,11 @@ func Cluster(g *wgraph.Graph, sizes []int, cfg Config) (*dendrogram.Dendrogram, 
 			st.size[i] = float64(sizes[i])
 		}
 	}
-	for _, e := range g.Edges() {
+	// One edge scan feeds both the adjacency state and the heap; the
+	// second full Edges() materialization is gone.
+	edges := g.Edges()
+	pq := make(edgeHeap, 0, len(edges))
+	for _, e := range edges {
 		if st.adj[e.U] == nil {
 			st.adj[e.U] = make(map[int32]float64)
 		}
@@ -83,14 +88,9 @@ func Cluster(g *wgraph.Graph, sizes []int, cfg Config) (*dendrogram.Dendrogram, 
 		}
 		st.adj[e.U][e.V] = e.W
 		st.adj[e.V][e.U] = e.W
+		pq = append(pq, heapEdge{u: e.U, v: e.V, sim: e.W})
 	}
-
-	// Lazy-deletion max-heap of candidate edges.
-	pq := &edgeHeap{}
-	heap.Init(pq)
-	for _, e := range g.Edges() {
-		heap.Push(pq, heapEdge{u: e.U, v: e.V, sim: e.W})
-	}
+	heap.Init(&pq)
 
 	d := &dendrogram.Dendrogram{Leaves: n}
 	round := int32(0)
@@ -98,7 +98,7 @@ func Cluster(g *wgraph.Graph, sizes []int, cfg Config) (*dendrogram.Dendrogram, 
 		if cfg.MaxMerges > 0 && len(d.Merges) >= cfg.MaxMerges {
 			break
 		}
-		top := heap.Pop(pq).(heapEdge)
+		top := heap.Pop(&pq).(heapEdge)
 		if top.sim < cfg.StopThreshold {
 			break
 		}
@@ -142,7 +142,7 @@ func Cluster(g *wgraph.Graph, sizes []int, cfg Config) (*dendrogram.Dendrogram, 
 			delete(st.adj[x], v)
 			st.adj[x][newID] = s
 			if s >= cfg.StopThreshold {
-				heap.Push(pq, heapEdge{u: newID, v: x, sim: s})
+				heap.Push(&pq, heapEdge{u: newID, v: x, sim: s})
 			}
 		}
 		st.adj[u] = nil

@@ -13,10 +13,12 @@ package modularity
 
 import (
 	"fmt"
+
+	"shoal/internal/wgraph"
 )
 
 // WeightedGraph is the read-only view modularity needs. *wgraph.Graph
-// satisfies it.
+// and *wgraph.CSR both satisfy it.
 type WeightedGraph interface {
 	NumNodes() int
 	TotalWeight() float64
@@ -27,6 +29,11 @@ type WeightedGraph interface {
 // Compute returns the modularity of the partition labels over g.
 // labels[i] is the cluster of node i; label values are arbitrary.
 // Graphs with no edges have undefined modularity and return an error.
+//
+// Accumulation is deterministic: labels are remapped to dense ids in
+// first-appearance order and every sum runs in ascending node/neighbor
+// order, so a mutable graph and its frozen CSR produce byte-identical
+// results. A *wgraph.CSR input is scanned through its flat arrays.
 func Compute(g WeightedGraph, labels []int32) (float64, error) {
 	n := g.NumNodes()
 	if len(labels) != n {
@@ -36,20 +43,46 @@ func Compute(g WeightedGraph, labels []int32) (float64, error) {
 	if m <= 0 {
 		return 0, fmt.Errorf("modularity: graph has no edge weight")
 	}
-	within := make(map[int32]float64) // intra-cluster edge weight per label
-	degree := make(map[int32]float64) // total weighted degree per label
-	for u := 0; u < n; u++ {
-		lu := labels[u]
-		degree[lu] += g.WeightedDegree(int32(u))
-		g.ForEachNeighbor(int32(u), func(v int32, w float64) {
-			if labels[v] == lu && int32(u) < v {
-				within[lu] += w
+
+	// Dense remap in first-appearance order.
+	dense := make(map[int32]int32, 64)
+	id := make([]int32, n)
+	for u, l := range labels {
+		d, ok := dense[l]
+		if !ok {
+			d = int32(len(dense))
+			dense[l] = d
+		}
+		id[u] = d
+	}
+	within := make([]float64, len(dense))
+	degree := make([]float64, len(dense))
+
+	if c, ok := g.(*wgraph.CSR); ok {
+		offsets, nbrs, wts := c.Adj()
+		for u := 0; u < n; u++ {
+			lu := id[u]
+			degree[lu] += c.WeightedDegree(int32(u))
+			for j := offsets[u]; j < offsets[u+1]; j++ {
+				if v := nbrs[j]; id[v] == lu && int32(u) < v {
+					within[lu] += wts[j]
+				}
 			}
-		})
+		}
+	} else {
+		for u := 0; u < n; u++ {
+			lu := id[u]
+			degree[lu] += g.WeightedDegree(int32(u))
+			g.ForEachNeighbor(int32(u), func(v int32, w float64) {
+				if id[v] == lu && int32(u) < v {
+					within[lu] += w
+				}
+			})
+		}
 	}
 	var q float64
-	for l, din := range degree {
-		q += within[l]/m - (din/(2*m))*(din/(2*m))
+	for l := range degree {
+		q += within[l]/m - (degree[l]/(2*m))*(degree[l]/(2*m))
 	}
 	return q, nil
 }

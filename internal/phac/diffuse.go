@@ -18,8 +18,10 @@ type Edge struct {
 // returns the locally-maximal matching, sorted by (U,V). This is the
 // standalone form of Parallel HAC's step 1–2, exposed for experiment E5
 // (iterations vs. parallelism) and the BSP equivalence check (E9).
-// Edges below threshold do not participate.
-func Diffuse(g *wgraph.Graph, rounds int, threshold float64, workers int) ([]Edge, error) {
+// Edges below threshold do not participate. The graph is scanned in its
+// CSR form (a mutable graph is frozen once up front), so the exchange
+// iterations allocate nothing.
+func Diffuse(g wgraph.View, rounds int, threshold float64, workers int) ([]Edge, error) {
 	if g.NumNodes() == 0 {
 		return nil, fmt.Errorf("phac: empty graph")
 	}
@@ -29,7 +31,9 @@ func Diffuse(g *wgraph.Graph, rounds int, threshold float64, workers int) ([]Edg
 	if workers <= 0 {
 		workers = 1
 	}
-	n := int32(g.NumNodes())
+	c := wgraph.AsCSR(g)
+	offsets, nbrs, wts := c.Adj()
+	n := int32(c.NumNodes())
 	know := make([]edgeRef, n)
 	next := make([]edgeRef, n)
 	nodes := make([]int32, n)
@@ -38,26 +42,27 @@ func Diffuse(g *wgraph.Graph, rounds int, threshold float64, workers int) ([]Edg
 	}
 	parallelOver(nodes, workers, func(u int32) {
 		best := noEdge
-		g.ForEachNeighbor(u, func(v int32, w float64) {
+		for j := offsets[u]; j < offsets[u+1]; j++ {
+			v, w := nbrs[j], wts[j]
 			if w < threshold {
-				return
+				continue
 			}
 			cu, cv := canon(u, v)
 			cand := edgeRef{u: cu, v: cv, sim: w}
 			if better(cand, best) {
 				best = cand
 			}
-		})
+		}
 		know[u] = best
 	})
 	for it := 0; it < rounds; it++ {
 		parallelOver(nodes, workers, func(u int32) {
 			best := know[u]
-			g.ForEachNeighbor(u, func(v int32, _ float64) {
-				if better(know[v], best) {
+			for j := offsets[u]; j < offsets[u+1]; j++ {
+				if v := nbrs[j]; better(know[v], best) {
 					best = know[v]
 				}
-			})
+			}
 			next[u] = best
 		})
 		know, next = next, know
@@ -68,7 +73,7 @@ func Diffuse(g *wgraph.Graph, rounds int, threshold float64, workers int) ([]Edg
 // DiffuseBSP computes the same matching as Diffuse but runs the exchange
 // protocol on the Pregel-style BSP engine (internal/bsp) — the execution
 // model the paper deploys on ODPS. chaos may be nil.
-func DiffuseBSP(g *wgraph.Graph, rounds int, threshold float64, cfg bsp.Config) ([]Edge, error) {
+func DiffuseBSP(g wgraph.View, rounds int, threshold float64, cfg bsp.Config) ([]Edge, error) {
 	if g.NumNodes() == 0 {
 		return nil, fmt.Errorf("phac: empty graph")
 	}
@@ -76,7 +81,7 @@ func DiffuseBSP(g *wgraph.Graph, rounds int, threshold float64, cfg bsp.Config) 
 		return nil, fmt.Errorf("phac: negative diffusion rounds %d", rounds)
 	}
 	prog := &diffusionProgram{
-		g:         g,
+		g:         wgraph.AsCSR(g),
 		rounds:    rounds,
 		threshold: threshold,
 		know:      make([]edgeRef, g.NumNodes()),
@@ -96,7 +101,7 @@ func DiffuseBSP(g *wgraph.Graph, rounds int, threshold float64, cfg bsp.Config) 
 // supersteps 1..rounds fold the inbox maximum and re-broadcast. The fold is
 // order-independent, so the program is correct under chaotic delivery.
 type diffusionProgram struct {
-	g         *wgraph.Graph
+	g         *wgraph.CSR
 	rounds    int
 	threshold float64
 	know      []edgeRef
@@ -104,18 +109,20 @@ type diffusionProgram struct {
 
 func (p *diffusionProgram) Compute(step int, v bsp.VertexID, inbox []edgeRef, send func(bsp.VertexID, edgeRef)) bool {
 	u := int32(v)
+	nbrs, wts := p.g.Row(u)
 	if step == 0 {
 		best := noEdge
-		p.g.ForEachNeighbor(u, func(nb int32, w float64) {
+		for i, nb := range nbrs {
+			w := wts[i]
 			if w < p.threshold {
-				return
+				continue
 			}
 			cu, cv := canon(u, nb)
 			cand := edgeRef{u: cu, v: cv, sim: w}
 			if better(cand, best) {
 				best = cand
 			}
-		})
+		}
 		p.know[u] = best
 	} else {
 		for _, m := range inbox {
@@ -125,9 +132,9 @@ func (p *diffusionProgram) Compute(step int, v bsp.VertexID, inbox []edgeRef, se
 		}
 	}
 	if step < p.rounds {
-		p.g.ForEachNeighbor(u, func(nb int32, _ float64) {
+		for _, nb := range nbrs {
 			send(bsp.VertexID(nb), p.know[u])
-		})
+		}
 		return false
 	}
 	return true

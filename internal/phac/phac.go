@@ -22,6 +22,11 @@
 //
 // Rounds repeat until no edge reaches the stop threshold. The globally
 // maximal edge is always locally maximal, so progress is guaranteed.
+//
+// The clustering state is held in compressed-sparse-row form: each merge
+// round sort-merges the coalesced edge contributions into the next
+// round's CSR (double-buffered, scratch reused across rounds), so the
+// diffusion inner loop never allocates and never chases map buckets.
 package phac
 
 import (
@@ -29,7 +34,7 @@ import (
 	"fmt"
 	"math"
 	"runtime"
-	"sort"
+	"slices"
 	"sync"
 
 	"shoal/internal/dendrogram"
@@ -153,11 +158,13 @@ func better(a, b edgeRef) bool {
 	return a.v < b.v
 }
 
-// Cluster runs Parallel HAC over a copy of g with initial cluster sizes
-// (nil means all 1). Leaf ids in the dendrogram are graph node ids.
-// The result is deterministic and independent of cfg.Workers.
+// Cluster runs Parallel HAC over g with initial cluster sizes (nil means
+// all 1); g is read once (frozen to CSR if mutable) and never modified.
+// Leaf ids in the dendrogram are graph node ids.
+// The result is deterministic and independent of cfg.Workers, and
+// identical for a mutable graph and its frozen CSR.
 // Cancellation is checked between clustering rounds.
-func Cluster(ctx context.Context, g *wgraph.Graph, sizes []int, cfg Config) (*Result, error) {
+func Cluster(ctx context.Context, g wgraph.View, sizes []int, cfg Config) (*Result, error) {
 	n := g.NumNodes()
 	if n == 0 {
 		return nil, fmt.Errorf("phac: empty graph")
@@ -169,7 +176,7 @@ func Cluster(ctx context.Context, g *wgraph.Graph, sizes []int, cfg Config) (*Re
 		return nil, fmt.Errorf("phac: sizes length %d != nodes %d", len(sizes), n)
 	}
 
-	st := newState(g, sizes, cfg)
+	st := newState(wgraph.AsCSR(g), sizes, cfg)
 	res := &Result{Dendrogram: &dendrogram.Dendrogram{Leaves: n}}
 
 	for round := 0; ; round++ {
@@ -201,25 +208,54 @@ func Cluster(ctx context.Context, g *wgraph.Graph, sizes []int, cfg Config) (*Re
 }
 
 // state is the mutable clustering state. Cluster ids grow past n as merges
-// mint new ids; alive marks current clusters.
+// mint new ids; alive marks current clusters. The current graph is a CSR
+// over all minted ids (dead rows are empty); each merge round builds the
+// next CSR into the spare buffers and swaps, so no per-node maps exist
+// anywhere on the clustering path.
 type state struct {
-	adj        []map[int32]float64
+	total   int       // minted ids; CSR rows
+	offsets []int32   // current CSR: len total+1
+	nbrs    []int32   // neighbor ids, ascending within each row
+	wts     []float64 // parallel weights
+	// ownsCur is false while the current CSR aliases the caller's frozen
+	// graph (round 0); those arrays are never written.
+	ownsCur    bool
+	bOffsets   []int32 // spare CSR buffers for the next round
+	bNbrs      []int32
+	bWts       []float64
 	size       []float64
 	alive      []bool
 	aliveCount int
 	workers    int
-	// know/next are the diffusion double buffers, reused across rounds.
-	know, next []edgeRef
+	know, next []edgeRef // diffusion double buffers
+	nodes      []int32   // aliveList scratch
+	edgeCnt    []int64   // per-alive-node edge count scratch
+	bests      []edgeRef // per-alive-node best-any scratch
+	selected   []edgeRef // selection output, reused per round
+	mergeTo    []int32   // id -> new id this round, -1 otherwise
+	coef       []float64 // id -> Eq. 4 coefficient this round
+	deg        []int32   // degree/cursor scratch for CSR rebuild
+	perOwner   [][]contrib
+	all        []contrib
+	newEdges   []wgraph.Edge // aggregated >= threshold edges
 }
 
-func newState(g *wgraph.Graph, sizes []int, cfg Config) *state {
-	n := g.NumNodes()
+func newState(c *wgraph.CSR, sizes []int, cfg Config) *state {
+	n := c.NumNodes()
+	offsets, nbrs, wts := c.Adj()
 	st := &state{
-		adj:        make([]map[int32]float64, n, 2*n),
+		total:      n,
+		offsets:    offsets,
+		nbrs:       nbrs,
+		wts:        wts,
+		ownsCur:    false,
 		size:       make([]float64, n, 2*n),
 		alive:      make([]bool, n, 2*n),
 		aliveCount: n,
 		workers:    cfg.Workers,
+		know:       make([]edgeRef, n, 2*n),
+		next:       make([]edgeRef, n, 2*n),
+		mergeTo:    make([]int32, n, 2*n),
 	}
 	for i := 0; i < n; i++ {
 		st.alive[i] = true
@@ -227,53 +263,137 @@ func newState(g *wgraph.Graph, sizes []int, cfg Config) *state {
 		if sizes != nil {
 			st.size[i] = float64(sizes[i])
 		}
-	}
-	for _, e := range g.Edges() {
-		if st.adj[e.U] == nil {
-			st.adj[e.U] = make(map[int32]float64)
-		}
-		if st.adj[e.V] == nil {
-			st.adj[e.V] = make(map[int32]float64)
-		}
-		st.adj[e.U][e.V] = e.W
-		st.adj[e.V][e.U] = e.W
+		st.know[i] = noEdge
+		st.next[i] = noEdge
+		st.mergeTo[i] = -1
 	}
 	return st
 }
 
+// aliveList fills the reusable node scratch with the alive cluster ids.
 func (st *state) aliveList() []int32 {
-	out := make([]int32, 0, st.aliveCount)
-	for id := int32(0); int(id) < len(st.alive); id++ {
+	out := st.nodes[:0]
+	for id := int32(0); int(id) < st.total; id++ {
 		if st.alive[id] {
 			out = append(out, id)
 		}
 	}
+	st.nodes = out
 	return out
 }
 
 // selectLocalMaxima runs the diffusion protocol and returns the selected
 // node-disjoint matching (sorted canonically) along with the round's edge
 // count and global best similarity, gathered during the same scan. Only
-// edges >= threshold participate in diffusion.
+// edges >= threshold participate in diffusion. The scan reads the CSR
+// arrays directly: no allocation per diffusion iteration.
 func (st *state) selectLocalMaxima(rounds, workers int, threshold float64) ([]edgeRef, int, float64) {
-	total := len(st.adj)
-	for len(st.know) < total {
-		st.know = append(st.know, noEdge)
-		st.next = append(st.next, noEdge)
-	}
-	know, next := st.know, st.next
 	nodes := st.aliveList()
+	serial := workers <= 1 || len(nodes) < 64
 
 	// Iteration 0: best incident edge per node, plus round statistics
 	// (edge endpoints counted once, at the smaller id).
-	degrees := make([]int64, len(nodes))
-	bests := make([]edgeRef, len(nodes))
-	parallelIdx(len(nodes), workers, func(i int) {
+	for len(st.edgeCnt) < len(nodes) {
+		st.edgeCnt = append(st.edgeCnt, 0)
+		st.bests = append(st.bests, noEdge)
+	}
+	know, next := st.know, st.next
+	if serial {
+		st.diffuseInit(nodes, 0, len(nodes), threshold, know)
+	} else {
+		k := know // fresh binding: closure captures by value, not the reassigned loop var
+		runShards(len(nodes), workers, func(lo, hi int) {
+			st.diffuseInit(nodes, lo, hi, threshold, k)
+		})
+	}
+	var activeEdges int64
+	globalBest := noEdge
+	for i := range nodes {
+		activeEdges += st.edgeCnt[i]
+		if better(st.bests[i], globalBest) {
+			globalBest = st.bests[i]
+		}
+	}
+
+	// r exchange iterations: take the max over own and neighbors' known
+	// edges. Double-buffered so reads see only the previous iteration.
+	for it := 0; it < rounds; it++ {
+		if serial {
+			st.diffuseExchange(nodes, 0, len(nodes), know, next)
+		} else {
+			k, nx := know, next
+			runShards(len(nodes), workers, func(lo, hi int) {
+				st.diffuseExchange(nodes, lo, hi, k, nx)
+			})
+		}
+		know, next = next, know
+	}
+	st.know, st.next = know, next
+
+	// Selection: an edge whose both endpoints know it is locally maximal.
+	var selected []edgeRef
+	if serial {
+		selected = st.diffuseSelectSerial(nodes, threshold, know, st.selected[:0])
+	} else {
+		sink := &selectSink{buf: st.selected[:0]}
+		k := know
+		runShards(len(nodes), workers, func(lo, hi int) {
+			st.diffuseSelectInto(nodes, lo, hi, threshold, k, sink)
+		})
+		selected = sink.buf
+	}
+	slices.SortFunc(selected, func(a, b edgeRef) int {
+		if a.u != b.u {
+			return int(a.u - b.u)
+		}
+		return int(a.v - b.v)
+	})
+	st.selected = selected
+	return selected, int(activeEdges), globalBest.sim
+}
+
+// shardBounds splits [0,n) into `shards` contiguous ranges and returns
+// the i-th.
+func shardBounds(n, shards, i int) (lo, hi int) {
+	lo = n * i / shards
+	hi = n * (i + 1) / shards
+	return lo, hi
+}
+
+// runShards runs fn over [0,n) split contiguously across `workers`
+// goroutines and waits for all of them. Callers on the zero-alloc path
+// must only construct the fn closure inside their parallel branch (and
+// capture fresh bindings, not variables reassigned later), so the serial
+// branch stays allocation-free.
+func runShards(n, workers int, fn func(lo, hi int)) {
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := shardBounds(n, workers, w)
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// diffuseInit is diffusion iteration 0 over nodes[lo:hi]: each node's
+// best incident >= threshold edge, plus the round's edge count and
+// unconditional best edge for the round statistics. Pure CSR array
+// scans — no allocation.
+func (st *state) diffuseInit(nodes []int32, lo, hi int, threshold float64, know []edgeRef) {
+	offsets, nbrs, wts := st.offsets, st.nbrs, st.wts
+	for i := lo; i < hi; i++ {
 		u := nodes[i]
 		best := noEdge
 		edges := int64(0)
 		bestAny := noEdge
-		for v, w := range st.adj[u] {
+		for j := offsets[u]; j < offsets[u+1]; j++ {
+			v, w := nbrs[j], wts[j]
 			if u < v {
 				edges++
 			}
@@ -290,58 +410,64 @@ func (st *state) selectLocalMaxima(rounds, workers int, threshold float64) ([]ed
 			}
 		}
 		know[u] = best
-		degrees[i] = edges
-		bests[i] = bestAny
-	})
-	var activeEdges int64
-	globalBest := noEdge
-	for i := range nodes {
-		activeEdges += degrees[i]
-		if better(bests[i], globalBest) {
-			globalBest = bests[i]
-		}
+		st.edgeCnt[i] = edges
+		st.bests[i] = bestAny
 	}
+}
 
-	// r exchange iterations: take the max over own and neighbors' known
-	// edges. Double-buffered so reads see only the previous iteration.
-	for it := 0; it < rounds; it++ {
-		parallelOver(nodes, workers, func(u int32) {
-			best := know[u]
-			for v := range st.adj[u] {
-				if better(know[v], best) {
-					best = know[v]
-				}
+// diffuseExchange is one max-exchange iteration over nodes[lo:hi],
+// reading know and writing next.
+func (st *state) diffuseExchange(nodes []int32, lo, hi int, know, next []edgeRef) {
+	offsets, nbrs := st.offsets, st.nbrs
+	for i := lo; i < hi; i++ {
+		u := nodes[i]
+		best := know[u]
+		for j := offsets[u]; j < offsets[u+1]; j++ {
+			if v := nbrs[j]; better(know[v], best) {
+				best = know[v]
 			}
-			next[u] = best
-		})
-		know, next = next, know
-	}
-	st.know, st.next = know, next
-
-	// Selection: an edge whose both endpoints know it is locally maximal.
-	var mu sync.Mutex
-	var selected []edgeRef
-	parallelOver(nodes, workers, func(u int32) {
-		e := know[u]
-		if e.u != u { // evaluate each edge once, at its smaller endpoint
-			return
 		}
-		if e.sim < threshold {
-			return
+		next[u] = best
+	}
+}
+
+// diffuseSelectSerial appends the locally-maximal edges (each edge
+// evaluated once, at its smaller endpoint) to buf and returns it. Kept
+// free of shared state so the single-worker path allocates nothing.
+func (st *state) diffuseSelectSerial(nodes []int32, threshold float64, know []edgeRef, buf []edgeRef) []edgeRef {
+	for _, u := range nodes {
+		e := know[u]
+		if e.u != u || e.sim < threshold {
+			continue
 		}
 		if know[e.v] == e {
-			mu.Lock()
-			selected = append(selected, e)
-			mu.Unlock()
+			buf = append(buf, e)
 		}
-	})
-	sort.Slice(selected, func(i, j int) bool {
-		if selected[i].u != selected[j].u {
-			return selected[i].u < selected[j].u
+	}
+	return buf
+}
+
+// selectSink is the shared selection output for the parallel path.
+type selectSink struct {
+	mu  sync.Mutex
+	buf []edgeRef
+}
+
+// diffuseSelectInto is diffuseSelectSerial over nodes[lo:hi] appending
+// into the shared sink.
+func (st *state) diffuseSelectInto(nodes []int32, lo, hi int, threshold float64, know []edgeRef, sink *selectSink) {
+	for i := lo; i < hi; i++ {
+		u := nodes[i]
+		e := know[u]
+		if e.u != u || e.sim < threshold {
+			continue
 		}
-		return selected[i].v < selected[j].v
-	})
-	return selected, int(activeEdges), globalBest.sim
+		if know[e.v] == e {
+			sink.mu.Lock()
+			sink.buf = append(sink.buf, e)
+			sink.mu.Unlock()
+		}
+	}
 }
 
 // contrib is one old-edge contribution to a new edge's Eq. 4 sum, tagged
@@ -353,22 +479,32 @@ type contrib struct {
 }
 
 // mergeSelected applies a round's matching: mints new cluster ids, emits
-// dendrogram merges, and rebuilds affected adjacency under the linkage
-// rule. Deterministic regardless of worker count: contributions are
-// aggregated in sorted origin order.
+// dendrogram merges, and sort-merges the surviving and coalesced edges
+// into the next round's CSR. Deterministic regardless of worker count:
+// contributions are aggregated in sorted origin order.
 func (st *state) mergeSelected(selected []edgeRef, round int, cfg Config, d *dendrogram.Dendrogram) {
-	base := int32(len(st.adj))
-	// newID maps a merged old cluster to its new cluster id; weight maps
-	// it to its Eq. 4 coefficient.
-	newID := make(map[int32]int32, 2*len(selected))
-	weight := make(map[int32]float64, 2*len(selected))
+	base := int32(st.total)
+	newTotal := st.total + len(selected)
+
+	// Extend the per-id arrays for the minted clusters; mergeTo/coef map
+	// a merged old cluster to its new id and Eq. 4 coefficient.
+	for len(st.mergeTo) < newTotal {
+		st.mergeTo = append(st.mergeTo, -1)
+		st.know = append(st.know, noEdge)
+		st.next = append(st.next, noEdge)
+	}
+	for len(st.coef) < newTotal {
+		st.coef = append(st.coef, 0)
+	}
 	for i, e := range selected {
 		id := base + int32(i)
 		wu, wv := cfg.Linkage.weights(st.size[e.u], st.size[e.v])
-		newID[e.u] = id
-		newID[e.v] = id
-		weight[e.u] = wu
-		weight[e.v] = wv
+		st.mergeTo[e.u] = id
+		st.mergeTo[e.v] = id
+		st.coef[e.u] = wu
+		st.coef[e.v] = wv
+		st.size = append(st.size, st.size[e.u]+st.size[e.v])
+		st.alive = append(st.alive, true)
 		d.Merges = append(d.Merges, dendrogram.Merge{
 			A: e.u, B: e.v, New: id, Sim: e.sim, Round: int32(round),
 		})
@@ -378,23 +514,28 @@ func (st *state) mergeSelected(selected []edgeRef, round int, cfg Config, d *den
 	// endpoint. Each selected pair's owner scans its two members;
 	// old edges between two merged nodes are emitted by the owner of the
 	// smaller new id only (dedup).
-	perOwner := make([][]contrib, len(selected))
+	offsets, nbrs, wts := st.offsets, st.nbrs, st.wts
+	for len(st.perOwner) < len(selected) {
+		st.perOwner = append(st.perOwner, nil)
+	}
+	perOwner := st.perOwner
 	parallelIdx(len(selected), st.workers, func(i int) {
 		e := selected[i]
 		w := base + int32(i)
-		var out []contrib
+		out := perOwner[i][:0]
 		for _, member := range [2]int32{e.u, e.v} {
-			wm := weight[member]
-			for nb, s := range st.adj[member] {
-				mappedNb, merged := newID[nb]
+			wm := st.coef[member]
+			for j := offsets[member]; j < offsets[member+1]; j++ {
+				nb, s := nbrs[j], wts[j]
+				mappedNb := st.mergeTo[nb]
 				var q int32
 				wq := 1.0
-				if merged {
+				if mappedNb >= 0 {
 					if mappedNb == w {
 						continue // internal edge of this merge
 					}
 					q = mappedNb
-					wq = weight[nb]
+					wq = st.coef[nb]
 					if q < w {
 						continue // the other owner emits this one
 					}
@@ -411,70 +552,124 @@ func (st *state) mergeSelected(selected []edgeRef, round int, cfg Config, d *den
 
 	// Aggregate: flatten in owner order, group by key, sum each group in
 	// sorted origin order for exact determinism.
-	var all []contrib
-	for _, lst := range perOwner {
+	all := st.all[:0]
+	for _, lst := range perOwner[:len(selected)] {
 		all = append(all, lst...)
 	}
-	sort.Slice(all, func(a, b int) bool {
-		if all[a].key != all[b].key {
-			if all[a].key[0] != all[b].key[0] {
-				return all[a].key[0] < all[b].key[0]
-			}
-			return all[a].key[1] < all[b].key[1]
+	st.all = all
+	slices.SortFunc(all, func(x, y contrib) int {
+		if x.key[0] != y.key[0] {
+			return int(x.key[0] - y.key[0])
 		}
-		if all[a].orig[0] != all[b].orig[0] {
-			return all[a].orig[0] < all[b].orig[0]
+		if x.key[1] != y.key[1] {
+			return int(x.key[1] - y.key[1])
 		}
-		return all[a].orig[1] < all[b].orig[1]
+		if x.orig[0] != y.orig[0] {
+			return int(x.orig[0] - y.orig[0])
+		}
+		return int(x.orig[1] - y.orig[1])
 	})
 
-	// Extend state for the minted clusters.
-	for i, e := range selected {
-		_ = i
-		st.adj = append(st.adj, make(map[int32]float64))
-		st.size = append(st.size, st.size[e.u]+st.size[e.v])
-		st.alive = append(st.alive, true)
-	}
-	for _, e := range selected {
-		st.alive[e.u] = false
-		st.alive[e.v] = false
-	}
-	st.aliveCount -= len(selected)
-
-	// Remove stale references to merged nodes from surviving neighbors.
-	for _, e := range selected {
-		for _, member := range [2]int32{e.u, e.v} {
-			for nb := range st.adj[member] {
-				if _, merged := newID[nb]; !merged {
-					delete(st.adj[nb], member)
-				}
-			}
-			st.adj[member] = nil
-		}
-	}
-
-	// Apply aggregated new edges, pruning below threshold: Eq. 4 is a
-	// convex combination, so a sub-threshold edge can never feed a
-	// future >= threshold similarity.
+	// Sum each group; keep >= threshold: Eq. 4 is a convex combination,
+	// so a sub-threshold edge can never feed a future >= threshold
+	// similarity. Output arrives sorted by canonical key.
+	newEdges := st.newEdges[:0]
 	for i := 0; i < len(all); {
 		j := i
 		var sum float64
 		for ; j < len(all) && all[j].key == all[i].key; j++ {
 			sum += all[j].val
 		}
-		u, v := all[i].key[0], all[i].key[1]
 		if sum >= cfg.StopThreshold {
-			if st.adj[u] == nil {
-				st.adj[u] = make(map[int32]float64)
-			}
-			if st.adj[v] == nil {
-				st.adj[v] = make(map[int32]float64)
-			}
-			st.adj[u][v] = sum
-			st.adj[v][u] = sum
+			newEdges = append(newEdges, wgraph.Edge{U: all[i].key[0], V: all[i].key[1], W: sum})
 		}
 		i = j
 	}
+	st.newEdges = newEdges
+
+	// Build the next round's CSR into the spare buffers: surviving old
+	// edges (both endpoints unmerged) in row-major order, then the
+	// coalesced edges in canonical order. Every row under construction
+	// receives its neighbors in ascending order (old ids < base first,
+	// minted ids >= base after), so no per-row sort is needed.
+	for len(st.deg) < newTotal {
+		st.deg = append(st.deg, 0)
+	}
+	deg := st.deg[:newTotal]
+	clear(deg)
+	for u := int32(0); int(u) < st.total; u++ {
+		if !st.alive[u] || st.mergeTo[u] >= 0 {
+			continue
+		}
+		for j := offsets[u]; j < offsets[u+1]; j++ {
+			if v := nbrs[j]; u < v && st.mergeTo[v] < 0 {
+				deg[u]++
+				deg[v]++
+			}
+		}
+	}
+	for _, e := range newEdges {
+		deg[e.U]++
+		deg[e.V]++
+	}
+	for len(st.bOffsets) < newTotal+1 {
+		st.bOffsets = append(st.bOffsets, 0)
+	}
+	bOffsets := st.bOffsets[:newTotal+1]
+	bOffsets[0] = 0
+	for i := 0; i < newTotal; i++ {
+		bOffsets[i+1] = bOffsets[i] + deg[i]
+		deg[i] = bOffsets[i] // reuse as fill cursor
+	}
+	half := int(bOffsets[newTotal])
+	for len(st.bNbrs) < half {
+		st.bNbrs = append(st.bNbrs, 0)
+		st.bWts = append(st.bWts, 0)
+	}
+	bNbrs, bWts := st.bNbrs[:half], st.bWts[:half]
+	for u := int32(0); int(u) < st.total; u++ {
+		if !st.alive[u] || st.mergeTo[u] >= 0 {
+			continue
+		}
+		for j := offsets[u]; j < offsets[u+1]; j++ {
+			v, w := nbrs[j], wts[j]
+			if u >= v || st.mergeTo[v] >= 0 {
+				continue
+			}
+			bNbrs[deg[u]], bWts[deg[u]] = v, w
+			deg[u]++
+			bNbrs[deg[v]], bWts[deg[v]] = u, w
+			deg[v]++
+		}
+	}
+	for _, e := range newEdges {
+		bNbrs[deg[e.U]], bWts[deg[e.U]] = e.V, e.W
+		deg[e.U]++
+		bNbrs[deg[e.V]], bWts[deg[e.V]] = e.U, e.W
+		deg[e.V]++
+	}
+
+	// Retire the merged clusters and clear this round's merge map.
+	for _, e := range selected {
+		st.alive[e.u] = false
+		st.alive[e.v] = false
+		st.mergeTo[e.u] = -1
+		st.mergeTo[e.v] = -1
+	}
+	st.aliveCount -= len(selected)
+
+	// Swap the new CSR in; the old buffers become the next spare unless
+	// they alias the caller's graph.
+	if st.ownsCur {
+		st.offsets, st.bOffsets = bOffsets, st.offsets
+		st.nbrs, st.bNbrs = bNbrs, st.nbrs
+		st.wts, st.bWts = bWts, st.wts
+	} else {
+		st.offsets, st.nbrs, st.wts = bOffsets, bNbrs, bWts
+		st.bOffsets, st.bNbrs, st.bWts = nil, nil, nil
+		st.ownsCur = true
+	}
+	st.total = newTotal
 }
 
 func canon(u, v int32) (int32, int32) {

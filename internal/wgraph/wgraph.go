@@ -1,6 +1,11 @@
 // Package wgraph provides the sparse weighted undirected graph shared by
 // the clustering stages (sequential HAC, Parallel HAC, modularity). Nodes
 // are dense int32 ids; each edge carries a float64 similarity weight.
+//
+// Graph is the ingest-side builder: cheap to mutate, map-backed. Freeze
+// snapshots it into the immutable CSR form that every hot consumer scans
+// allocation-free. The two representations are observationally identical
+// (see TestCSRObservationallyIdentical).
 package wgraph
 
 import (
@@ -8,29 +13,31 @@ import (
 	"sort"
 )
 
-// Graph is a sparse weighted undirected graph. The zero value is not
-// usable; call New.
+// Graph is a sparse weighted undirected graph builder. The zero value is
+// not usable; call New. It is not safe for concurrent mutation; Freeze
+// for the concurrent read side.
 type Graph struct {
-	adj []map[int32]float64
+	adj      []map[int32]float64
+	numEdges int
+	// sorted caches each node's ascending neighbor list; a nil entry is
+	// recomputed on demand and invalidated by mutation of that node.
+	sorted [][]int32
+	// frozen memoizes the CSR snapshot; any mutation clears it.
+	frozen *CSR
 }
 
 // New returns a graph with n isolated nodes.
 func New(n int) *Graph {
-	g := &Graph{adj: make([]map[int32]float64, n)}
+	g := &Graph{adj: make([]map[int32]float64, n), sorted: make([][]int32, n)}
 	return g
 }
 
 // NumNodes returns the number of nodes (including isolated ones).
 func (g *Graph) NumNodes() int { return len(g.adj) }
 
-// NumEdges returns the number of undirected edges.
-func (g *Graph) NumEdges() int {
-	total := 0
-	for _, m := range g.adj {
-		total += len(m)
-	}
-	return total / 2
-}
+// NumEdges returns the number of undirected edges, maintained
+// incrementally (no adjacency scan).
+func (g *Graph) NumEdges() int { return g.numEdges }
 
 // SetEdge sets the weight of undirected edge (u,v), inserting it if absent.
 // Self-loops and out-of-range nodes are errors.
@@ -50,8 +57,14 @@ func (g *Graph) SetEdge(u, v int32, w float64) error {
 	if g.adj[v] == nil {
 		g.adj[v] = make(map[int32]float64)
 	}
+	if _, exists := g.adj[u][v]; !exists {
+		g.numEdges++
+		g.sorted[u] = nil
+		g.sorted[v] = nil
+	}
 	g.adj[u][v] = w
 	g.adj[v][u] = w
+	g.frozen = nil
 	return nil
 }
 
@@ -60,8 +73,15 @@ func (g *Graph) RemoveEdge(u, v int32) {
 	if int(u) >= len(g.adj) || int(v) >= len(g.adj) || u < 0 || v < 0 {
 		return
 	}
+	if _, exists := g.adj[u][v]; !exists {
+		return
+	}
 	delete(g.adj[u], v)
 	delete(g.adj[v], u)
+	g.numEdges--
+	g.sorted[u] = nil
+	g.sorted[v] = nil
+	g.frozen = nil
 }
 
 // Weight returns the weight of edge (u,v) and whether it exists.
@@ -81,28 +101,46 @@ func (g *Graph) Degree(u int32) int {
 	return len(g.adj[u])
 }
 
-// WeightedDegree returns the sum of incident edge weights of u.
+// WeightedDegree returns the sum of incident edge weights of u, summed
+// in ascending neighbor order (matching the CSR cache exactly).
 func (g *Graph) WeightedDegree(u int32) float64 {
 	if u < 0 || int(u) >= len(g.adj) {
 		return 0
 	}
 	var s float64
-	for _, w := range g.adj[u] {
-		s += w
+	for _, v := range g.sortedNeighbors(u) {
+		s += g.adj[u][v]
 	}
 	return s
 }
 
-// Neighbors returns the neighbor ids of u in ascending order.
-func (g *Graph) Neighbors(u int32) []int32 {
-	if u < 0 || int(u) >= len(g.adj) {
-		return nil
+// sortedNeighbors returns u's cached ascending neighbor list, rebuilding
+// it after a mutation. The returned slice is owned by the graph.
+func (g *Graph) sortedNeighbors(u int32) []int32 {
+	if s := g.sorted[u]; s != nil || len(g.adj[u]) == 0 {
+		return s
 	}
 	out := make([]int32, 0, len(g.adj[u]))
 	for v := range g.adj[u] {
 		out = append(out, v)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	g.sorted[u] = out
+	return out
+}
+
+// Neighbors returns the neighbor ids of u in ascending order. The
+// result is a fresh copy the caller may modify.
+func (g *Graph) Neighbors(u int32) []int32 {
+	if u < 0 || int(u) >= len(g.adj) {
+		return nil
+	}
+	s := g.sortedNeighbors(u)
+	if s == nil {
+		return nil
+	}
+	out := make([]int32, len(s))
+	copy(out, s)
 	return out
 }
 
@@ -114,46 +152,53 @@ type Edge struct {
 
 // Edges returns every edge once, sorted by (U,V).
 func (g *Graph) Edges() []Edge {
-	out := make([]Edge, 0, g.NumEdges())
+	if g.frozen != nil {
+		return g.frozen.Edges()
+	}
+	out := make([]Edge, 0, g.numEdges)
 	for u := range g.adj {
-		for v, w := range g.adj[u] {
+		for _, v := range g.sortedNeighbors(int32(u)) {
 			if int32(u) < v {
-				out = append(out, Edge{U: int32(u), V: v, W: w})
+				out = append(out, Edge{U: int32(u), V: v, W: g.adj[u][v]})
 			}
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].U != out[j].U {
-			return out[i].U < out[j].U
-		}
-		return out[i].V < out[j].V
-	})
 	return out
 }
 
-// ForEachNeighbor calls fn for every neighbor of u in ascending id order.
+// ForEachNeighbor calls fn for every neighbor of u in ascending id order,
+// iterating the cached sorted adjacency (no per-call sort).
 func (g *Graph) ForEachNeighbor(u int32, fn func(v int32, w float64)) {
-	for _, v := range g.Neighbors(u) {
+	if u < 0 || int(u) >= len(g.adj) {
+		return
+	}
+	for _, v := range g.sortedNeighbors(u) {
 		fn(v, g.adj[u][v])
 	}
 }
 
-// TotalWeight returns the sum of all edge weights (each edge once).
+// TotalWeight returns the sum of all edge weights (each edge once),
+// accumulated in canonical (U,V) order so the value is byte-identical
+// to the frozen CSR's cached total.
 func (g *Graph) TotalWeight() float64 {
+	if g.frozen != nil {
+		return g.frozen.TotalWeight()
+	}
 	var s float64
 	for u := range g.adj {
-		for v, w := range g.adj[u] {
+		for _, v := range g.sortedNeighbors(int32(u)) {
 			if int32(u) < v {
-				s += w
+				s += g.adj[u][v]
 			}
 		}
 	}
 	return s
 }
 
-// Clone returns a deep copy.
+// Clone returns a deep copy of the builder (caches are not shared).
 func (g *Graph) Clone() *Graph {
 	c := New(len(g.adj))
+	c.numEdges = g.numEdges
 	for u := range g.adj {
 		if g.adj[u] == nil {
 			continue
@@ -169,6 +214,9 @@ func (g *Graph) Clone() *Graph {
 // Components returns a partition id per node, labeling connected
 // components; labels are the smallest node id in each component.
 func (g *Graph) Components() []int32 {
+	if g.frozen != nil {
+		return g.frozen.Components()
+	}
 	comp := make([]int32, len(g.adj))
 	for i := range comp {
 		comp[i] = -1
