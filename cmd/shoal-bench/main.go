@@ -6,11 +6,15 @@
 //	shoal-bench                      # run everything at medium scale
 //	shoal-bench -run E1,E3 -scale small
 //	shoal-bench -run E2 -users 1000000
-//	shoal-bench -benchjson BENCH_2.json   # substrate benchmarks -> JSON
+//	shoal-bench -benchjson BENCH_3.json             # substrate benchmarks -> JSON
+//	shoal-bench -benchgate BENCH_2.json,BENCH_3.json # regression gate
 //
 // -benchjson runs the graph-substrate micro-benchmarks at a fixed larger
-// synthetic scale and writes ns/op + allocs/op per benchmark, so each PR
-// can record a comparable BENCH_<pr>.json trajectory point.
+// synthetic scale (including the shard-count sweep) and writes ns/op +
+// allocs/op per benchmark, so each PR can record a comparable
+// BENCH_<pr>.json trajectory point. -benchgate compares two such files
+// and exits non-zero when any shared benchmark's ns/op regressed past
+// -gate-threshold — the CI regression gate.
 package main
 
 import (
@@ -35,6 +39,8 @@ func main() {
 		seeds     = flag.String("seeds", "1,2,3", "comma-separated corpus seeds")
 		noFail    = flag.Bool("keep-going", true, "continue after a failing experiment")
 		benchJSON = flag.String("benchjson", "", "run substrate benchmarks at a fixed scale and write JSON results to this path")
+		benchGate = flag.String("benchgate", "", "compare two benchjson files OLD,NEW and fail on ns/op regressions in shared benchmarks")
+		gateTol   = flag.Float64("gate-threshold", 0.25, "fractional ns/op regression tolerated by -benchgate")
 	)
 	flag.Parse()
 
@@ -43,6 +49,24 @@ func main() {
 			log.Fatal(err)
 		}
 		log.Printf("wrote %s", *benchJSON)
+		return
+	}
+	if *benchGate != "" {
+		parts := strings.Split(*benchGate, ",")
+		if len(parts) != 2 {
+			log.Fatalf("-benchgate wants OLD.json,NEW.json, got %q", *benchGate)
+		}
+		regs, err := benchjson.Gate(strings.TrimSpace(parts[0]), strings.TrimSpace(parts[1]), *gateTol)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, r := range regs {
+			log.Printf("regression: %s", r)
+		}
+		if len(regs) > 0 {
+			os.Exit(1)
+		}
+		log.Printf("bench gate passed: %s vs %s within %+.0f%%", parts[0], parts[1], 100**gateTol)
 		return
 	}
 

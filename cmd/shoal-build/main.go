@@ -33,6 +33,7 @@ func main() {
 		minSim     = flag.Float64("minsim", 0.25, "entity-graph edge filter")
 		noEmbed    = flag.Bool("no-embeddings", false, "skip word2vec (query-driven similarity only)")
 		sequential = flag.Bool("sequential", false, "run pipeline stages one at a time instead of concurrently")
+		shards     = flag.Int("shards", 0, "row-range shards of the graph substrate (0: GOMAXPROCS); output is identical for any value")
 		verbose    = flag.Bool("v", false, "print stage timings and statistics")
 	)
 	flag.Parse()
@@ -53,6 +54,7 @@ func main() {
 	cfg.HAC.DiffusionRounds = *diffusion
 	cfg.TrainEmbeddings = !*noEmbed
 	cfg.Sequential = *sequential
+	cfg.Shards = *shards
 	cfg.Word2Vec.Epochs = 2
 	cfg.Word2Vec.Dim = 24
 	if *stop < cfg.Taxonomy.Levels[0] {

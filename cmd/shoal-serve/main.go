@@ -45,6 +45,7 @@ func main() {
 	corpusPath := flag.String("corpus", "", "corpus to build from (empty: curated mini corpus)")
 	refresh := flag.Duration("refresh", 0, "interval between background rebuilds hot-swapped into the handler (0 disables)")
 	pprofAddr := flag.String("pprof", "", "side listener address exposing net/http/pprof (e.g. localhost:6060; empty disables)")
+	shards := flag.Int("shards", 0, "row-range shards of the graph substrate (0: GOMAXPROCS); reported in /api/stats")
 	flag.Parse()
 
 	// Profiling stays off the serving listener: a dedicated mux on a side
@@ -76,6 +77,7 @@ func main() {
 	cfg.HAC.StopThreshold = 0.12
 	cfg.Taxonomy.Levels = []float64{0.12, 0.3, 0.5}
 	cfg.CatCorr.MinStrength = 0
+	cfg.Shards = *shards
 	if *corpusPath != "" {
 		var err error
 		corpus, err = store.LoadCorpus(*corpusPath)

@@ -2,7 +2,15 @@
 // fixed, larger-than-unit-test synthetic scale and emits machine-readable
 // ns/op + allocs/op per benchmark. cmd/shoal-bench -benchjson uses it to
 // write BENCH_<pr>.json files, giving the repo a benchmark trajectory
-// across PRs that CI and future perf work can diff against.
+// across PRs that CI diffs with the regression gate (Gate /
+// cmd/shoal-bench -benchgate): any benchmark name shared between two
+// BENCH files whose ns/op regresses past the threshold fails the build.
+//
+// Methodology note: BENCH_3.json onward records the best of three runs
+// per benchmark (the minimum ns/op is the least noise-contaminated
+// estimate); BENCH_2.json and earlier were single runs, so comparisons
+// against them carry the old files' scheduler noise in addition to real
+// deltas.
 package benchjson
 
 import (
@@ -20,6 +28,7 @@ import (
 	"shoal/internal/hac"
 	"shoal/internal/modularity"
 	"shoal/internal/phac"
+	"shoal/internal/shard"
 	"shoal/internal/synth"
 	"shoal/internal/textutil"
 	"shoal/internal/wgraph"
@@ -103,9 +112,12 @@ func Run() ([]Result, error) {
 			}
 		}
 	}
+	base := g.BaseCSR()
 	benches := map[string]func(*testing.B){
+		// Single-worker, single-shard baseline — comparable across every
+		// BENCH_*.json generation.
 		"diffuse-r2": record(func() error {
-			_, err := phac.Diffuse(g, 2, 0.12, 0)
+			_, err := phac.Diffuse(base, 2, 0.12, 0)
 			return err
 		}),
 		"phac-cluster": record(func() error {
@@ -133,20 +145,51 @@ func Run() ([]Result, error) {
 			return nil
 		}),
 	}
+	// Shard-count sweep: the same diffusion / clustering / construction
+	// work at increasing partition widths, so each BENCH_*.json records
+	// how the partition-parallel paths scale on the fixed corpus.
+	for _, s := range []int{2, 4, 8} {
+		sg := shard.Partition(base, s)
+		benches[fmt.Sprintf("diffuse-r2-shards%d", s)] = record(func() error {
+			_, err := phac.Diffuse(sg, 2, 0.12, 0)
+			return err
+		})
+		shards := s
+		benches[fmt.Sprintf("phac-cluster-shards%d", s)] = record(func() error {
+			_, err := phac.Cluster(ctx, g, sizes, phac.Config{
+				StopThreshold: 0.12, DiffusionRounds: 2, Workers: shards, Shards: shards,
+			})
+			return err
+		})
+		benches[fmt.Sprintf("csr-from-edges-shards%d", s)] = record(func() error {
+			_, err := shard.FromEdges(g.NumNodes(), edges, shards)
+			return err
+		})
+	}
 
 	out := make([]Result, 0, len(benches))
 	for name, fn := range benches {
-		r := testing.Benchmark(fn)
-		if firstErr != nil {
-			return nil, fmt.Errorf("benchjson: %s: %w", name, firstErr)
+		// Best of three: the minimum ns/op is the least scheduler-noise
+		// contaminated estimate, which keeps the committed trajectory
+		// (and the CI regression gate over it) stable run to run.
+		var best Result
+		for rep := 0; rep < 3; rep++ {
+			r := testing.Benchmark(fn)
+			if firstErr != nil {
+				return nil, fmt.Errorf("benchjson: %s: %w", name, firstErr)
+			}
+			cand := Result{
+				Name:        name,
+				NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+				AllocsPerOp: r.AllocsPerOp(),
+				BytesPerOp:  r.AllocedBytesPerOp(),
+				Iterations:  r.N,
+			}
+			if rep == 0 || cand.NsPerOp < best.NsPerOp {
+				best = cand
+			}
 		}
-		out = append(out, Result{
-			Name:        name,
-			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
-			AllocsPerOp: r.AllocsPerOp(),
-			BytesPerOp:  r.AllocedBytesPerOp(),
-			Iterations:  r.N,
-		})
+		out = append(out, best)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out, nil
@@ -163,4 +206,56 @@ func WriteFile(path string) error {
 		return err
 	}
 	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadFile loads a BENCH_*.json results file.
+func ReadFile(path string) ([]Result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var out []Result
+	if err := json.Unmarshal(data, &out); err != nil {
+		return nil, fmt.Errorf("benchjson: %s: %w", path, err)
+	}
+	return out, nil
+}
+
+// Regressions compares two result sets and reports every benchmark name
+// present in both whose ns/op grew by more than threshold (a fraction:
+// 0.25 means "fail past +25%"). Benchmarks only in one set are ignored —
+// the gate constrains the shared trajectory, it does not force every PR
+// to keep the same suite. The report is sorted by name.
+func Regressions(oldRes, newRes []Result, threshold float64) []string {
+	prev := make(map[string]Result, len(oldRes))
+	for _, r := range oldRes {
+		prev[r.Name] = r
+	}
+	var out []string
+	for _, n := range newRes {
+		o, ok := prev[n.Name]
+		if !ok || o.NsPerOp <= 0 {
+			continue
+		}
+		if n.NsPerOp > o.NsPerOp*(1+threshold) {
+			out = append(out, fmt.Sprintf("%s: %.0f -> %.0f ns/op (%+.1f%%, gate %+.0f%%)",
+				n.Name, o.NsPerOp, n.NsPerOp, 100*(n.NsPerOp/o.NsPerOp-1), 100*threshold))
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Gate loads two BENCH_*.json files and returns the regression report
+// (empty when the gate passes).
+func Gate(oldPath, newPath string, threshold float64) ([]string, error) {
+	oldRes, err := ReadFile(oldPath)
+	if err != nil {
+		return nil, err
+	}
+	newRes, err := ReadFile(newPath)
+	if err != nil {
+		return nil, err
+	}
+	return Regressions(oldRes, newRes, threshold), nil
 }

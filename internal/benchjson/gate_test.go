@@ -1,0 +1,37 @@
+package benchjson
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegressions(t *testing.T) {
+	oldRes := []Result{
+		{Name: "a", NsPerOp: 1000},
+		{Name: "b", NsPerOp: 1000},
+		{Name: "c", NsPerOp: 1000},
+		{Name: "gone", NsPerOp: 1000},
+	}
+	newRes := []Result{
+		{Name: "a", NsPerOp: 1249}, // +24.9%: inside the gate
+		{Name: "b", NsPerOp: 1300}, // +30%: regression
+		{Name: "c", NsPerOp: 700},  // improvement
+		{Name: "new", NsPerOp: 1},  // not in old: ignored
+	}
+	got := Regressions(oldRes, newRes, 0.25)
+	if len(got) != 1 || !strings.HasPrefix(got[0], "b:") {
+		t.Fatalf("Regressions = %v, want exactly one entry for b", got)
+	}
+	if got := Regressions(oldRes, oldRes, 0.25); len(got) != 0 {
+		t.Fatalf("self-comparison regressed: %v", got)
+	}
+	// Tightening the threshold to zero flags any growth at all.
+	if got := Regressions(oldRes, newRes, 0); len(got) != 2 {
+		t.Fatalf("zero-threshold gate = %v, want a and b", got)
+	}
+}
+
+// The committed-trajectory comparison itself (BENCH_2.json vs
+// BENCH_3.json at 25%) lives in CI as the dedicated bench-gate step
+// (`shoal-bench -benchgate`), so it is deliberately not duplicated
+// here — one check, one threshold, one report.

@@ -8,6 +8,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 	"sync"
 )
@@ -132,31 +133,32 @@ func (idx *Index) Score(query []string, doc int) (float64, error) {
 }
 
 // ScoreAll returns the BM25 relevance of the query against every document
-// that shares at least one term, as a map doc -> score. Documents sharing no
-// term are absent (their score is exactly 0). This sparse form is what §2.3
-// needs: the concentration denominator adds exp(0)=1 for every untouched
-// topic in closed form.
-func (idx *Index) ScoreAll(query []string) map[int]float64 {
-	out := make(map[int]float64)
-	for _, term := range dedup(query) {
-		for _, p := range idx.postings[term] {
-			out[int(p.doc)] += idx.termScore(term, p)
-		}
-	}
-	return out
-}
-
-// TopK returns the k highest-scoring documents for the query, best first;
-// ties break on lower document id. Scoring accumulates into a pooled
-// dense array with a touched-doc list (no per-query map), and selection
-// keeps a partial top-k instead of sorting every hit, so the only
-// allocation on the hot path is the returned slice.
-func (idx *Index) TopK(query []string, k int) []Hit {
-	if k <= 0 {
-		return nil
-	}
+// that shares at least one term, as hits in ascending document order.
+// Documents sharing no term are absent (their score is exactly 0). This
+// sparse form is what §2.3 needs: the concentration denominator adds
+// exp(0)=1 for every untouched topic in closed form, and the ascending
+// order fixes the float summation order without a per-call sort of map
+// keys. Scoring runs through the pooled dense scratch + touched list the
+// way TopK does, so the only allocation is the returned slice.
+func (idx *Index) ScoreAll(query []string) []Hit {
 	sc := idx.getScratch()
 	defer idx.putScratch(sc)
+	touched := idx.scoreInto(sc, query)
+	slices.Sort(touched)
+	hits := make([]Hit, 0, len(touched))
+	for _, d := range touched {
+		hits = append(hits, Hit{Doc: int(d), Score: sc.scores[d]})
+		sc.scores[d] = 0
+		sc.marked[d] = false
+	}
+	sc.touched = touched[:0]
+	return hits
+}
+
+// scoreInto accumulates the query's BM25 scores into the dense scratch
+// and returns the touched-document list (unordered). Callers must reset
+// the touched entries before pooling the scratch.
+func (idx *Index) scoreInto(sc *scratch, query []string) []int32 {
 	touched := sc.touched[:0]
 	for _, term := range dedupOrdered(query, &sc.terms) {
 		plist := idx.postings[term]
@@ -175,6 +177,21 @@ func (idx *Index) TopK(query []string, k int) []Hit {
 			sc.scores[p.doc] += idf * tf * (idx.cfg.K1 + 1) / denom
 		}
 	}
+	return touched
+}
+
+// TopK returns the k highest-scoring documents for the query, best first;
+// ties break on lower document id. Scoring accumulates into a pooled
+// dense array with a touched-doc list (no per-query map), and selection
+// keeps a partial top-k instead of sorting every hit, so the only
+// allocation on the hot path is the returned slice.
+func (idx *Index) TopK(query []string, k int) []Hit {
+	if k <= 0 {
+		return nil
+	}
+	sc := idx.getScratch()
+	defer idx.putScratch(sc)
+	touched := idx.scoreInto(sc, query)
 
 	// Partial selection: keep the best k in a sorted prefix (best first,
 	// ties on lower doc id). k is small on the serving path, so ordered

@@ -74,21 +74,51 @@ func TestScoreUnknownTermIsZero(t *testing.T) {
 
 func TestScoreAllSparse(t *testing.T) {
 	idx := buildIdx(t)
-	scores := idx.ScoreAll([]string{"beach"})
-	if len(scores) != 2 {
-		t.Fatalf("ScoreAll(beach) touched %d docs, want 2", len(scores))
+	hits := idx.ScoreAll([]string{"beach"})
+	if len(hits) != 2 {
+		t.Fatalf("ScoreAll(beach) touched %d docs, want 2", len(hits))
 	}
-	if _, ok := scores[1]; ok {
-		t.Fatal("ScoreAll(beach) includes doc 1 which lacks the term")
-	}
-	// ScoreAll must agree with Score.
-	for d, got := range scores {
-		want, err := idx.Score([]string{"beach"}, d)
+	for i, h := range hits {
+		if h.Doc == 1 {
+			t.Fatal("ScoreAll(beach) includes doc 1 which lacks the term")
+		}
+		if i > 0 && hits[i-1].Doc >= h.Doc {
+			t.Fatalf("ScoreAll hits not in ascending doc order: %v", hits)
+		}
+		// ScoreAll must agree with Score exactly: both accumulate per
+		// document in first-occurrence term order.
+		want, err := idx.Score([]string{"beach"}, h.Doc)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if math.Abs(got-want) > 1e-12 {
-			t.Fatalf("ScoreAll[%d]=%f disagrees with Score=%f", d, got, want)
+		if h.Score != want {
+			t.Fatalf("ScoreAll[%d]=%v disagrees with Score=%v", h.Doc, h.Score, want)
+		}
+	}
+}
+
+// TestScoreAllPooledScratch locks in the satellite win: repeated
+// ScoreAll calls must reuse the pooled dense scratch, allocating only
+// the returned hit slice.
+func TestScoreAllPooledScratch(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool caching is disabled under the race detector")
+	}
+	idx := buildIdx(t)
+	q := []string{"beach", "swimwear", "boots"}
+	idx.ScoreAll(q) // warm the pool
+	allocs := testing.AllocsPerRun(50, func() {
+		idx.ScoreAll(q)
+	})
+	if allocs > 1 {
+		t.Fatalf("ScoreAll allocated %.1f objects per call, want <= 1 (the result slice)", allocs)
+	}
+	// Scratch reuse must not leak scores across calls.
+	first := idx.ScoreAll(q)
+	second := idx.ScoreAll(q)
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("ScoreAll not idempotent: %v vs %v", first[i], second[i])
 		}
 	}
 }

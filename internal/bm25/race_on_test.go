@@ -1,0 +1,5 @@
+//go:build race
+
+package bm25
+
+const raceEnabled = true

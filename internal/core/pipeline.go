@@ -13,6 +13,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"time"
 
 	"shoal/internal/bipartite"
@@ -22,9 +23,9 @@ import (
 	"shoal/internal/entitygraph"
 	"shoal/internal/model"
 	"shoal/internal/phac"
+	"shoal/internal/shard"
 	"shoal/internal/taxonomy"
 	"shoal/internal/textutil"
-	"shoal/internal/wgraph"
 	"shoal/internal/word2vec"
 )
 
@@ -40,12 +41,20 @@ type Config struct {
 	// instead of concurrently. Output is identical either way; this is
 	// the debugging / benchmark baseline.
 	Sequential bool
-	Word2Vec   word2vec.Config
-	Graph      entitygraph.Config
-	HAC        phac.Config
-	Taxonomy   taxonomy.Config
-	Describe   describe.Config
-	CatCorr    catcorr.Config
+	// Shards is the row-range shard count of the graph substrate: the
+	// entity graph is emitted as that many edge-balanced CSR shards and
+	// the partition-parallel clustering paths (diffusion, contracted
+	// rebuild) schedule one worker per shard. 0 means GOMAXPROCS.
+	// Results are byte-identical for every value; recorded in
+	// /api/stats. Per-stage overrides (Graph.Shards, HAC.Shards) win
+	// when set.
+	Shards   int
+	Word2Vec word2vec.Config
+	Graph    entitygraph.Config
+	HAC      phac.Config
+	Taxonomy taxonomy.Config
+	Describe describe.Config
+	CatCorr  catcorr.Config
 	// SearchDocTokenCap bounds tokens contributed per topic to the
 	// search index.
 	SearchDocTokenCap int
@@ -69,11 +78,15 @@ func DefaultConfig() Config {
 
 // Build is the fully assembled SHOAL system for one corpus.
 type Build struct {
-	Corpus       *model.Corpus
-	Clicks       *bipartite.Graph
-	Entities     *entitygraph.EntitySet
-	Graph        *wgraph.CSR
-	QuerySets    [][]model.QueryID
+	Corpus    *model.Corpus
+	Clicks    *bipartite.Graph
+	Entities  *entitygraph.EntitySet
+	Graph     *shard.CSR
+	QuerySets [][]model.QueryID
+	// Shards is the shard count the graph substrate was actually built
+	// with (Graph.NumShards() — per-stage overrides and tiny-graph
+	// clamping included), recorded by the entity-graph stage.
+	Shards       int
 	Embeddings   *word2vec.Model
 	Dendrogram   *dendrogram.Dendrogram
 	Rounds       []phac.RoundStat
@@ -123,6 +136,17 @@ func RunWithClicksContext(ctx context.Context, corpus *model.Corpus, clicks *bip
 func run(ctx context.Context, corpus *model.Corpus, clicks *bipartite.Graph, cfg Config) (*Build, error) {
 	if err := corpus.Validate(); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
+	}
+	// Resolve the shard knob once so every stage (and /api/stats) sees
+	// the same partition width.
+	if cfg.Shards <= 0 {
+		cfg.Shards = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Graph.Shards <= 0 {
+		cfg.Graph.Shards = cfg.Shards
+	}
+	if cfg.HAC.Shards <= 0 {
+		cfg.HAC.Shards = cfg.Shards
 	}
 	b := &Build{Corpus: corpus, Clicks: clicks}
 	eng, err := NewEngine(pipelineStages(cfg, clicks != nil)...)
@@ -189,6 +213,7 @@ func pipelineStages(cfg Config, externalClicks bool) []Stage {
 			}
 			b.Graph = res.Graph
 			b.QuerySets = res.QuerySets
+			b.Shards = res.Graph.NumShards()
 			return nil
 		}),
 		StageFunc("parallel-hac", []string{"entity-graph"}, func(ctx context.Context, b *Build) error {

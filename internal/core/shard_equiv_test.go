@@ -1,0 +1,47 @@
+package core
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestShardedObservationallyIdentical is the taxonomy-level half of the
+// shard determinism contract: the full pipeline must produce
+// byte-identical graphs, dendrograms, taxonomies and descriptions for
+// every shard count, from a single shard up past GOMAXPROCS.
+func TestShardedObservationallyIdentical(t *testing.T) {
+	corpus := smallCorpus(t)
+	baseCfg := testConfig()
+	// Word2vec's Hogwild updates are racy by design; pin to one worker
+	// so cross-run comparisons isolate the sharding effect.
+	baseCfg.Word2Vec.Workers = 1
+	baseCfg.Shards = 1
+	ref, err := Run(corpus, baseCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []int{2, 3, runtime.GOMAXPROCS(0) + 3} {
+		cfg := testConfig()
+		cfg.Word2Vec.Workers = 1
+		cfg.Shards = s
+		b, err := Run(corpus, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.Shards != s {
+			t.Fatalf("shards=%d: build records %d", s, b.Shards)
+		}
+		if !gobEqual(t, b.Graph.Edges(), ref.Graph.Edges()) {
+			t.Fatalf("shards=%d: entity graph differs from single-shard", s)
+		}
+		if !gobEqual(t, b.Dendrogram, ref.Dendrogram) {
+			t.Fatalf("shards=%d: dendrogram differs from single-shard", s)
+		}
+		if !gobEqual(t, b.Taxonomy, ref.Taxonomy) {
+			t.Fatalf("shards=%d: taxonomy differs from single-shard", s)
+		}
+		if !gobEqual(t, b.Descriptions, ref.Descriptions) {
+			t.Fatalf("shards=%d: descriptions differ from single-shard", s)
+		}
+	}
+}

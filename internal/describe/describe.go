@@ -134,20 +134,19 @@ func Describe(ctx context.Context, tx *taxonomy.Taxonomy, corpus *model.Corpus, 
 			}
 
 			// Concentration: softmax of BM25 over touched topics, with
-			// the untouched mass added in closed form. The denominator is
-			// summed in ascending topic order: float addition is not
-			// associative, so summing in map iteration order would make
-			// scores vary run to run.
+			// the untouched mass added in closed form. ScoreAll returns
+			// hits in ascending topic order, which fixes the denominator
+			// summation order: float addition is not associative, so
+			// summing in an arbitrary order would make scores vary run
+			// to run.
 			rels := idx.ScoreAll(qToks)
-			relK := rels[t]
-			touched := make([]int, 0, len(rels))
-			for d := range rels {
-				touched = append(touched, d)
-			}
-			sort.Ints(touched)
+			relK := 0.0
 			var den float64 = 1 // the "+1" of the formula
-			for _, d := range touched {
-				den += math.Exp(rels[d])
+			for _, h := range rels {
+				if h.Doc == t {
+					relK = h.Score
+				}
+				den += math.Exp(h.Score)
 			}
 			den += float64(k - len(rels)) // exp(0) per untouched topic
 			con := math.Exp(relK) / den

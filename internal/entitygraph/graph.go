@@ -11,6 +11,7 @@ import (
 
 	"shoal/internal/bipartite"
 	"shoal/internal/model"
+	"shoal/internal/shard"
 	"shoal/internal/wgraph"
 	"shoal/internal/word2vec"
 )
@@ -31,6 +32,10 @@ type Config struct {
 	MaxQueryFanout int
 	// Workers parallelizes similarity computation; 0 means GOMAXPROCS.
 	Workers int
+	// Shards is the row-range shard count of the emitted CSR (the
+	// partition-parallel unit downstream clustering schedules on); 0
+	// means Workers.
+	Shards int
 }
 
 // DefaultConfig mirrors the paper's demonstration settings.
@@ -57,16 +62,21 @@ func (c *Config) validate() error {
 	if c.Workers <= 0 {
 		c.Workers = runtime.GOMAXPROCS(0)
 	}
+	if c.Shards <= 0 {
+		c.Shards = c.Workers
+	}
 	return nil
 }
 
 // Result bundles the entity graph with the entity metadata it was built
 // over. The wgraph node ids equal entity ids. The graph is emitted
-// directly in frozen CSR form — the build path's sorted pair arrays are
-// its natural input — so downstream clustering never touches a map.
+// directly in sharded frozen CSR form — the build path's sorted pair
+// arrays are its natural input and the row-range shards are filled
+// concurrently — so downstream clustering never touches a map and
+// partition-parallel consumers get their shard plan for free.
 type Result struct {
 	Set   *EntitySet
-	Graph *wgraph.CSR
+	Graph *shard.CSR
 	// QuerySets[e] is the sorted query-id set of entity e, the Qu of
 	// Eq. 1. Exposed for description matching (§2.3).
 	QuerySets [][]model.QueryID
@@ -97,26 +107,42 @@ func Build(ctx context.Context, es *EntitySet, clicks *bipartite.Graph, emb *wor
 	}
 	n := len(es.Entities)
 
-	// Entity query sets (dedup across member items).
+	// Entity query sets (dedup across member items): flat-sort-dedup —
+	// member query lists are concatenated into a reusable buffer, sorted
+	// and compacted, so no per-entity seen map exists. The query→entity
+	// index is accumulated the same way: packed (query, entity)
+	// associations in one flat slice, sorted into query groups below.
 	querySets := make([][]model.QueryID, n)
-	queryEntities := make(map[model.QueryID][]model.EntityID)
+	var qbuf []model.QueryID
+	var assoc []uint64 // query<<32 | entity, one per (entity, query)
 	for e := range es.Entities {
-		seen := make(map[model.QueryID]bool)
+		qbuf = qbuf[:0]
 		for _, it := range es.Entities[e].Items {
-			for _, q := range clicks.QuerySet(it) {
-				seen[q] = true
+			qbuf = append(qbuf, clicks.QuerySet(it)...)
+		}
+		slices.Sort(qbuf)
+		qs := make([]model.QueryID, 0, len(qbuf))
+		for i, q := range qbuf {
+			if i == 0 || q != qbuf[i-1] {
+				qs = append(qs, q)
 			}
 		}
-		qs := make([]model.QueryID, 0, len(seen))
-		for q := range seen {
-			qs = append(qs, q)
-		}
-		sort.Slice(qs, func(a, b int) bool { return qs[a] < qs[b] })
 		querySets[e] = qs
 		for _, q := range qs {
-			queryEntities[q] = append(queryEntities[q], model.EntityID(e))
+			assoc = append(assoc, uint64(uint32(q))<<32|uint64(uint32(e)))
 		}
 	}
+	// Group the associations by query: after sorting, each query's
+	// entities form a contiguous ascending run — the exact content the
+	// former queryEntities map held, without the map.
+	slices.Sort(assoc)
+	qStart := make([]int32, 0, 64)
+	for i := range assoc {
+		if i == 0 || assoc[i]>>32 != assoc[i-1]>>32 {
+			qStart = append(qStart, int32(i))
+		}
+	}
+	qStart = append(qStart, int32(len(assoc)))
 
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -127,11 +153,7 @@ func Build(ctx context.Context, es *EntitySet, clicks *bipartite.Graph, emb *wor
 	// canonicalizes shard order, so the result is deterministic and the
 	// former map[[2]int32]int32 counter (the largest map on the build
 	// path) is gone.
-	qids := make([]model.QueryID, 0, len(queryEntities))
-	for q := range queryEntities {
-		qids = append(qids, q)
-	}
-	sort.Slice(qids, func(a, b int) bool { return qids[a] < qids[b] })
+	numQueries := len(qStart) - 1
 	shards := make([][]uint64, cfg.Workers)
 	{
 		var wg sync.WaitGroup
@@ -141,23 +163,23 @@ func Build(ctx context.Context, es *EntitySet, clicks *bipartite.Graph, emb *wor
 				defer wg.Done()
 				var out []uint64
 				var sinceCheck int
-				for qi := w; qi < len(qids); qi += cfg.Workers {
+				for qi := w; qi < numQueries; qi += cfg.Workers {
 					if sinceCheck++; sinceCheck >= 256 {
 						sinceCheck = 0
 						if ctx.Err() != nil {
 							break
 						}
 					}
-					ents := queryEntities[qids[qi]]
+					ents := assoc[qStart[qi]:qStart[qi+1]]
 					if cfg.MaxQueryFanout > 0 && len(ents) > cfg.MaxQueryFanout {
 						continue
 					}
 					for i := 0; i < len(ents); i++ {
 						for j := i + 1; j < len(ents); j++ {
-							a, b := uint64(ents[i]), uint64(ents[j])
-							if a > b {
-								a, b = b, a
-							}
+							// Entities within a run ascend, so the pair
+							// is already canonical.
+							a := ents[i] & 0xffffffff
+							b := ents[j] & 0xffffffff
 							out = append(out, a<<32|b)
 						}
 					}
@@ -276,15 +298,16 @@ func Build(ctx context.Context, es *EntitySet, clicks *bipartite.Graph, emb *wor
 			keep[lst[i].idx] = true
 		}
 	}
-	// Emit CSR directly: pairs are already canonical and sorted, so the
-	// kept subset is a valid FromEdges input.
+	// Emit sharded CSR directly: pairs are already canonical and sorted,
+	// so the kept subset is a valid FromEdges input, and the row-range
+	// shards are counted and filled concurrently.
 	kept := make([]wgraph.Edge, 0, len(pairs))
 	for i, p := range pairs {
 		if keep[i] {
 			kept = append(kept, wgraph.Edge{U: p[0], V: p[1], W: sims[i]})
 		}
 	}
-	g, err := wgraph.FromEdges(n, kept)
+	g, err := shard.FromEdges(n, kept, cfg.Shards)
 	if err != nil {
 		return nil, err
 	}

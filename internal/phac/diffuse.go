@@ -3,8 +3,10 @@ package phac
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"shoal/internal/bsp"
+	"shoal/internal/shard"
 	"shoal/internal/wgraph"
 )
 
@@ -20,13 +22,20 @@ type Edge struct {
 // (iterations vs. parallelism) and the BSP equivalence check (E9).
 // Edges below threshold do not participate. The graph is scanned in its
 // CSR form (a mutable graph is frozen once up front), so the exchange
-// iterations allocate nothing.
+// iterations allocate nothing. With workers <= 0 ("pick for me") a
+// *shard.CSR input takes the partition-parallel path — one worker per
+// shard, with a selection merge that is byte-identical to the
+// single-shard result for any shard count; an explicit workers count is
+// always honored (workers == 1 stays serial even on sharded input).
 func Diffuse(g wgraph.View, rounds int, threshold float64, workers int) ([]Edge, error) {
 	if g.NumNodes() == 0 {
 		return nil, fmt.Errorf("phac: empty graph")
 	}
 	if rounds < 0 {
 		return nil, fmt.Errorf("phac: negative diffusion rounds %d", rounds)
+	}
+	if sc, ok := g.(*shard.CSR); ok && sc.NumShards() > 1 && workers <= 0 {
+		return diffuseSharded(sc, rounds, threshold), nil
 	}
 	if workers <= 0 {
 		workers = 1
@@ -47,8 +56,7 @@ func Diffuse(g wgraph.View, rounds int, threshold float64, workers int) ([]Edge,
 			if w < threshold {
 				continue
 			}
-			cu, cv := canon(u, v)
-			cand := edgeRef{u: cu, v: cv, sim: w}
+			cand := mkEdgeRef(u, v, w)
 			if better(cand, best) {
 				best = cand
 			}
@@ -68,6 +76,111 @@ func Diffuse(g wgraph.View, rounds int, threshold float64, workers int) ([]Edge,
 		know, next = next, know
 	}
 	return collectSelected(know, threshold), nil
+}
+
+// diffuseSharded is the partition-parallel Diffuse: every phase — the
+// init scan, each exchange iteration, and the selection — runs one
+// worker per shard over that shard's row range. know/next entries are
+// written only by the owner of their row, and per-shard selection lists
+// (ascending u within a shard) concatenate in shard order into the
+// globally sorted matching, so the merged output is byte-identical to
+// the serial path for any shard count.
+func diffuseSharded(sc *shard.CSR, rounds int, threshold float64) []Edge {
+	c := sc.BaseCSR()
+	offsets, nbrs, wts := c.Adj()
+	n := c.NumNodes()
+	know := make([]edgeRef, n)
+	next := make([]edgeRef, n)
+	plan := sc.Plan()
+
+	perShard := func(fn func(lo, hi int32)) {
+		var wg sync.WaitGroup
+		for i := 0; i < plan.NumShards(); i++ {
+			lo, hi := plan.Bounds(i)
+			if lo == hi {
+				continue
+			}
+			wg.Add(1)
+			go func(lo, hi int32) {
+				defer wg.Done()
+				fn(lo, hi)
+			}(lo, hi)
+		}
+		wg.Wait()
+	}
+
+	perShard(func(lo, hi int32) {
+		for u := lo; u < hi; u++ {
+			best := noEdge
+			for j := offsets[u]; j < offsets[u+1]; j++ {
+				v, w := nbrs[j], wts[j]
+				if w < threshold {
+					continue
+				}
+				cand := mkEdgeRef(u, v, w)
+				if better(cand, best) {
+					best = cand
+				}
+			}
+			know[u] = best
+		}
+	})
+	for it := 0; it < rounds; it++ {
+		k, nx := know, next
+		perShard(func(lo, hi int32) {
+			for u := lo; u < hi; u++ {
+				best := k[u]
+				for j := offsets[u]; j < offsets[u+1]; j++ {
+					if v := nbrs[j]; better(k[v], best) {
+						best = k[v]
+					}
+				}
+				nx[u] = best
+			}
+		})
+		know, next = next, know
+	}
+
+	// Per-shard selection, merged in shard order. A node contributes at
+	// most one edge (its know entry, evaluated at the smaller endpoint),
+	// so each shard's list is strictly ascending in U and the
+	// concatenation needs no sort.
+	parts := make([][]Edge, plan.NumShards())
+	var wg sync.WaitGroup
+	for i := 0; i < plan.NumShards(); i++ {
+		lo, hi := plan.Bounds(i)
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, lo, hi int32) {
+			defer wg.Done()
+			var out []Edge
+			for u := lo; u < hi; u++ {
+				e := know[u]
+				if e.U() != u || e.sim < threshold {
+					continue
+				}
+				if know[e.V()] == e {
+					out = append(out, Edge{U: e.U(), V: e.V(), Sim: e.sim})
+				}
+			}
+			parts[i] = out
+		}(i, lo, hi)
+	}
+	wg.Wait()
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	if total == 0 {
+		return nil // match the serial path's nil for an empty matching
+	}
+	out := make([]Edge, 0, total)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
 }
 
 // DiffuseBSP computes the same matching as Diffuse but runs the exchange
@@ -117,8 +230,7 @@ func (p *diffusionProgram) Compute(step int, v bsp.VertexID, inbox []edgeRef, se
 			if w < p.threshold {
 				continue
 			}
-			cu, cv := canon(u, nb)
-			cand := edgeRef{u: cu, v: cv, sim: w}
+			cand := mkEdgeRef(u, nb, w)
 			if better(cand, best) {
 				best = cand
 			}
@@ -145,11 +257,11 @@ func collectSelected(know []edgeRef, threshold float64) []Edge {
 	var out []Edge
 	for u := int32(0); int(u) < len(know); u++ {
 		e := know[u]
-		if e.u != u || e.sim < threshold {
+		if e.U() != u || e.sim < threshold {
 			continue
 		}
-		if int(e.v) < len(know) && know[e.v] == e {
-			out = append(out, Edge{U: e.u, V: e.v, Sim: e.sim})
+		if int(e.V()) < len(know) && know[e.V()] == e {
+			out = append(out, Edge{U: e.U(), V: e.V(), Sim: e.sim})
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {

@@ -91,6 +91,12 @@ type Config struct {
 	DiffusionRounds int
 	// Workers is the number of goroutines; 0 means GOMAXPROCS.
 	Workers int
+	// Shards is the partition-parallel width: the diffusion scans split
+	// the alive rows into this many edge-balanced ranges, and the
+	// per-round contracted-CSR rebuild counts and fills that many row
+	// ranges concurrently. 0 means Workers. Results are byte-identical
+	// for every shard count.
+	Shards int
 	// MaxRounds caps clustering rounds; 0 means unlimited.
 	MaxRounds int
 	// Linkage is the merge update rule; zero value is the paper's Eq. 4.
@@ -111,6 +117,9 @@ func (c *Config) validate() error {
 	}
 	if c.Workers <= 0 {
 		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Shards <= 0 {
+		c.Shards = c.Workers
 	}
 	if c.Linkage < LinkageSqrtSize || c.Linkage > LinkageSizeProportional {
 		return fmt.Errorf("phac: unknown linkage %d", c.Linkage)
@@ -139,23 +148,36 @@ type Result struct {
 }
 
 // edgeRef is a totally ordered reference to an edge: better means higher
-// similarity, ties broken by smaller canonical (u,v).
+// similarity, ties broken by smaller canonical (u,v). The endpoints are
+// packed into one uint64 key (u<<32 | v, canonical u < v) so the ref is
+// 16 bytes — the diffusion exchange loop streams these, and the packing
+// makes the tie-break a single integer compare with the same order as
+// (u asc, v asc).
 type edgeRef struct {
-	u, v int32 // canonical: u < v
-	sim  float64
+	sim float64
+	key uint64 // canonical u<<32 | v
 }
 
-var noEdge = edgeRef{u: -1, v: -1, sim: math.Inf(-1)}
+// mkEdgeRef builds the canonical ref for the edge (u,v).
+func mkEdgeRef(u, v int32, sim float64) edgeRef {
+	if v < u {
+		u, v = v, u
+	}
+	return edgeRef{sim: sim, key: uint64(uint32(u))<<32 | uint64(uint32(v))}
+}
+
+// U and V unpack the canonical endpoints.
+func (e edgeRef) U() int32 { return int32(e.key >> 32) }
+func (e edgeRef) V() int32 { return int32(uint32(e.key)) }
+
+var noEdge = edgeRef{sim: math.Inf(-1), key: ^uint64(0)}
 
 // better reports whether a beats b in the diffusion total order.
 func better(a, b edgeRef) bool {
 	if a.sim != b.sim {
 		return a.sim > b.sim
 	}
-	if a.u != b.u {
-		return a.u < b.u
-	}
-	return a.v < b.v
+	return a.key < b.key
 }
 
 // Cluster runs Parallel HAC over g with initial cluster sizes (nil means
@@ -227,6 +249,7 @@ type state struct {
 	alive      []bool
 	aliveCount int
 	workers    int
+	shards     int       // partition-parallel width (cfg.Shards)
 	know, next []edgeRef // diffusion double buffers
 	nodes      []int32   // aliveList scratch
 	edgeCnt    []int64   // per-alive-node edge count scratch
@@ -235,14 +258,25 @@ type state struct {
 	mergeTo    []int32   // id -> new id this round, -1 otherwise
 	coef       []float64 // id -> Eq. 4 coefficient this round
 	deg        []int32   // degree/cursor scratch for CSR rebuild
+	dirty      []bool    // id -> adjacency changed this round (rebuild)
 	perOwner   [][]contrib
-	all        []contrib
+	bounds     []int32       // edge-balanced range scratch (diffusion + rebuild)
+	hp         []int32       // k-way merge heap scratch (owner indices)
+	hpPos      []int32       // k-way merge per-owner cursor scratch
 	newEdges   []wgraph.Edge // aggregated >= threshold edges
 }
 
 func newState(c *wgraph.CSR, sizes []int, cfg Config) *state {
 	n := c.NumNodes()
 	offsets, nbrs, wts := c.Adj()
+	// Normalize here too so direct constructions (tests) get sane widths
+	// without going through validate.
+	if cfg.Shards <= 0 {
+		cfg.Shards = cfg.Workers
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 1
+	}
 	st := &state{
 		total:      n,
 		offsets:    offsets,
@@ -253,6 +287,7 @@ func newState(c *wgraph.CSR, sizes []int, cfg Config) *state {
 		alive:      make([]bool, n, 2*n),
 		aliveCount: n,
 		workers:    cfg.Workers,
+		shards:     cfg.Shards,
 		know:       make([]edgeRef, n, 2*n),
 		next:       make([]edgeRef, n, 2*n),
 		mergeTo:    make([]int32, n, 2*n),
@@ -298,11 +333,15 @@ func (st *state) selectLocalMaxima(rounds, workers int, threshold float64) ([]ed
 		st.bests = append(st.bests, noEdge)
 	}
 	know, next := st.know, st.next
+	var bounds []int32
+	if !serial {
+		bounds = st.nodeRangeBounds(nodes)
+	}
 	if serial {
 		st.diffuseInit(nodes, 0, len(nodes), threshold, know)
 	} else {
 		k := know // fresh binding: closure captures by value, not the reassigned loop var
-		runShards(len(nodes), workers, func(lo, hi int) {
+		runRanges(bounds, func(lo, hi int) {
 			st.diffuseInit(nodes, lo, hi, threshold, k)
 		})
 	}
@@ -322,7 +361,7 @@ func (st *state) selectLocalMaxima(rounds, workers int, threshold float64) ([]ed
 			st.diffuseExchange(nodes, 0, len(nodes), know, next)
 		} else {
 			k, nx := know, next
-			runShards(len(nodes), workers, func(lo, hi int) {
+			runRanges(bounds, func(lo, hi int) {
 				st.diffuseExchange(nodes, lo, hi, k, nx)
 			})
 		}
@@ -337,38 +376,74 @@ func (st *state) selectLocalMaxima(rounds, workers int, threshold float64) ([]ed
 	} else {
 		sink := &selectSink{buf: st.selected[:0]}
 		k := know
-		runShards(len(nodes), workers, func(lo, hi int) {
+		runRanges(bounds, func(lo, hi int) {
 			st.diffuseSelectInto(nodes, lo, hi, threshold, k, sink)
 		})
 		selected = sink.buf
 	}
 	slices.SortFunc(selected, func(a, b edgeRef) int {
-		if a.u != b.u {
-			return int(a.u - b.u)
+		// Keys are unique (node-disjoint matching), so this is the
+		// canonical (u,v) order.
+		switch {
+		case a.key < b.key:
+			return -1
+		case a.key > b.key:
+			return 1
 		}
-		return int(a.v - b.v)
+		return 0
 	})
 	st.selected = selected
 	return selected, int(activeEdges), globalBest.sim
 }
 
-// shardBounds splits [0,n) into `shards` contiguous ranges and returns
-// the i-th.
-func shardBounds(n, shards, i int) (lo, hi int) {
-	lo = n * i / shards
-	hi = n * (i + 1) / shards
-	return lo, hi
+// nodeRangeBounds fills the reusable bounds scratch with st.shards+1 cut
+// points into the alive node list, balanced by adjacency entries rather
+// than node count (each node weighs its degree plus one), so skewed
+// degree distributions still split into even per-worker work. Bounds
+// only partition work — results are identical for any split.
+func (st *state) nodeRangeBounds(nodes []int32) []int32 {
+	shards := st.shards
+	if shards < 1 {
+		shards = 1
+	}
+	for len(st.bounds) < shards+1 {
+		st.bounds = append(st.bounds, 0)
+	}
+	bounds := st.bounds[:shards+1]
+	offsets := st.offsets
+	var total int64
+	for _, u := range nodes {
+		total += int64(offsets[u+1]-offsets[u]) + 1
+	}
+	bounds[0] = 0
+	bounds[shards] = int32(len(nodes))
+	var prefix int64
+	next := 1
+	for i, u := range nodes {
+		if next >= shards {
+			break
+		}
+		prefix += int64(offsets[u+1]-offsets[u]) + 1
+		for next < shards && prefix*int64(shards) >= total*int64(next) {
+			bounds[next] = int32(i + 1)
+			next++
+		}
+	}
+	for ; next < shards; next++ {
+		bounds[next] = int32(len(nodes))
+	}
+	return bounds
 }
 
-// runShards runs fn over [0,n) split contiguously across `workers`
-// goroutines and waits for all of them. Callers on the zero-alloc path
-// must only construct the fn closure inside their parallel branch (and
-// capture fresh bindings, not variables reassigned later), so the serial
-// branch stays allocation-free.
-func runShards(n, workers int, fn func(lo, hi int)) {
+// runRanges runs fn over each non-empty range [bounds[i], bounds[i+1])
+// in its own goroutine and waits for all of them. Callers on the
+// zero-alloc path must only construct the fn closure inside their
+// parallel branch (and capture fresh bindings, not variables reassigned
+// later), so the serial branch stays allocation-free.
+func runRanges(bounds []int32, fn func(lo, hi int)) {
 	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		lo, hi := shardBounds(n, workers, w)
+	for i := 0; i+1 < len(bounds); i++ {
+		lo, hi := int(bounds[i]), int(bounds[i+1])
 		if lo == hi {
 			continue
 		}
@@ -397,8 +472,7 @@ func (st *state) diffuseInit(nodes []int32, lo, hi int, threshold float64, know 
 			if u < v {
 				edges++
 			}
-			cu, cv := canon(u, v)
-			cand := edgeRef{u: cu, v: cv, sim: w}
+			cand := mkEdgeRef(u, v, w)
 			if better(cand, bestAny) {
 				bestAny = cand
 			}
@@ -437,10 +511,10 @@ func (st *state) diffuseExchange(nodes []int32, lo, hi int, know, next []edgeRef
 func (st *state) diffuseSelectSerial(nodes []int32, threshold float64, know []edgeRef, buf []edgeRef) []edgeRef {
 	for _, u := range nodes {
 		e := know[u]
-		if e.u != u || e.sim < threshold {
+		if e.U() != u || e.sim < threshold {
 			continue
 		}
-		if know[e.v] == e {
+		if know[e.V()] == e {
 			buf = append(buf, e)
 		}
 	}
@@ -459,10 +533,10 @@ func (st *state) diffuseSelectInto(nodes []int32, lo, hi int, threshold float64,
 	for i := lo; i < hi; i++ {
 		u := nodes[i]
 		e := know[u]
-		if e.u != u || e.sim < threshold {
+		if e.U() != u || e.sim < threshold {
 			continue
 		}
-		if know[e.v] == e {
+		if know[e.V()] == e {
 			sink.mu.Lock()
 			sink.buf = append(sink.buf, e)
 			sink.mu.Unlock()
@@ -498,15 +572,16 @@ func (st *state) mergeSelected(selected []edgeRef, round int, cfg Config, d *den
 	}
 	for i, e := range selected {
 		id := base + int32(i)
-		wu, wv := cfg.Linkage.weights(st.size[e.u], st.size[e.v])
-		st.mergeTo[e.u] = id
-		st.mergeTo[e.v] = id
-		st.coef[e.u] = wu
-		st.coef[e.v] = wv
-		st.size = append(st.size, st.size[e.u]+st.size[e.v])
+		eu, ev := e.U(), e.V()
+		wu, wv := cfg.Linkage.weights(st.size[eu], st.size[ev])
+		st.mergeTo[eu] = id
+		st.mergeTo[ev] = id
+		st.coef[eu] = wu
+		st.coef[ev] = wv
+		st.size = append(st.size, st.size[eu]+st.size[ev])
 		st.alive = append(st.alive, true)
 		d.Merges = append(d.Merges, dendrogram.Merge{
-			A: e.u, B: e.v, New: id, Sim: e.sim, Round: int32(round),
+			A: eu, B: ev, New: id, Sim: e.sim, Round: int32(round),
 		})
 	}
 
@@ -523,7 +598,7 @@ func (st *state) mergeSelected(selected []edgeRef, round int, cfg Config, d *den
 		e := selected[i]
 		w := base + int32(i)
 		out := perOwner[i][:0]
-		for _, member := range [2]int32{e.u, e.v} {
+		for _, member := range [2]int32{e.U(), e.V()} {
 			wm := st.coef[member]
 			for j := offsets[member]; j < offsets[member+1]; j++ {
 				nb, s := nbrs[j], wts[j]
@@ -550,76 +625,72 @@ func (st *state) mergeSelected(selected []edgeRef, round int, cfg Config, d *den
 		perOwner[i] = out
 	})
 
-	// Aggregate: flatten in owner order, group by key, sum each group in
-	// sorted origin order for exact determinism.
-	all := st.all[:0]
-	for _, lst := range perOwner[:len(selected)] {
-		all = append(all, lst...)
-	}
-	st.all = all
-	slices.SortFunc(all, func(x, y contrib) int {
-		if x.key[0] != y.key[0] {
-			return int(x.key[0] - y.key[0])
-		}
-		if x.key[1] != y.key[1] {
-			return int(x.key[1] - y.key[1])
-		}
-		if x.orig[0] != y.orig[0] {
-			return int(x.orig[0] - y.orig[0])
-		}
-		return int(x.orig[1] - y.orig[1])
+	// Aggregate: per-owner pre-sort (parallel) + k-way merge with inline
+	// group summation, replacing the former flatten + O(E log E) global
+	// re-sort each round. Every old edge contributes exactly once, so
+	// (key, orig) pairs are unique across owners and the merge pops
+	// contributions in the exact global (key, orig) order the old sort
+	// produced — float summation per key is byte-identical.
+	parallelIdx(len(selected), st.workers, func(i int) {
+		slices.SortFunc(perOwner[i], cmpContrib)
 	})
-
-	// Sum each group; keep >= threshold: Eq. 4 is a convex combination,
-	// so a sub-threshold edge can never feed a future >= threshold
-	// similarity. Output arrives sorted by canonical key.
-	newEdges := st.newEdges[:0]
-	for i := 0; i < len(all); {
-		j := i
-		var sum float64
-		for ; j < len(all) && all[j].key == all[i].key; j++ {
-			sum += all[j].val
-		}
-		if sum >= cfg.StopThreshold {
-			newEdges = append(newEdges, wgraph.Edge{U: all[i].key[0], V: all[i].key[1], W: sum})
-		}
-		i = j
-	}
-	st.newEdges = newEdges
+	newEdges := st.kwayMergeSum(perOwner[:len(selected)], cfg.StopThreshold)
 
 	// Build the next round's CSR into the spare buffers: surviving old
 	// edges (both endpoints unmerged) in row-major order, then the
 	// coalesced edges in canonical order. Every row under construction
 	// receives its neighbors in ascending order (old ids < base first,
 	// minted ids >= base after), so no per-row sort is needed.
+	//
+	// Rows are counted and filled row-wise (countRange/fillRange): a row
+	// only dirty — adjacent to this round's merges, or minted — is
+	// re-filtered entry by entry; a clean row's adjacency is provably
+	// unchanged, so its degree is the old row length and its content one
+	// span copy. Late rounds merge few pairs, so most of the graph moves
+	// by memmove instead of per-entry branches. With Shards > 1 the two
+	// passes run one worker per edge-balanced row range; each range
+	// writes only its own rows, so the layout is identical
+	// partition-parallel.
 	for len(st.deg) < newTotal {
 		st.deg = append(st.deg, 0)
 	}
 	deg := st.deg[:newTotal]
-	clear(deg)
-	for u := int32(0); int(u) < st.total; u++ {
-		if !st.alive[u] || st.mergeTo[u] >= 0 {
-			continue
-		}
-		for j := offsets[u]; j < offsets[u+1]; j++ {
-			if v := nbrs[j]; u < v && st.mergeTo[v] < 0 {
-				deg[u]++
-				deg[v]++
-			}
-		}
-	}
-	for _, e := range newEdges {
-		deg[e.U]++
-		deg[e.V]++
-	}
 	for len(st.bOffsets) < newTotal+1 {
 		st.bOffsets = append(st.bOffsets, 0)
 	}
 	bOffsets := st.bOffsets[:newTotal+1]
+	for len(st.dirty) < newTotal {
+		st.dirty = append(st.dirty, false)
+	}
+	dirty := st.dirty[:newTotal]
+	clear(dirty)
+	for _, e := range selected {
+		for _, member := range [2]int32{e.U(), e.V()} {
+			for j := offsets[member]; j < offsets[member+1]; j++ {
+				dirty[nbrs[j]] = true
+			}
+		}
+	}
+	for i := range selected {
+		dirty[base+int32(i)] = true // minted rows are always fresh
+	}
+
+	sharded := st.shards > 1 && newTotal >= 256
+	if sharded {
+		// Count per row range, balanced by old-row entries (minted rows
+		// weigh one entry; their degrees come from the newEdges scan
+		// every worker performs anyway).
+		cb := st.rangeBoundsByPrefix(st.offsets, st.total, newTotal)
+		runRanges32(cb, func(lo, hi int32) {
+			st.countRange(lo, hi, deg, newEdges)
+		})
+	} else {
+		st.countRange(0, int32(newTotal), deg, newEdges)
+	}
+
 	bOffsets[0] = 0
 	for i := 0; i < newTotal; i++ {
 		bOffsets[i+1] = bOffsets[i] + deg[i]
-		deg[i] = bOffsets[i] // reuse as fill cursor
 	}
 	half := int(bOffsets[newTotal])
 	for len(st.bNbrs) < half {
@@ -627,34 +698,22 @@ func (st *state) mergeSelected(selected []edgeRef, round int, cfg Config, d *den
 		st.bWts = append(st.bWts, 0)
 	}
 	bNbrs, bWts := st.bNbrs[:half], st.bWts[:half]
-	for u := int32(0); int(u) < st.total; u++ {
-		if !st.alive[u] || st.mergeTo[u] >= 0 {
-			continue
-		}
-		for j := offsets[u]; j < offsets[u+1]; j++ {
-			v, w := nbrs[j], wts[j]
-			if u >= v || st.mergeTo[v] >= 0 {
-				continue
-			}
-			bNbrs[deg[u]], bWts[deg[u]] = v, w
-			deg[u]++
-			bNbrs[deg[v]], bWts[deg[v]] = u, w
-			deg[v]++
-		}
-	}
-	for _, e := range newEdges {
-		bNbrs[deg[e.U]], bWts[deg[e.U]] = e.V, e.W
-		deg[e.U]++
-		bNbrs[deg[e.V]], bWts[deg[e.V]] = e.U, e.W
-		deg[e.V]++
+
+	if sharded {
+		fb := st.rangeBoundsByPrefix(bOffsets, newTotal, newTotal)
+		runRanges32(fb, func(lo, hi int32) {
+			st.fillRange(lo, hi, deg, bOffsets, bNbrs, bWts, newEdges)
+		})
+	} else {
+		st.fillRange(0, int32(newTotal), deg, bOffsets, bNbrs, bWts, newEdges)
 	}
 
 	// Retire the merged clusters and clear this round's merge map.
 	for _, e := range selected {
-		st.alive[e.u] = false
-		st.alive[e.v] = false
-		st.mergeTo[e.u] = -1
-		st.mergeTo[e.v] = -1
+		st.alive[e.U()] = false
+		st.alive[e.V()] = false
+		st.mergeTo[e.U()] = -1
+		st.mergeTo[e.V()] = -1
 	}
 	st.aliveCount -= len(selected)
 
@@ -670,6 +729,227 @@ func (st *state) mergeSelected(selected []edgeRef, round int, cfg Config, d *den
 		st.ownsCur = true
 	}
 	st.total = newTotal
+}
+
+// cmpContrib orders contributions by (key, orig) — the deterministic
+// global summation order.
+func cmpContrib(x, y contrib) int {
+	if x.key[0] != y.key[0] {
+		return int(x.key[0] - y.key[0])
+	}
+	if x.key[1] != y.key[1] {
+		return int(x.key[1] - y.key[1])
+	}
+	if x.orig[0] != y.orig[0] {
+		return int(x.orig[0] - y.orig[0])
+	}
+	return int(x.orig[1] - y.orig[1])
+}
+
+// kwayMergeSum merges the pre-sorted per-owner contribution lists in
+// global (key, orig) order via a binary min-heap of owner cursors,
+// summing each key group inline and keeping groups >= threshold (Eq. 4
+// is a convex combination, so a sub-threshold edge can never feed a
+// future >= threshold similarity). Output arrives sorted by canonical
+// key. Heap, cursor and output scratch are reused across rounds.
+func (st *state) kwayMergeSum(lists [][]contrib, threshold float64) []wgraph.Edge {
+	for len(st.hpPos) < len(lists) {
+		st.hpPos = append(st.hpPos, 0)
+	}
+	pos := st.hpPos[:len(lists)]
+	hp := st.hp[:0]
+	for i := range lists {
+		pos[i] = 0
+		if len(lists[i]) > 0 {
+			hp = append(hp, int32(i))
+		}
+	}
+	st.hp = hp[:0] // persist a grown backing for the next round
+	less := func(a, b int32) bool {
+		return cmpContrib(lists[a][pos[a]], lists[b][pos[b]]) < 0
+	}
+	siftDown := func(i int) {
+		for {
+			l, r := 2*i+1, 2*i+2
+			m := i
+			if l < len(hp) && less(hp[l], hp[m]) {
+				m = l
+			}
+			if r < len(hp) && less(hp[r], hp[m]) {
+				m = r
+			}
+			if m == i {
+				return
+			}
+			hp[i], hp[m] = hp[m], hp[i]
+			i = m
+		}
+	}
+	for i := len(hp)/2 - 1; i >= 0; i-- {
+		siftDown(i)
+	}
+
+	newEdges := st.newEdges[:0]
+	var curKey [2]int32
+	var sum float64
+	have := false
+	for len(hp) > 0 {
+		o := hp[0]
+		c := lists[o][pos[o]]
+		pos[o]++
+		if int(pos[o]) == len(lists[o]) {
+			hp[0] = hp[len(hp)-1]
+			hp = hp[:len(hp)-1]
+		}
+		siftDown(0)
+		if !have || c.key != curKey {
+			if have && sum >= threshold {
+				newEdges = append(newEdges, wgraph.Edge{U: curKey[0], V: curKey[1], W: sum})
+			}
+			curKey, sum, have = c.key, 0, true
+		}
+		sum += c.val
+	}
+	if have && sum >= threshold {
+		newEdges = append(newEdges, wgraph.Edge{U: curKey[0], V: curKey[1], W: sum})
+	}
+	st.newEdges = newEdges
+	return newEdges
+}
+
+// rangeBoundsByPrefix fills the bounds scratch with st.shards+1 cut
+// points over the row space [0,nRows), balancing ranges by per-row
+// weight derived from the prefix array off: rows below offRows weigh
+// their entry count plus one, rows at or above it (e.g. freshly minted
+// clusters with no old adjacency) weigh one. Bounds only partition work;
+// results are identical for any split.
+func (st *state) rangeBoundsByPrefix(off []int32, offRows, nRows int) []int32 {
+	shards := st.shards
+	for len(st.bounds) < shards+1 {
+		st.bounds = append(st.bounds, 0)
+	}
+	bounds := st.bounds[:shards+1]
+	if offRows > nRows {
+		offRows = nRows
+	}
+	total := int64(off[offRows]) + int64(nRows)
+	bounds[0] = 0
+	bounds[shards] = int32(nRows)
+	var prefix int64
+	next := 1
+	for u := 0; u < nRows && next < shards; u++ {
+		if u < offRows {
+			prefix += int64(off[u+1] - off[u])
+		}
+		prefix++
+		for next < shards && prefix*int64(shards) >= total*int64(next) {
+			bounds[next] = int32(u + 1)
+			next++
+		}
+	}
+	for ; next < shards; next++ {
+		bounds[next] = int32(nRows)
+	}
+	return bounds
+}
+
+// runRanges32 is runRanges over int32 row bounds.
+func runRanges32(bounds []int32, fn func(lo, hi int32)) {
+	var wg sync.WaitGroup
+	for i := 0; i+1 < len(bounds); i++ {
+		lo, hi := bounds[i], bounds[i+1]
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int32) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// countRange computes the next-round degrees of rows [lo,hi): surviving
+// old neighbors from the row's own adjacency (a dead or merged row is
+// skipped; dead rows are empty by construction) plus incident coalesced
+// edges. A clean row — untouched by this round's merges — provably
+// keeps its whole adjacency, so its count is the old row length.
+// Writes only deg[lo:hi], so ranges run concurrently.
+func (st *state) countRange(lo, hi int32, deg []int32, newEdges []wgraph.Edge) {
+	offsets, nbrs := st.offsets, st.nbrs
+	for u := lo; u < hi; u++ {
+		var d int32
+		if int(u) < st.total && st.mergeTo[u] < 0 {
+			if !st.dirty[u] {
+				d = offsets[u+1] - offsets[u]
+			} else {
+				for j := offsets[u]; j < offsets[u+1]; j++ {
+					if st.mergeTo[nbrs[j]] < 0 {
+						d++
+					}
+				}
+			}
+		}
+		deg[u] = d
+	}
+	for _, e := range newEdges {
+		if e.U >= lo && e.U < hi {
+			deg[e.U]++
+		}
+		if e.V >= lo && e.V < hi {
+			deg[e.V]++
+		}
+	}
+}
+
+// fillRange fills the next-round rows [lo,hi): each row's surviving old
+// neighbors in its own adjacency order (ascending, all below base),
+// then its coalesced edges in canonical order (minted partners above
+// base) — the exact layout of the old canonical two-sided fill. Clean
+// rows move as one span copy; only dirty rows pay the per-entry filter.
+// Writes only its rows' entry ranges and cursors, so ranges run
+// concurrently.
+func (st *state) fillRange(lo, hi int32, deg, bOffsets, bNbrs []int32, bWts []float64, newEdges []wgraph.Edge) {
+	offsets, nbrs, wts := st.offsets, st.nbrs, st.wts
+	for u := lo; u < hi; u++ {
+		deg[u] = bOffsets[u] // fill cursor
+	}
+	top := hi
+	if int(top) > st.total {
+		top = int32(st.total)
+	}
+	for u := lo; u < top; u++ {
+		if st.mergeTo[u] >= 0 {
+			continue
+		}
+		rl, rh := offsets[u], offsets[u+1]
+		if !st.dirty[u] {
+			if rl == rh {
+				continue
+			}
+			n := int32(copy(bNbrs[deg[u]:deg[u]+rh-rl], nbrs[rl:rh]))
+			copy(bWts[deg[u]:deg[u]+rh-rl], wts[rl:rh])
+			deg[u] += n
+			continue
+		}
+		for j := rl; j < rh; j++ {
+			if v := nbrs[j]; st.mergeTo[v] < 0 {
+				bNbrs[deg[u]], bWts[deg[u]] = v, wts[j]
+				deg[u]++
+			}
+		}
+	}
+	for _, e := range newEdges {
+		if e.U >= lo && e.U < hi {
+			bNbrs[deg[e.U]], bWts[deg[e.U]] = e.V, e.W
+			deg[e.U]++
+		}
+		if e.V >= lo && e.V < hi {
+			bNbrs[deg[e.V]], bWts[deg[e.V]] = e.U, e.W
+			deg[e.V]++
+		}
+	}
 }
 
 func canon(u, v int32) (int32, int32) {

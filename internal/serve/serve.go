@@ -143,15 +143,18 @@ type StageStat struct {
 
 // Stats is the /api/stats payload.
 type Stats struct {
-	Items        int         `json:"items"`
-	Queries      int         `json:"queries"`
-	Categories   int         `json:"categories"`
-	Entities     int         `json:"entities"`
-	Topics       int         `json:"topics"`
-	RootTopics   int         `json:"rootTopics"`
-	Correlations int         `json:"correlations"`
-	Swaps        int64       `json:"swaps"`
-	Stages       []StageStat `json:"stages"`
+	Items        int `json:"items"`
+	Queries      int `json:"queries"`
+	Categories   int `json:"categories"`
+	Entities     int `json:"entities"`
+	Topics       int `json:"topics"`
+	RootTopics   int `json:"rootTopics"`
+	Correlations int `json:"correlations"`
+	// Shards is the row-range shard count the build's graph substrate
+	// was partitioned into (core.Config.Shards).
+	Shards int         `json:"shards"`
+	Swaps  int64       `json:"swaps"`
+	Stages []StageStat `json:"stages"`
 }
 
 func (h *Handler) search(w http.ResponseWriter, r *http.Request) {
@@ -266,6 +269,7 @@ func (h *Handler) stats(w http.ResponseWriter, r *http.Request) {
 		Entities:   len(b.Entities.Entities),
 		Topics:     len(b.Taxonomy.Topics),
 		RootTopics: len(b.Taxonomy.Roots()),
+		Shards:     b.Shards,
 		Swaps:      snap.swaps,
 	}
 	if b.Correlations != nil {

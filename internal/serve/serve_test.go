@@ -193,6 +193,9 @@ func TestStatsEndpoint(t *testing.T) {
 	if stats.Items <= 0 || stats.Topics <= 0 || stats.RootTopics <= 0 || stats.Entities <= 0 {
 		t.Fatalf("non-positive counts in stats: %+v", stats)
 	}
+	if stats.Shards <= 0 {
+		t.Fatalf("stats missing the substrate shard count: %+v", stats)
+	}
 	if len(stats.Stages) == 0 {
 		t.Fatal("stats has no stage timings")
 	}

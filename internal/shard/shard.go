@@ -1,0 +1,327 @@
+// Package shard partitions the immutable CSR graph substrate into
+// contiguous row-range shards — the scaling primitive for multi-worker
+// (and, later, multi-host) clustering of larger corpora.
+//
+// A shard.CSR is a zero-copy view over one *wgraph.CSR: each shard owns
+// the rows [lo,hi) of a Plan that balances shards by adjacency entries
+// (edge count), not node count, so skewed degree distributions still
+// yield even per-worker work. Per-shard aggregates (entry, edge and
+// weight totals) are cached at construction. The whole thing satisfies
+// wgraph.View and unwraps to its base CSR through wgraph.CSRBacked, so
+// every existing consumer works unchanged while partition-parallel
+// consumers (phac.Diffuse, phac.Cluster's contracted rebuild,
+// entitygraph.Build) schedule one worker per shard.
+//
+// Determinism contract: sharding never changes any observable result.
+// Every partition-parallel consumer produces output byte-identical to
+// the single-shard run (see the TestShardedObservationallyIdentical
+// family at the wgraph, phac and taxonomy levels).
+package shard
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"shoal/internal/wgraph"
+)
+
+// Plan is a partition of the row space [0,n) into contiguous shards.
+// Shard i covers rows [bounds[i], bounds[i+1]).
+type Plan struct {
+	bounds []int32
+}
+
+// NumShards returns the number of shards in the plan.
+func (p Plan) NumShards() int {
+	if len(p.bounds) == 0 {
+		return 0
+	}
+	return len(p.bounds) - 1
+}
+
+// Bounds returns the row range [lo,hi) of shard i.
+func (p Plan) Bounds(i int) (lo, hi int32) {
+	return p.bounds[i], p.bounds[i+1]
+}
+
+// Find returns the shard owning row u.
+func (p Plan) Find(u int32) int {
+	// First bound strictly greater than u, minus one.
+	i := sort.Search(len(p.bounds)-1, func(i int) bool { return p.bounds[i+1] > u })
+	return i
+}
+
+// clampShards resolves a shard-count request: <= 0 means GOMAXPROCS, and
+// a plan never has more shards than rows (plus at least one).
+func clampShards(shards, n int) int {
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	if shards > n {
+		shards = n
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	return shards
+}
+
+// PlanCounts builds a plan over len(counts) rows balanced by the given
+// per-row counts (adjacency entries, degrees, …): bound i is placed at
+// the first row whose prefix count reaches i/shards of the total. The
+// greedy prefix walk is deterministic and monotone, so equal inputs
+// always produce equal plans.
+func PlanCounts(counts []int32, shards int) Plan {
+	n := len(counts)
+	shards = clampShards(shards, n)
+	var total int64
+	for _, c := range counts {
+		total += int64(c)
+	}
+	bounds := make([]int32, shards+1)
+	bounds[shards] = int32(n)
+	var prefix int64
+	next := 1 // next bound to place
+	for u := 0; u < n && next < shards; u++ {
+		prefix += int64(counts[u])
+		// Place every bound whose target the prefix has reached; a row
+		// heavier than a whole target can consume several bounds (those
+		// shards come out empty, which is fine — the plan stays valid).
+		for next < shards && prefix*int64(shards) >= total*int64(next) {
+			bounds[next] = int32(u + 1)
+			next++
+		}
+	}
+	for ; next < shards; next++ {
+		bounds[next] = int32(n)
+	}
+	return Plan{bounds: bounds}
+}
+
+// PlanRows builds an edge-balanced plan over the rows of c: shard
+// boundaries are chosen so each shard holds roughly the same number of
+// adjacency entries rather than the same number of rows.
+func PlanRows(c *wgraph.CSR, shards int) Plan {
+	offsets, _, _ := c.Adj()
+	n := c.NumNodes()
+	shards = clampShards(shards, n)
+	total := int64(offsets[n])
+	bounds := make([]int32, shards+1)
+	bounds[shards] = int32(n)
+	for i := 1; i < shards; i++ {
+		target := total * int64(i) / int64(shards)
+		// First row whose prefix entry count reaches the target.
+		j := sort.Search(n, func(u int) bool { return int64(offsets[u+1]) >= target })
+		if j+1 > int(bounds[i-1]) {
+			bounds[i] = int32(j + 1)
+		} else {
+			bounds[i] = bounds[i-1]
+		}
+		if bounds[i] > int32(n) {
+			bounds[i] = int32(n)
+		}
+	}
+	return Plan{bounds: bounds}
+}
+
+// Shard is one row-range partition of a CSR with its cached aggregates.
+// The slices are zero-copy views into the base arrays; Offsets holds the
+// base (global) offsets for rows [Lo,Hi] — index it as Offsets[u-Lo] —
+// so Nbrs/Wts positions are Offsets[u-Lo]-Offsets[0] relative.
+type Shard struct {
+	Lo, Hi  int32     // row range [Lo, Hi)
+	Offsets []int32   // global offsets of rows Lo..Hi (len Hi-Lo+1)
+	Nbrs    []int32   // adjacency entries of the shard's rows
+	Wts     []float64 // parallel weights
+	// Entries is the number of directed adjacency entries in the shard
+	// (== len(Nbrs)); the Plan balances this, not the row count.
+	Entries int
+	// Edges is the number of undirected edges owned by the shard under
+	// the canonical owner rule: edge (u,v), u < v, belongs to u's shard.
+	Edges int
+	// DegTotal is the sum of weighted degrees over the shard's rows.
+	DegTotal float64
+	// Weight is the total weight of the shard's owned edges, accumulated
+	// in canonical row-major order.
+	Weight float64
+}
+
+// CSR is a sharded view of an immutable wgraph.CSR. It satisfies
+// wgraph.View by delegating every observation to the base CSR — sharding
+// is invisible to single-threaded consumers — while partition-parallel
+// consumers iterate Shards() and schedule one worker per shard. Like its
+// base, a shard.CSR is immutable and safe for concurrent use.
+type CSR struct {
+	base   *wgraph.CSR
+	plan   Plan
+	shards []Shard
+}
+
+var (
+	_ wgraph.View      = (*CSR)(nil)
+	_ wgraph.CSRBacked = (*CSR)(nil)
+)
+
+// Partition shards c by an edge-balanced row plan. shards <= 0 means
+// GOMAXPROCS. The result shares c's arrays (zero copy).
+func Partition(c *wgraph.CSR, shards int) *CSR {
+	return WithPlan(c, PlanRows(c, shards))
+}
+
+// WithPlan shards c by an explicit plan, caching per-shard aggregates.
+func WithPlan(c *wgraph.CSR, p Plan) *CSR {
+	offsets, nbrs, wts := c.Adj()
+	s := &CSR{base: c, plan: p, shards: make([]Shard, p.NumShards())}
+	for i := range s.shards {
+		lo, hi := p.Bounds(i)
+		sh := &s.shards[i]
+		sh.Lo, sh.Hi = lo, hi
+		sh.Offsets = offsets[lo : hi+1]
+		sh.Nbrs = nbrs[offsets[lo]:offsets[hi]]
+		sh.Wts = wts[offsets[lo]:offsets[hi]]
+		sh.Entries = len(sh.Nbrs)
+		for u := lo; u < hi; u++ {
+			sh.DegTotal += c.WeightedDegree(u)
+			for j := offsets[u]; j < offsets[u+1]; j++ {
+				if v := nbrs[j]; u < v {
+					sh.Edges++
+					sh.Weight += wts[j]
+				}
+			}
+		}
+	}
+	return s
+}
+
+// FromEdges builds a sharded CSR directly from a canonical edge list
+// (every edge once with U < V, sorted by (U,V), no duplicates — exactly
+// wgraph.FromEdges' contract, validated identically). Row counting and
+// filling run one worker per shard: each worker walks only the edges
+// incident to its row range, so construction cost is O(E/S + cross-shard
+// edges) per worker and the resulting arrays are byte-identical to the
+// serial wgraph.FromEdges fill.
+func FromEdges(n int, edges []wgraph.Edge, shards int) (*CSR, error) {
+	// Same canonical-form contract (and errors) as wgraph.FromEdges.
+	// Construction is a multi-pass path anyway, so the shared validator
+	// runs as its own pass here rather than duplicating the checks.
+	if err := wgraph.ValidateEdges(n, edges); err != nil {
+		return nil, err
+	}
+	// Degree count + canonical total: one serial O(E) pass whose float
+	// accumulation order fixes the byte-exact total.
+	deg := make([]int32, n)
+	var total float64
+	for _, e := range edges {
+		deg[e.U]++
+		deg[e.V]++
+		total += e.W
+	}
+	offsets := make([]int32, n+1)
+	for u := 0; u < n; u++ {
+		offsets[u+1] = offsets[u] + deg[u]
+	}
+	plan := PlanCounts(deg, shards)
+
+	nbrs := make([]int32, 2*len(edges))
+	wts := make([]float64, 2*len(edges))
+	wdeg := make([]float64, n)
+	// Parallel fill, one worker per shard, writing only rows [lo,hi).
+	// The input is sorted by (U,V), so a row's V-side entries (neighbors
+	// < row, from edges listing the row as V) all precede its U-side
+	// entries (neighbors > row) in input order; filling V-side first and
+	// U-side second therefore reproduces the serial wgraph.FromEdges
+	// layout and float accumulation order byte for byte. The U-side
+	// edges of the shard are the contiguous run with U in [lo,hi), and
+	// any V-side edge has U < V < hi, so both scans stop at the run end.
+	var wg sync.WaitGroup
+	for i := 0; i < plan.NumShards(); i++ {
+		lo, hi := plan.Bounds(i)
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int32) {
+			defer wg.Done()
+			// Per-row fill cursors local to this shard.
+			cur := make([]int32, hi-lo)
+			for u := lo; u < hi; u++ {
+				cur[u-lo] = offsets[u]
+			}
+			uStart := sort.Search(len(edges), func(i int) bool { return edges[i].U >= lo })
+			uEnd := sort.Search(len(edges), func(i int) bool { return edges[i].U >= hi })
+			for _, e := range edges[:uEnd] {
+				if e.V >= lo && e.V < hi {
+					c := &cur[e.V-lo]
+					nbrs[*c] = e.U
+					wts[*c] = e.W
+					*c++
+					wdeg[e.V] += e.W
+				}
+			}
+			for _, e := range edges[uStart:uEnd] {
+				c := &cur[e.U-lo]
+				nbrs[*c] = e.V
+				wts[*c] = e.W
+				*c++
+				wdeg[e.U] += e.W
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	base, err := wgraph.FromParts(offsets, nbrs, wts, wdeg, total)
+	if err != nil {
+		return nil, fmt.Errorf("shard: %w", err)
+	}
+	return WithPlan(base, plan), nil
+}
+
+// BaseCSR returns the underlying frozen CSR (wgraph.CSRBacked).
+func (s *CSR) BaseCSR() *wgraph.CSR { return s.base }
+
+// Plan returns the row partition.
+func (s *CSR) Plan() Plan { return s.plan }
+
+// NumShards returns the number of shards.
+func (s *CSR) NumShards() int { return len(s.shards) }
+
+// Shards returns the cached per-shard views. Read-only.
+func (s *CSR) Shards() []Shard { return s.shards }
+
+// Shard returns shard i.
+func (s *CSR) Shard(i int) Shard { return s.shards[i] }
+
+// --- wgraph.View delegation ------------------------------------------
+
+// NumNodes returns the number of nodes (including isolated ones).
+func (s *CSR) NumNodes() int { return s.base.NumNodes() }
+
+// NumEdges returns the number of undirected edges.
+func (s *CSR) NumEdges() int { return s.base.NumEdges() }
+
+// Weight returns the weight of edge (u,v) and whether it exists.
+func (s *CSR) Weight(u, v int32) (float64, bool) { return s.base.Weight(u, v) }
+
+// Degree returns the number of neighbors of u.
+func (s *CSR) Degree(u int32) int { return s.base.Degree(u) }
+
+// WeightedDegree returns the cached sum of incident edge weights of u.
+func (s *CSR) WeightedDegree(u int32) float64 { return s.base.WeightedDegree(u) }
+
+// TotalWeight returns the cached total edge weight.
+func (s *CSR) TotalWeight() float64 { return s.base.TotalWeight() }
+
+// Neighbors returns u's ascending neighbor ids as a zero-copy view.
+func (s *CSR) Neighbors(u int32) []int32 { return s.base.Neighbors(u) }
+
+// ForEachNeighbor calls fn for every neighbor of u in ascending order.
+func (s *CSR) ForEachNeighbor(u int32, fn func(v int32, w float64)) {
+	s.base.ForEachNeighbor(u, fn)
+}
+
+// Edges returns every edge once, sorted by (U,V).
+func (s *CSR) Edges() []wgraph.Edge { return s.base.Edges() }
+
+// Components returns the connected-component labeling.
+func (s *CSR) Components() []int32 { return s.base.Components() }

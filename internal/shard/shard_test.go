@@ -1,0 +1,241 @@
+package shard
+
+import (
+	"math/rand/v2"
+	"reflect"
+	"testing"
+
+	"shoal/internal/wgraph"
+)
+
+// randomEdges builds a canonical (sorted, U<V, deduped) edge list over n
+// nodes.
+func randomEdges(n, extra int, seed uint64) []wgraph.Edge {
+	rng := rand.New(rand.NewPCG(seed, 23))
+	g := wgraph.New(n)
+	for v := 1; v < n; v++ {
+		_ = g.SetEdge(int32(rng.IntN(v)), int32(v), 0.05+0.9*rng.Float64())
+	}
+	for i := 0; i < extra; i++ {
+		u, v := rng.IntN(n), rng.IntN(n)
+		if u == v {
+			continue
+		}
+		_ = g.SetEdge(int32(u), int32(v), 0.05+0.9*rng.Float64())
+	}
+	return g.Edges()
+}
+
+var shardCounts = []int{1, 2, 3, 5, 8, 16}
+
+// TestShardedObservationallyIdentical is the wgraph-level half of the
+// shard determinism contract: a sharded CSR must be indistinguishable
+// from its base through every View observation, and shard.FromEdges
+// must produce a base CSR byte-identical to the serial wgraph.FromEdges
+// for any shard count.
+func TestShardedObservationallyIdentical(t *testing.T) {
+	for seed := uint64(1); seed <= 8; seed++ {
+		n := 40 + int(seed)*11
+		edges := randomEdges(n, n*3, seed)
+		base, err := wgraph.FromEdges(n, edges)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range shardCounts {
+			sc, err := FromEdges(n, edges, s)
+			if err != nil {
+				t.Fatalf("seed %d shards %d: %v", seed, s, err)
+			}
+			// The concurrently filled base must match the serial build
+			// byte for byte (arrays, cached degrees, total).
+			if !reflect.DeepEqual(sc.BaseCSR(), base) {
+				t.Fatalf("seed %d shards %d: FromEdges base differs from wgraph.FromEdges", seed, s)
+			}
+			p := Partition(base, s)
+			if p.BaseCSR() != base {
+				t.Fatalf("seed %d shards %d: Partition does not share the base", seed, s)
+			}
+			// Every View observation delegates to the base.
+			if p.NumNodes() != base.NumNodes() || p.NumEdges() != base.NumEdges() {
+				t.Fatalf("seed %d shards %d: node/edge counts differ", seed, s)
+			}
+			if p.TotalWeight() != base.TotalWeight() {
+				t.Fatalf("seed %d shards %d: TotalWeight differs", seed, s)
+			}
+			if !reflect.DeepEqual(p.Edges(), base.Edges()) {
+				t.Fatalf("seed %d shards %d: Edges differ", seed, s)
+			}
+			if !reflect.DeepEqual(p.Components(), base.Components()) {
+				t.Fatalf("seed %d shards %d: Components differ", seed, s)
+			}
+			for u := int32(0); int(u) < n; u++ {
+				if p.Degree(u) != base.Degree(u) || p.WeightedDegree(u) != base.WeightedDegree(u) {
+					t.Fatalf("seed %d shards %d node %d: degree observations differ", seed, s, u)
+				}
+				if !reflect.DeepEqual(p.Neighbors(u), base.Neighbors(u)) {
+					t.Fatalf("seed %d shards %d node %d: Neighbors differ", seed, s, u)
+				}
+			}
+		}
+	}
+}
+
+// TestPlanInvariants checks the structural contract of every plan: the
+// bounds are monotone, cover the whole row space, Find agrees with the
+// ranges, and the cached per-shard aggregates sum to the graph totals.
+func TestPlanInvariants(t *testing.T) {
+	for seed := uint64(1); seed <= 6; seed++ {
+		n := 30 + int(seed)*17
+		edges := randomEdges(n, n*4, seed)
+		base, err := wgraph.FromEdges(n, edges)
+		if err != nil {
+			t.Fatal(err)
+		}
+		offsets, _, _ := base.Adj()
+		totalEntries := int(offsets[n])
+		for _, s := range shardCounts {
+			p := Partition(base, s)
+			plan := p.Plan()
+			if plan.NumShards() != p.NumShards() {
+				t.Fatalf("plan/shard count mismatch")
+			}
+			prev := int32(0)
+			entries, edgeCount := 0, 0
+			var weight, degTotal float64
+			for i := 0; i < p.NumShards(); i++ {
+				lo, hi := plan.Bounds(i)
+				if lo != prev || hi < lo {
+					t.Fatalf("seed %d shards %d: bounds not contiguous at %d: [%d,%d)", seed, s, i, lo, hi)
+				}
+				prev = hi
+				sh := p.Shard(i)
+				if sh.Lo != lo || sh.Hi != hi {
+					t.Fatalf("shard range mismatch")
+				}
+				if sh.Entries != len(sh.Nbrs) || len(sh.Nbrs) != len(sh.Wts) {
+					t.Fatalf("seed %d shards %d: entry cache inconsistent", seed, s)
+				}
+				if len(sh.Offsets) != int(hi-lo)+1 {
+					t.Fatalf("seed %d shards %d: offsets view length %d want %d", seed, s, len(sh.Offsets), hi-lo+1)
+				}
+				entries += sh.Entries
+				edgeCount += sh.Edges
+				weight += sh.Weight
+				degTotal += sh.DegTotal
+				for u := lo; u < hi; u++ {
+					if plan.Find(u) != i {
+						t.Fatalf("seed %d shards %d: Find(%d) = %d want %d", seed, s, u, plan.Find(u), i)
+					}
+				}
+			}
+			if prev != int32(n) {
+				t.Fatalf("seed %d shards %d: bounds end at %d want %d", seed, s, prev, n)
+			}
+			if entries != totalEntries {
+				t.Fatalf("seed %d shards %d: entries sum %d want %d", seed, s, entries, totalEntries)
+			}
+			if edgeCount != base.NumEdges() {
+				t.Fatalf("seed %d shards %d: owned edges sum %d want %d", seed, s, edgeCount, base.NumEdges())
+			}
+			if diff := weight - base.TotalWeight(); diff > 1e-9 || diff < -1e-9 {
+				t.Fatalf("seed %d shards %d: weight sum %f want %f", seed, s, weight, base.TotalWeight())
+			}
+			if diff := degTotal - 2*base.TotalWeight(); diff > 1e-9 || diff < -1e-9 {
+				t.Fatalf("seed %d shards %d: degree total %f want %f", seed, s, degTotal, 2*base.TotalWeight())
+			}
+		}
+	}
+}
+
+// TestPlanEdgeBalance locks in the reason the plan exists: on a skewed
+// graph (one hub touching everything), edge-balanced bounds must not
+// put all entries in one shard the way node-balanced splitting would.
+func TestPlanEdgeBalance(t *testing.T) {
+	const n = 400
+	g := wgraph.New(n)
+	// Hub 0 connects to everyone; the rest form a sparse chain.
+	for v := int32(1); v < n; v++ {
+		_ = g.SetEdge(0, v, 0.5)
+	}
+	base := g.Freeze()
+	p := Partition(base, 4)
+	offsets, _, _ := base.Adj()
+	total := int(offsets[n])
+	for i := 0; i < p.NumShards(); i++ {
+		if e := p.Shard(i).Entries; e > total*3/4 {
+			t.Fatalf("shard %d holds %d of %d entries — plan is not edge-balanced", i, e, total)
+		}
+	}
+	// The hub row alone holds half of all entries, so the first shard
+	// must end right after it.
+	if lo, hi := p.Plan().Bounds(0); lo != 0 || hi != 1 {
+		t.Fatalf("hub shard = [%d,%d), want [0,1)", lo, hi)
+	}
+}
+
+// TestFromEdgesRejectsAdversarialInput mirrors the wgraph contract on
+// the sharded builder: unsorted, duplicate, self-loop and out-of-range
+// edge lists are rejected with the same deterministic error as
+// wgraph.FromEdges.
+func TestFromEdgesRejectsAdversarialInput(t *testing.T) {
+	cases := []struct {
+		name  string
+		n     int
+		edges []wgraph.Edge
+	}{
+		{"non-canonical", 3, []wgraph.Edge{{U: 2, V: 1, W: 0.5}}},
+		{"self-loop", 3, []wgraph.Edge{{U: 1, V: 1, W: 0.5}}},
+		{"negative", 3, []wgraph.Edge{{U: -1, V: 1, W: 0.5}}},
+		{"out-of-range", 3, []wgraph.Edge{{U: 0, V: 3, W: 0.5}}},
+		{"unsorted", 4, []wgraph.Edge{{U: 1, V: 2, W: 0.5}, {U: 0, V: 3, W: 0.5}}},
+		{"unsorted-within-row", 4, []wgraph.Edge{{U: 0, V: 3, W: 0.5}, {U: 0, V: 1, W: 0.5}}},
+		{"duplicate", 4, []wgraph.Edge{{U: 0, V: 1, W: 0.5}, {U: 0, V: 1, W: 0.6}}},
+	}
+	for _, tc := range cases {
+		_, shardErr := FromEdges(tc.n, tc.edges, 4)
+		if shardErr == nil {
+			t.Errorf("%s: shard.FromEdges accepted invalid input", tc.name)
+			continue
+		}
+		_, wgErr := wgraph.FromEdges(tc.n, tc.edges)
+		if wgErr == nil || wgErr.Error() != shardErr.Error() {
+			t.Errorf("%s: error mismatch: shard=%q wgraph=%v", tc.name, shardErr, wgErr)
+		}
+	}
+}
+
+// TestAsCSRUnwrapsShardedView checks the wgraph.CSRBacked fast path:
+// consumers calling wgraph.AsCSR on a sharded view must get the base
+// back without any copying.
+func TestAsCSRUnwrapsShardedView(t *testing.T) {
+	edges := randomEdges(50, 100, 3)
+	sc, err := FromEdges(50, edges, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := wgraph.AsCSR(sc); got != sc.BaseCSR() {
+		t.Fatal("AsCSR did not unwrap the sharded view to its base")
+	}
+}
+
+// TestEmptyAndTinyGraphs exercises the degenerate shapes: isolated
+// nodes, zero edges, more shards than rows.
+func TestEmptyAndTinyGraphs(t *testing.T) {
+	sc, err := FromEdges(3, nil, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.NumNodes() != 3 || sc.NumEdges() != 0 {
+		t.Fatalf("empty graph: nodes=%d edges=%d", sc.NumNodes(), sc.NumEdges())
+	}
+	if sc.NumShards() > 3 {
+		t.Fatalf("plan has %d shards for 3 rows", sc.NumShards())
+	}
+	one, err := FromEdges(1, nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.NumShards() != 1 {
+		t.Fatalf("single row got %d shards", one.NumShards())
+	}
+}

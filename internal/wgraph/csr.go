@@ -89,6 +89,9 @@ func FromEdges(n int, edges []Edge) (*CSR, error) {
 		wdeg:    make([]float64, n),
 	}
 	deg := make([]int32, n)
+	// Validation is fused into the counting pass (same checks and error
+	// text as ValidateEdges) so the hot construction path scans the
+	// input exactly once.
 	for i, e := range edges {
 		if e.U >= e.V {
 			return nil, fmt.Errorf("wgraph: FromEdges edge %d (%d,%d) not canonical", i, e.U, e.V)
@@ -120,14 +123,67 @@ func FromEdges(n int, edges []Edge) (*CSR, error) {
 	return c, nil
 }
 
+// ValidateEdges checks that edges is a canonical edge list for n nodes:
+// every edge once with U < V (so self-loops are rejected), endpoints in
+// [0,n), strictly sorted by (U,V) (so duplicates are rejected). The
+// error for a given input is deterministic: the first offending index is
+// always reported.
+func ValidateEdges(n int, edges []Edge) error {
+	for i, e := range edges {
+		if e.U >= e.V {
+			return fmt.Errorf("wgraph: FromEdges edge %d (%d,%d) not canonical", i, e.U, e.V)
+		}
+		if e.U < 0 || int(e.V) >= n {
+			return fmt.Errorf("wgraph: FromEdges edge %d (%d,%d) out of range [0,%d)", i, e.U, e.V, n)
+		}
+		if i > 0 && (e.U < edges[i-1].U || (e.U == edges[i-1].U && e.V <= edges[i-1].V)) {
+			return fmt.Errorf("wgraph: FromEdges edges not sorted at %d", i)
+		}
+	}
+	return nil
+}
+
+// FromParts assembles a CSR from prebuilt arrays: offsets of length n+1,
+// parallel nbrs/wts with every undirected edge in both endpoint rows in
+// ascending id order, per-node weighted degrees, and the total edge
+// weight. The arrays are adopted, not copied — the caller must never
+// mutate them afterwards. This is the escape hatch for builders (see
+// internal/shard) that fill the arrays themselves, e.g. concurrently per
+// row range; only cheap structural length checks are performed here.
+func FromParts(offsets []int32, nbrs []int32, wts []float64, wdeg []float64, total float64) (*CSR, error) {
+	if len(offsets) == 0 {
+		return nil, fmt.Errorf("wgraph: FromParts needs offsets of length n+1, got 0")
+	}
+	n := len(offsets) - 1
+	if len(wdeg) != n {
+		return nil, fmt.Errorf("wgraph: FromParts wdeg length %d != nodes %d", len(wdeg), n)
+	}
+	if len(nbrs) != len(wts) {
+		return nil, fmt.Errorf("wgraph: FromParts nbrs length %d != wts length %d", len(nbrs), len(wts))
+	}
+	if int(offsets[n]) != len(nbrs) {
+		return nil, fmt.Errorf("wgraph: FromParts offsets end %d != entries %d", offsets[n], len(nbrs))
+	}
+	return &CSR{offsets: offsets, nbrs: nbrs, wts: wts, wdeg: wdeg, total: total}, nil
+}
+
+// CSRBacked is implemented by read-only views that are thin wrappers
+// around a frozen CSR (e.g. shard.CSR); AsCSR unwraps them for free.
+type CSRBacked interface {
+	BaseCSR() *CSR
+}
+
 // AsCSR returns g itself when already frozen, otherwise freezes the
-// mutable builder; any other View is snapshotted through its edge list.
+// mutable builder; CSR-backed wrappers are unwrapped, and any other View
+// is snapshotted through its edge list.
 func AsCSR(g View) *CSR {
 	switch v := g.(type) {
 	case *CSR:
 		return v
 	case *Graph:
 		return v.Freeze()
+	case CSRBacked:
+		return v.BaseCSR()
 	default:
 		edges := g.Edges()
 		c, err := FromEdges(g.NumNodes(), edges)

@@ -115,17 +115,84 @@ func TestFromEdgesRejectsBadInput(t *testing.T) {
 		name  string
 		n     int
 		edges []Edge
+		want  string // deterministic error text
 	}{
-		{"non-canonical", 3, []Edge{{U: 2, V: 1, W: 0.5}}},
-		{"self-loop", 3, []Edge{{U: 1, V: 1, W: 0.5}}},
-		{"out-of-range", 3, []Edge{{U: 0, V: 3, W: 0.5}}},
-		{"unsorted", 4, []Edge{{U: 1, V: 2, W: 0.5}, {U: 0, V: 3, W: 0.5}}},
-		{"duplicate", 4, []Edge{{U: 0, V: 1, W: 0.5}, {U: 0, V: 1, W: 0.6}}},
+		{"non-canonical", 3, []Edge{{U: 2, V: 1, W: 0.5}},
+			"wgraph: FromEdges edge 0 (2,1) not canonical"},
+		{"self-loop", 3, []Edge{{U: 1, V: 1, W: 0.5}},
+			"wgraph: FromEdges edge 0 (1,1) not canonical"},
+		{"negative", 3, []Edge{{U: -2, V: 1, W: 0.5}},
+			"wgraph: FromEdges edge 0 (-2,1) out of range [0,3)"},
+		{"out-of-range", 3, []Edge{{U: 0, V: 3, W: 0.5}},
+			"wgraph: FromEdges edge 0 (0,3) out of range [0,3)"},
+		{"unsorted", 4, []Edge{{U: 1, V: 2, W: 0.5}, {U: 0, V: 3, W: 0.5}},
+			"wgraph: FromEdges edges not sorted at 1"},
+		{"unsorted-within-row", 4, []Edge{{U: 0, V: 3, W: 0.5}, {U: 0, V: 1, W: 0.5}},
+			"wgraph: FromEdges edges not sorted at 1"},
+		{"duplicate", 4, []Edge{{U: 0, V: 1, W: 0.5}, {U: 0, V: 1, W: 0.6}},
+			"wgraph: FromEdges edges not sorted at 1"},
+		{"duplicate-after-valid-prefix", 5,
+			[]Edge{{U: 0, V: 1, W: 0.5}, {U: 1, V: 4, W: 0.2}, {U: 1, V: 4, W: 0.2}},
+			"wgraph: FromEdges edges not sorted at 2"},
+		{"self-loop-after-valid-prefix", 5,
+			[]Edge{{U: 0, V: 1, W: 0.5}, {U: 3, V: 3, W: 0.2}},
+			"wgraph: FromEdges edge 1 (3,3) not canonical"},
 	}
 	for _, tc := range cases {
-		if _, err := FromEdges(tc.n, tc.edges); err == nil {
-			t.Errorf("%s: FromEdges accepted invalid input", tc.name)
+		// The rejection must be deterministic: same input, same error,
+		// always reporting the first offending index.
+		for try := 0; try < 3; try++ {
+			_, err := FromEdges(tc.n, tc.edges)
+			if err == nil {
+				t.Errorf("%s: FromEdges accepted invalid input", tc.name)
+				break
+			}
+			if err.Error() != tc.want {
+				t.Errorf("%s: error = %q, want %q", tc.name, err, tc.want)
+				break
+			}
+			if vErr := ValidateEdges(tc.n, tc.edges); vErr == nil || vErr.Error() != tc.want {
+				t.Errorf("%s: ValidateEdges = %v, want %q", tc.name, vErr, tc.want)
+				break
+			}
 		}
+	}
+}
+
+// TestFromEdgesAcceptsCanonicalizedAdversarialInput is the positive
+// half: an adversarial edge soup (unsorted, duplicated, self-looped)
+// canonicalized through the mutable builder must round-trip into the
+// same CSR as the directly constructed graph.
+func TestFromEdgesAcceptsCanonicalizedAdversarialInput(t *testing.T) {
+	soup := []Edge{
+		{U: 3, V: 1, W: 0.9}, // non-canonical order
+		{U: 1, V: 3, W: 0.4}, // duplicate of the above (last write wins)
+		{U: 2, V: 2, W: 0.7}, // self-loop: dropped by the builder
+		{U: 0, V: 4, W: 0.6},
+		{U: 0, V: 1, W: 0.3},
+	}
+	g := New(5)
+	for _, e := range soup {
+		if e.U == e.V {
+			if err := g.SetEdge(e.U, e.V, e.W); err == nil {
+				t.Fatal("builder accepted a self-loop")
+			}
+			continue
+		}
+		if err := g.SetEdge(e.U, e.V, e.W); err != nil {
+			t.Fatal(err)
+		}
+	}
+	canonical := g.Edges()
+	c, err := FromEdges(5, canonical)
+	if err != nil {
+		t.Fatalf("canonicalized edges rejected: %v", err)
+	}
+	if !reflect.DeepEqual(c, g.Freeze()) {
+		t.Fatal("canonicalized FromEdges CSR differs from Freeze")
+	}
+	if w, ok := c.Weight(1, 3); !ok || w != 0.4 {
+		t.Fatalf("duplicate edge did not keep the last write: %v %v", w, ok)
 	}
 }
 
