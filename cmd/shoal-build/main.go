@@ -34,6 +34,7 @@ func main() {
 		noEmbed    = flag.Bool("no-embeddings", false, "skip word2vec (query-driven similarity only)")
 		sequential = flag.Bool("sequential", false, "run pipeline stages one at a time instead of concurrently")
 		shards     = flag.Int("shards", 0, "row-range shards of the graph substrate (0: GOMAXPROCS); output is identical for any value")
+		frontier   = flag.Float64("frontier", 0, "frontier density of pruned diffusion (0: default 0.25, negative: dense); output is identical for any value")
 		verbose    = flag.Bool("v", false, "print stage timings and statistics")
 	)
 	flag.Parse()
@@ -55,6 +56,7 @@ func main() {
 	cfg.TrainEmbeddings = !*noEmbed
 	cfg.Sequential = *sequential
 	cfg.Shards = *shards
+	cfg.HAC.FrontierDensity = *frontier
 	cfg.Word2Vec.Epochs = 2
 	cfg.Word2Vec.Dim = 24
 	if *stop < cfg.Taxonomy.Levels[0] {

@@ -46,6 +46,7 @@ func main() {
 	refresh := flag.Duration("refresh", 0, "interval between background rebuilds hot-swapped into the handler (0 disables)")
 	pprofAddr := flag.String("pprof", "", "side listener address exposing net/http/pprof (e.g. localhost:6060; empty disables)")
 	shards := flag.Int("shards", 0, "row-range shards of the graph substrate (0: GOMAXPROCS); reported in /api/stats")
+	frontier := flag.Float64("frontier", 0, "frontier density of pruned diffusion (0: default 0.25, negative: dense); output is identical for any value")
 	flag.Parse()
 
 	// Profiling stays off the serving listener: a dedicated mux on a side
@@ -78,6 +79,7 @@ func main() {
 	cfg.Taxonomy.Levels = []float64{0.12, 0.3, 0.5}
 	cfg.CatCorr.MinStrength = 0
 	cfg.Shards = *shards
+	cfg.HAC.FrontierDensity = *frontier
 	if *corpusPath != "" {
 		var err error
 		corpus, err = store.LoadCorpus(*corpusPath)

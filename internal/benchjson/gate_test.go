@@ -31,7 +31,49 @@ func TestRegressions(t *testing.T) {
 	}
 }
 
-// The committed-trajectory comparison itself (BENCH_2.json vs
-// BENCH_3.json at 25%) lives in CI as the dedicated bench-gate step
+// TestVsSerialCeiling pins the derived-ratio assertion: a *-vs-serial
+// entry at or above VsSerialCeiling fails regardless of the relative
+// threshold or whether the old file knew the name, while ratios under
+// the ceiling only answer to the normal relative comparison.
+func TestVsSerialCeiling(t *testing.T) {
+	oldRes := []Result{
+		{Name: "csr-from-edges-shards2-vs-serial", NsPerOp: 1.0},
+	}
+	newRes := []Result{
+		{Name: "csr-from-edges-shards2-vs-serial", NsPerOp: 1.05}, // noisy parity: allowed
+		{Name: "csr-from-edges-shards4-vs-serial", NsPerOp: 1.10}, // at ceiling: lost to serial
+		{Name: "csr-from-edges-shards8-vs-serial", NsPerOp: 1.58}, // the PR-3 regression shape
+	}
+	got := Regressions(oldRes, newRes, 0.05) // tight relative gate: baseline ceiling applies
+	if len(got) != 2 {
+		t.Fatalf("Regressions = %v, want the two above-ceiling ratios", got)
+	}
+	for _, line := range got {
+		if !strings.Contains(line, "lost to serial") {
+			t.Fatalf("unexpected report line %q", line)
+		}
+	}
+	// A wide runner-side threshold widens the ceiling proportionally
+	// (1 + threshold): the at-ceiling parity case passes, the PR-3
+	// regression shape still fails.
+	got = Regressions(oldRes, newRes, 0.5)
+	if len(got) != 1 || !strings.Contains(got[0], "shards8") {
+		t.Fatalf("wide-threshold gate = %v, want only the shards8 regression", got)
+	}
+	// A ratio jumping past the relative threshold but under the ceiling
+	// is still a trajectory regression.
+	got = Regressions(
+		[]Result{{Name: "csr-from-edges-shards2-vs-serial", NsPerOp: 0.95}},
+		[]Result{{Name: "csr-from-edges-shards2-vs-serial", NsPerOp: 1.09}}, 0.1)
+	if len(got) != 1 || !strings.Contains(got[0], "ns/op") {
+		t.Fatalf("relative gate on sub-ceiling ratio = %v, want one trajectory entry", got)
+	}
+}
+
+// The committed-trajectory comparison itself (BENCH_3.json vs
+// BENCH_4.json at 25%) lives in CI as the dedicated bench-gate step
 // (`shoal-bench -benchgate`), so it is deliberately not duplicated
-// here — one check, one threshold, one report.
+// here — one check, one threshold, one report. A second runner-side
+// step re-runs the suite fresh and gates it against the committed file
+// at a wider 50% tolerance, catching machine-visible regressions the
+// committed trajectory misses.

@@ -100,7 +100,12 @@ func (idx *Index) N() int { return idx.n }
 
 // idf is the BM25+ style idf, floored at 0 so scores are non-negative.
 func (idx *Index) idf(term string) float64 {
-	df := len(idx.postings[term])
+	return idx.idfFromDF(len(idx.postings[term]))
+}
+
+// idfFromDF is idf computed from an already-known document frequency, so
+// scoring loops that hold the posting list never look the term up twice.
+func (idx *Index) idfFromDF(df int) float64 {
 	if df == 0 {
 		return 0
 	}
@@ -143,29 +148,32 @@ func (idx *Index) Score(query []string, doc int) (float64, error) {
 func (idx *Index) ScoreAll(query []string) []Hit {
 	sc := idx.getScratch()
 	defer idx.putScratch(sc)
-	touched := idx.scoreInto(sc, query)
-	slices.Sort(touched)
-	hits := make([]Hit, 0, len(touched))
-	for _, d := range touched {
-		hits = append(hits, Hit{Doc: int(d), Score: sc.scores[d]})
-		sc.scores[d] = 0
-		sc.marked[d] = false
-	}
-	sc.touched = touched[:0]
-	return hits
+	return idx.collectHits(sc, idx.scoreInto(sc, query, nil))
 }
 
 // scoreInto accumulates the query's BM25 scores into the dense scratch
 // and returns the touched-document list (unordered). Callers must reset
-// the touched entries before pooling the scratch.
-func (idx *Index) scoreInto(sc *scratch, query []string) []int32 {
+// the touched entries before pooling the scratch. idfCache may be nil
+// (idf recomputed per call) or a per-term cache to populate — cached
+// values are exactly the recomputed ones (the index is immutable), so
+// every caller scores byte-identically.
+func (idx *Index) scoreInto(sc *scratch, query []string, idfCache map[string]float64) []int32 {
 	touched := sc.touched[:0]
 	for _, term := range dedupOrdered(query, &sc.terms) {
 		plist := idx.postings[term]
 		if len(plist) == 0 {
 			continue
 		}
-		idf := idx.idf(term)
+		var idf float64
+		if idfCache == nil {
+			idf = idx.idfFromDF(len(plist))
+		} else {
+			var ok bool
+			if idf, ok = idfCache[term]; !ok {
+				idf = idx.idfFromDF(len(plist))
+				idfCache[term] = idf
+			}
+		}
 		for _, p := range plist {
 			if !sc.marked[p.doc] {
 				sc.marked[p.doc] = true
@@ -180,6 +188,20 @@ func (idx *Index) scoreInto(sc *scratch, query []string) []int32 {
 	return touched
 }
 
+// collectHits turns the touched list into ascending-document hits and
+// resets the scratch entries it read.
+func (idx *Index) collectHits(sc *scratch, touched []int32) []Hit {
+	slices.Sort(touched)
+	hits := make([]Hit, 0, len(touched))
+	for _, d := range touched {
+		hits = append(hits, Hit{Doc: int(d), Score: sc.scores[d]})
+		sc.scores[d] = 0
+		sc.marked[d] = false
+	}
+	sc.touched = touched[:0]
+	return hits
+}
+
 // TopK returns the k highest-scoring documents for the query, best first;
 // ties break on lower document id. Scoring accumulates into a pooled
 // dense array with a touched-doc list (no per-query map), and selection
@@ -191,7 +213,7 @@ func (idx *Index) TopK(query []string, k int) []Hit {
 	}
 	sc := idx.getScratch()
 	defer idx.putScratch(sc)
-	touched := idx.scoreInto(sc, query)
+	touched := idx.scoreInto(sc, query, nil)
 
 	// Partial selection: keep the best k in a sorted prefix (best first,
 	// ties on lower doc id). k is small on the serving path, so ordered
@@ -227,6 +249,41 @@ func (idx *Index) TopK(query []string, k int) []Hit {
 	}
 	sc.touched = touched[:0]
 	return hits
+}
+
+// Scorer is a batch scoring session over one index: it checks a dense
+// scratch out of the pool once for its whole lifetime and caches each
+// term's idf, so callers scoring many queries back to back (describe's
+// per-topic candidate sweeps) pay the pool round-trip once and the idf
+// math once per distinct term instead of once per query. Scores are
+// byte-identical to Index.ScoreAll — the accumulation order is the same
+// and a cached idf is exactly the recomputed value (the index is
+// immutable). Not safe for concurrent use; call Close when done to
+// return the scratch to the pool.
+type Scorer struct {
+	idx *Index
+	sc  *scratch
+	idf map[string]float64
+}
+
+// NewScorer begins a batch scoring session.
+func (idx *Index) NewScorer() *Scorer {
+	return &Scorer{idx: idx, sc: idx.getScratch(), idf: make(map[string]float64)}
+}
+
+// ScoreAll is Index.ScoreAll through the session's scratch and idf
+// cache: hits in ascending document order, absent documents score 0.
+func (s *Scorer) ScoreAll(query []string) []Hit {
+	return s.idx.collectHits(s.sc, s.idx.scoreInto(s.sc, query, s.idf))
+}
+
+// Close returns the session's scratch to the pool. The Scorer must not
+// be used afterwards.
+func (s *Scorer) Close() {
+	if s.sc != nil {
+		s.idx.putScratch(s.sc)
+		s.sc = nil
+	}
 }
 
 // getScratch pops (or builds) dense scoring state sized to the corpus.

@@ -2,6 +2,7 @@ package bm25
 
 import (
 	"math"
+	"reflect"
 	"testing"
 	"testing/quick"
 )
@@ -211,5 +212,42 @@ func TestEmptyDocNeverMatches(t *testing.T) {
 	s, err := idx.Score([]string{"beach", "hiking", "router"}, 4)
 	if err != nil || s != 0 {
 		t.Fatalf("empty doc score = %f,%v want 0,nil", s, err)
+	}
+}
+
+// TestScorerMatchesScoreAll pins the batch Scorer byte-identical to
+// per-call ScoreAll across many queries in one session, including
+// repeated terms (served from the idf cache) and sessions resumed after
+// Close returned a scratch to the pool.
+func TestScorerMatchesScoreAll(t *testing.T) {
+	docs := [][]string{
+		{"red", "shoes", "leather", "red"},
+		{"blue", "shoes", "canvas"},
+		{"red", "hat", "wool"},
+		{},
+		{"hat", "hat", "leather", "belt"},
+	}
+	idx, err := Build(docs, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := [][]string{
+		{"red", "shoes"},
+		{"red", "red", "hat"}, // dup terms
+		{"unknown"},
+		{"leather", "belt", "shoes"},
+		{"red", "shoes"}, // repeated query: cached idf path
+		nil,
+	}
+	for round := 0; round < 3; round++ {
+		sc := idx.NewScorer()
+		for _, q := range queries {
+			want := idx.ScoreAll(q)
+			got := sc.ScoreAll(q)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("round %d query %v: scorer %v, want %v", round, q, got, want)
+			}
+		}
+		sc.Close()
 	}
 }

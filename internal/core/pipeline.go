@@ -51,7 +51,12 @@ type Config struct {
 	Shards   int
 	Word2Vec word2vec.Config
 	Graph    entitygraph.Config
-	HAC      phac.Config
+	// HAC also carries the frontier-pruned diffusion knob
+	// (HAC.FrontierDensity, surfaced as shoal-build/-serve -frontier):
+	// clustering recomputes only changed diffusion frontiers when the
+	// changed fraction stays under it, with byte-identical output for
+	// every setting.
+	HAC phac.Config
 	Taxonomy taxonomy.Config
 	Describe describe.Config
 	CatCorr  catcorr.Config

@@ -45,3 +45,40 @@ func TestShardedObservationallyIdentical(t *testing.T) {
 		}
 	}
 }
+
+// TestFrontierObservationallyIdentical is the taxonomy-level half of the
+// frontier determinism contract: the full pipeline must produce
+// byte-identical dendrograms, taxonomies and descriptions with frontier
+// pruning disabled (-1), default, and forced on every iteration (2),
+// across shard widths.
+func TestFrontierObservationallyIdentical(t *testing.T) {
+	corpus := smallCorpus(t)
+	baseCfg := testConfig()
+	baseCfg.Word2Vec.Workers = 1
+	baseCfg.HAC.FrontierDensity = -1 // dense reference
+	ref, err := Run(corpus, baseCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range []float64{0, 2} {
+		for _, s := range []int{1, 3} {
+			cfg := testConfig()
+			cfg.Word2Vec.Workers = 1
+			cfg.HAC.FrontierDensity = d
+			cfg.Shards = s
+			b, err := Run(corpus, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !gobEqual(t, b.Dendrogram, ref.Dendrogram) {
+				t.Fatalf("density=%v shards=%d: dendrogram differs from dense", d, s)
+			}
+			if !gobEqual(t, b.Taxonomy, ref.Taxonomy) {
+				t.Fatalf("density=%v shards=%d: taxonomy differs from dense", d, s)
+			}
+			if !gobEqual(t, b.Descriptions, ref.Descriptions) {
+				t.Fatalf("density=%v shards=%d: descriptions differ from dense", d, s)
+			}
+		}
+	}
+}

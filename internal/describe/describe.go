@@ -103,6 +103,13 @@ func Describe(ctx context.Context, tx *taxonomy.Taxonomy, corpus *model.Corpus, 
 		perTopic[t] = lst
 	}
 
+	// One batch scoring session for every candidate of every topic: the
+	// dense BM25 scratch is checked out of the pool once and each term's
+	// idf is computed once, instead of paying both per candidate query.
+	// Scores are byte-identical to per-candidate ScoreAll calls.
+	scorer := idx.NewScorer()
+	defer scorer.Close()
+
 	out := make([]Description, 0, k)
 	for t := range tx.Topics {
 		if t%64 == 0 {
@@ -139,7 +146,7 @@ func Describe(ctx context.Context, tx *taxonomy.Taxonomy, corpus *model.Corpus, 
 			// summation order: float addition is not associative, so
 			// summing in an arbitrary order would make scores vary run
 			// to run.
-			rels := idx.ScoreAll(qToks)
+			rels := scorer.ScoreAll(qToks)
 			relK := 0.0
 			var den float64 = 1 // the "+1" of the formula
 			for _, h := range rels {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"shoal/internal/bsp"
 	"shoal/internal/shard"
@@ -16,18 +17,35 @@ type Edge struct {
 	Sim  float64
 }
 
+// defaultFrontierDensity is the changed-node fraction of the scanned set
+// above which an exchange iteration recomputes every node (dense)
+// instead of only the frontier. Below it, the scatter+span-copy overhead
+// of pruning is provably cheaper than the skipped neighbor scans.
+const defaultFrontierDensity = 0.25
+
 // Diffuse runs one diffusion+selection pass over a static graph and
 // returns the locally-maximal matching, sorted by (U,V). This is the
 // standalone form of Parallel HAC's step 1–2, exposed for experiment E5
 // (iterations vs. parallelism) and the BSP equivalence check (E9).
 // Edges below threshold do not participate. The graph is scanned in its
-// CSR form (a mutable graph is frozen once up front), so the exchange
-// iterations allocate nothing. With workers <= 0 ("pick for me") a
+// CSR form (a mutable graph is frozen once up front). Late exchange
+// iterations are frontier-pruned: a node is recomputed only when a
+// neighbor's known edge changed in the previous iteration, the stable
+// majority moves by whole-span copy, and an empty frontier ends the
+// loop — all without changing a single output byte (see
+// TestFrontierMatchesDense). With workers <= 0 ("pick for me") a
 // *shard.CSR input takes the partition-parallel path — one worker per
 // shard, with a selection merge that is byte-identical to the
 // single-shard result for any shard count; an explicit workers count is
 // always honored (workers == 1 stays serial even on sharded input).
 func Diffuse(g wgraph.View, rounds int, threshold float64, workers int) ([]Edge, error) {
+	return diffuse(g, rounds, threshold, workers, 0)
+}
+
+// diffuse is Diffuse with an explicit frontier density (0 = default,
+// negative = pruning disabled; the dense/pruned property tests pin the
+// two byte-identical).
+func diffuse(g wgraph.View, rounds int, threshold float64, workers int, density float64) ([]Edge, error) {
 	if g.NumNodes() == 0 {
 		return nil, fmt.Errorf("phac: empty graph")
 	}
@@ -35,7 +53,7 @@ func Diffuse(g wgraph.View, rounds int, threshold float64, workers int) ([]Edge,
 		return nil, fmt.Errorf("phac: negative diffusion rounds %d", rounds)
 	}
 	if sc, ok := g.(*shard.CSR); ok && sc.NumShards() > 1 && workers <= 0 {
-		return diffuseSharded(sc, rounds, threshold), nil
+		return diffuseSharded(sc, rounds, threshold, density), nil
 	}
 	if workers <= 0 {
 		workers = 1
@@ -45,71 +63,211 @@ func Diffuse(g wgraph.View, rounds int, threshold float64, workers int) ([]Edge,
 	n := int32(c.NumNodes())
 	know := make([]edgeRef, n)
 	next := make([]edgeRef, n)
-	nodes := make([]int32, n)
-	for i := range nodes {
-		nodes[i] = int32(i)
+	var bounds []int32
+	if workers > 1 && int(n) >= 64 {
+		bounds = rowBoundsByEntries(offsets, int(n), workers)
+	} else {
+		bounds = []int32{0, n}
 	}
-	parallelOver(nodes, workers, func(u int32) {
-		best := noEdge
-		for j := offsets[u]; j < offsets[u+1]; j++ {
-			v, w := nbrs[j], wts[j]
-			if w < threshold {
-				continue
-			}
-			cand := mkEdgeRef(u, v, w)
-			if better(cand, best) {
-				best = cand
-			}
-		}
-		know[u] = best
-	})
-	for it := 0; it < rounds; it++ {
-		parallelOver(nodes, workers, func(u int32) {
-			best := know[u]
+	initRange := func(lo, hi int32) {
+		for u := lo; u < hi; u++ {
+			best := noEdge
 			for j := offsets[u]; j < offsets[u+1]; j++ {
-				if v := nbrs[j]; better(know[v], best) {
-					best = know[v]
+				v, w := nbrs[j], wts[j]
+				if w < threshold {
+					continue
+				}
+				cand := mkEdgeRef(u, v, w)
+				if better(cand, best) {
+					best = cand
 				}
 			}
-			next[u] = best
-		})
-		know, next = next, know
+			know[u] = best
+		}
 	}
+	if len(bounds) == 2 {
+		initRange(0, n)
+	} else {
+		runRanges32(bounds, initRange)
+	}
+	know = exchangeRows(offsets, nbrs, know, next, bounds, rounds, density)
 	return collectSelected(know, threshold), nil
+}
+
+// rowBoundsByEntries splits the rows [0,n) into k contiguous ranges
+// balanced by adjacency entries (each row weighs its degree plus one).
+func rowBoundsByEntries(offsets []int32, n, k int) []int32 {
+	bounds := make([]int32, k+1)
+	bounds[k] = int32(n)
+	total := int64(offsets[n]) + int64(n)
+	next := 1
+	var prefix int64
+	for u := 0; u < n && next < k; u++ {
+		prefix += int64(offsets[u+1]-offsets[u]) + 1
+		for next < k && prefix*int64(k) >= total*int64(next) {
+			bounds[next] = int32(u + 1)
+			next++
+		}
+	}
+	for ; next < k; next++ {
+		bounds[next] = int32(n)
+	}
+	return bounds
+}
+
+// exchangeRows runs `rounds` max-exchange iterations over all rows,
+// splitting each phase by the given row bounds, and returns the buffer
+// holding the final known edges. Iteration 1 is always dense (everything
+// just changed during init); iteration t+1 recomputes only rows with a
+// neighbor whose know entry changed in iteration t — every skipped row's
+// result is provably identical (its own entry already dominates its
+// unchanged neighborhood by the monotonicity of max-exchange), so the
+// output is byte-identical to the dense loop. An empty frontier ends the
+// loop early: every remaining iteration would be the identity.
+func exchangeRows(offsets, nbrs []int32, know, next []edgeRef, bounds []int32, rounds int, density float64) []edgeRef {
+	if rounds == 0 {
+		return know
+	}
+	if density == 0 {
+		density = defaultFrontierDensity
+	}
+	n := int(bounds[len(bounds)-1])
+	chMark := make([]uint32, n)
+	afMark := make([]uint32, n)
+	serial := len(bounds) == 2
+	prev := -1 // changed count of the previous iteration; -1 forces dense
+	var epoch uint32
+	for it := 0; it < rounds; it++ {
+		if prev == 0 {
+			break
+		}
+		epoch++
+		dense := prev < 0 || density < 0 || float64(prev) > density*float64(n)
+		var changed int64
+		if dense {
+			if serial {
+				changed = denseExchangeRows(offsets, nbrs, know, next, 0, int32(n), chMark, epoch)
+			} else {
+				e := epoch
+				k, nx := know, next
+				runRanges32(bounds, func(lo, hi int32) {
+					atomic.AddInt64(&changed, denseExchangeRows(offsets, nbrs, k, nx, lo, hi, chMark, e))
+				})
+			}
+		} else {
+			if serial {
+				scatterRows(offsets, nbrs, chMark, afMark, 0, int32(n), epoch)
+				changed = prunedExchangeRows(offsets, nbrs, know, next, 0, int32(n), chMark, afMark, epoch)
+			} else {
+				e := epoch
+				runRanges32(bounds, func(lo, hi int32) {
+					scatterRowsAtomic(offsets, nbrs, chMark, afMark, lo, hi, e)
+				})
+				k, nx := know, next
+				runRanges32(bounds, func(lo, hi int32) {
+					atomic.AddInt64(&changed, prunedExchangeRows(offsets, nbrs, k, nx, lo, hi, chMark, afMark, e))
+				})
+			}
+		}
+		know, next = next, know
+		prev = int(changed)
+	}
+	return know
+}
+
+// denseExchangeRows recomputes every row in [lo,hi), stamping chMark for
+// rows whose known edge changed and returning the change count.
+func denseExchangeRows(offsets, nbrs []int32, know, next []edgeRef, lo, hi int32, chMark []uint32, epoch uint32) int64 {
+	var cnt int64
+	for u := lo; u < hi; u++ {
+		best := know[u]
+		for j := offsets[u]; j < offsets[u+1]; j++ {
+			if v := nbrs[j]; better(know[v], best) {
+				best = know[v]
+			}
+		}
+		next[u] = best
+		if best != know[u] {
+			chMark[u] = epoch
+			cnt++
+		}
+	}
+	return cnt
+}
+
+// scatterRows marks the neighbors of every row that changed in the
+// previous iteration (chMark == epoch-1) for recomputation.
+func scatterRows(offsets, nbrs []int32, chMark, afMark []uint32, lo, hi int32, epoch uint32) {
+	for u := lo; u < hi; u++ {
+		if chMark[u] != epoch-1 {
+			continue
+		}
+		for j := offsets[u]; j < offsets[u+1]; j++ {
+			afMark[nbrs[j]] = epoch
+		}
+	}
+}
+
+// scatterRowsAtomic is scatterRows with atomic mark stores: concurrent
+// range workers may mark the same neighbor, and the stores all carry the
+// same epoch value, so the marks are deterministic.
+func scatterRowsAtomic(offsets, nbrs []int32, chMark, afMark []uint32, lo, hi int32, epoch uint32) {
+	for u := lo; u < hi; u++ {
+		if chMark[u] != epoch-1 {
+			continue
+		}
+		for j := offsets[u]; j < offsets[u+1]; j++ {
+			atomic.StoreUint32(&afMark[nbrs[j]], epoch)
+		}
+	}
+}
+
+// prunedExchangeRows whole-span-copies the stable majority and
+// recomputes only the marked rows of [lo,hi).
+func prunedExchangeRows(offsets, nbrs []int32, know, next []edgeRef, lo, hi int32, chMark, afMark []uint32, epoch uint32) int64 {
+	copy(next[lo:hi], know[lo:hi])
+	var cnt int64
+	for u := lo; u < hi; u++ {
+		if afMark[u] != epoch {
+			continue
+		}
+		best := know[u]
+		for j := offsets[u]; j < offsets[u+1]; j++ {
+			if v := nbrs[j]; better(know[v], best) {
+				best = know[v]
+			}
+		}
+		if best != know[u] {
+			next[u] = best
+			chMark[u] = epoch
+			cnt++
+		}
+	}
+	return cnt
 }
 
 // diffuseSharded is the partition-parallel Diffuse: every phase — the
 // init scan, each exchange iteration, and the selection — runs one
-// worker per shard over that shard's row range. know/next entries are
-// written only by the owner of their row, and per-shard selection lists
-// (ascending u within a shard) concatenate in shard order into the
-// globally sorted matching, so the merged output is byte-identical to
-// the serial path for any shard count.
-func diffuseSharded(sc *shard.CSR, rounds int, threshold float64) []Edge {
+// worker per shard over that shard's row range (the exchange iterations
+// through the same frontier-pruned engine as every other path).
+// know/next entries are written only by the owner of their row, and
+// per-shard selection lists (ascending u within a shard) concatenate in
+// shard order into the globally sorted matching, so the merged output is
+// byte-identical to the serial path for any shard count.
+func diffuseSharded(sc *shard.CSR, rounds int, threshold float64, density float64) []Edge {
 	c := sc.BaseCSR()
 	offsets, nbrs, wts := c.Adj()
 	n := c.NumNodes()
 	know := make([]edgeRef, n)
 	next := make([]edgeRef, n)
 	plan := sc.Plan()
-
-	perShard := func(fn func(lo, hi int32)) {
-		var wg sync.WaitGroup
-		for i := 0; i < plan.NumShards(); i++ {
-			lo, hi := plan.Bounds(i)
-			if lo == hi {
-				continue
-			}
-			wg.Add(1)
-			go func(lo, hi int32) {
-				defer wg.Done()
-				fn(lo, hi)
-			}(lo, hi)
-		}
-		wg.Wait()
+	bounds := make([]int32, plan.NumShards()+1)
+	for i := 0; i < plan.NumShards(); i++ {
+		bounds[i], _ = plan.Bounds(i)
 	}
+	bounds[plan.NumShards()] = int32(n)
 
-	perShard(func(lo, hi int32) {
+	runRanges32(bounds, func(lo, hi int32) {
 		for u := lo; u < hi; u++ {
 			best := noEdge
 			for j := offsets[u]; j < offsets[u+1]; j++ {
@@ -125,21 +283,7 @@ func diffuseSharded(sc *shard.CSR, rounds int, threshold float64) []Edge {
 			know[u] = best
 		}
 	})
-	for it := 0; it < rounds; it++ {
-		k, nx := know, next
-		perShard(func(lo, hi int32) {
-			for u := lo; u < hi; u++ {
-				best := k[u]
-				for j := offsets[u]; j < offsets[u+1]; j++ {
-					if v := nbrs[j]; better(k[v], best) {
-						best = k[v]
-					}
-				}
-				nx[u] = best
-			}
-		})
-		know, next = next, know
-	}
+	know = exchangeRows(offsets, nbrs, know, next, bounds, rounds, density)
 
 	// Per-shard selection, merged in shard order. A node contributes at
 	// most one edge (its know entry, evaluated at the smaller endpoint),

@@ -36,6 +36,7 @@ import (
 	"runtime"
 	"slices"
 	"sync"
+	"sync/atomic"
 
 	"shoal/internal/dendrogram"
 	"shoal/internal/wgraph"
@@ -97,6 +98,14 @@ type Config struct {
 	// ranges concurrently. 0 means Workers. Results are byte-identical
 	// for every shard count.
 	Shards int
+	// FrontierDensity tunes frontier-pruned diffusion: an exchange
+	// iteration recomputes only nodes with a changed neighbor when the
+	// previous iteration changed at most this fraction of the scanned
+	// nodes, and falls back to the dense scan above it (the first
+	// iteration is always dense). 0 means the default (0.25); a negative
+	// value disables pruning entirely. Results are byte-identical for
+	// every setting — pruning skips only provably unchanged recomputes.
+	FrontierDensity float64
 	// MaxRounds caps clustering rounds; 0 means unlimited.
 	MaxRounds int
 	// Linkage is the merge update rule; zero value is the paper's Eq. 4.
@@ -120,6 +129,9 @@ func (c *Config) validate() error {
 	}
 	if c.Shards <= 0 {
 		c.Shards = c.Workers
+	}
+	if c.FrontierDensity == 0 {
+		c.FrontierDensity = defaultFrontierDensity
 	}
 	if c.Linkage < LinkageSqrtSize || c.Linkage > LinkageSizeProportional {
 		return fmt.Errorf("phac: unknown linkage %d", c.Linkage)
@@ -248,18 +260,35 @@ type state struct {
 	size       []float64
 	alive      []bool
 	aliveCount int
-	workers    int
-	shards     int       // partition-parallel width (cfg.Shards)
-	know, next []edgeRef // diffusion double buffers
+	workers int
+	shards  int     // partition-parallel width (cfg.Shards)
+	density float64 // frontier density threshold (cfg.FrontierDensity)
+	// exStates memoizes the full diffusion cascade across merge rounds:
+	// exStates[0] holds every node's init state (best incident edge) and
+	// exStates[it+1] the state after exchange iteration it. Between
+	// rounds only rows whose adjacency the last merge touched (dirty)
+	// and the neighborhoods of cross-round-changed values can differ, so
+	// each phase recomputes just that frontier and reuses every other
+	// entry as-is — the sparse-activation structure of late clustering
+	// rounds, byte-identical to the dense recomputation.
+	exStates  [][]edgeRef
+	haveCache bool     // exStates/edgeCnt/bests hold the previous round
+	chMark    []uint32 // id -> epoch its state last changed cross-round
+	afMark    []uint32 // id -> epoch it was marked for recomputation
+	epoch     uint32   // phase counter (never reset)
+	changed   int64    // parallel-phase change counter (atomic; lives on
+	// the state so closures capturing it never force a per-iteration
+	// heap allocation on the serial zero-alloc path)
 	nodes      []int32   // aliveList scratch
-	edgeCnt    []int64   // per-alive-node edge count scratch
-	bests      []edgeRef // per-alive-node best-any scratch
+	edgeCnt    []int64   // id -> round-stat edge count (owned at min id)
+	bests      []edgeRef // id -> best incident edge regardless of threshold
 	selected   []edgeRef // selection output, reused per round
 	mergeTo    []int32   // id -> new id this round, -1 otherwise
 	coef       []float64 // id -> Eq. 4 coefficient this round
 	deg        []int32   // degree/cursor scratch for CSR rebuild
 	dirty      []bool    // id -> adjacency changed this round (rebuild)
 	perOwner   [][]contrib
+	perOwnerB  [][]contrib // minted-minted tail scratch per owner
 	bounds     []int32       // edge-balanced range scratch (diffusion + rebuild)
 	hp         []int32       // k-way merge heap scratch (owner indices)
 	hpPos      []int32       // k-way merge per-owner cursor scratch
@@ -277,6 +306,9 @@ func newState(c *wgraph.CSR, sizes []int, cfg Config) *state {
 	if cfg.Shards <= 0 {
 		cfg.Shards = 1
 	}
+	if cfg.FrontierDensity == 0 {
+		cfg.FrontierDensity = defaultFrontierDensity
+	}
 	st := &state{
 		total:      n,
 		offsets:    offsets,
@@ -288,9 +320,22 @@ func newState(c *wgraph.CSR, sizes []int, cfg Config) *state {
 		aliveCount: n,
 		workers:    cfg.Workers,
 		shards:     cfg.Shards,
-		know:       make([]edgeRef, n, 2*n),
-		next:       make([]edgeRef, n, 2*n),
+		density:    cfg.FrontierDensity,
+		exStates:   make([][]edgeRef, cfg.DiffusionRounds+1),
+		chMark:     make([]uint32, n, 2*n),
+		afMark:     make([]uint32, n, 2*n),
+		edgeCnt:    make([]int64, n, 2*n),
+		bests:      make([]edgeRef, n, 2*n),
 		mergeTo:    make([]int32, n, 2*n),
+	}
+	for it := range st.exStates {
+		// Capacity 2n outlasts every mint: a clustering can never create
+		// more than n-1 new ids, so these arrays are never reallocated.
+		arr := make([]edgeRef, n, 2*n)
+		for i := range arr {
+			arr[i] = noEdge
+		}
+		st.exStates[it] = arr
 	}
 	for i := 0; i < n; i++ {
 		st.alive[i] = true
@@ -298,8 +343,7 @@ func newState(c *wgraph.CSR, sizes []int, cfg Config) *state {
 		if sizes != nil {
 			st.size[i] = float64(sizes[i])
 		}
-		st.know[i] = noEdge
-		st.next[i] = noEdge
+		st.bests[i] = noEdge
 		st.mergeTo[i] = -1
 	}
 	return st
@@ -319,65 +363,106 @@ func (st *state) aliveList() []int32 {
 
 // selectLocalMaxima runs the diffusion protocol and returns the selected
 // node-disjoint matching (sorted canonically) along with the round's edge
-// count and global best similarity, gathered during the same scan. Only
-// edges >= threshold participate in diffusion. The scan reads the CSR
-// arrays directly: no allocation per diffusion iteration.
+// count and global best similarity. Only edges >= threshold participate
+// in diffusion. The scan reads the CSR arrays directly and every phase
+// is memoized across merge rounds (see state.exStates): after the first
+// round, init recomputes only dirty rows and each exchange iteration
+// only the frontier of cross-round changes — with a dense fallback when
+// the frontier outgrows the density threshold. No allocation per
+// diffusion iteration.
 func (st *state) selectLocalMaxima(rounds, workers int, threshold float64) ([]edgeRef, int, float64) {
 	nodes := st.aliveList()
 	serial := workers <= 1 || len(nodes) < 64
-
-	// Iteration 0: best incident edge per node, plus round statistics
-	// (edge endpoints counted once, at the smaller id).
-	for len(st.edgeCnt) < len(nodes) {
-		st.edgeCnt = append(st.edgeCnt, 0)
-		st.bests = append(st.bests, noEdge)
-	}
-	know, next := st.know, st.next
 	var bounds []int32
 	if !serial {
 		bounds = st.nodeRangeBounds(nodes)
 	}
-	if serial {
-		st.diffuseInit(nodes, 0, len(nodes), threshold, know)
+	// Repeated diffusion without an intervening merge (no dirty scratch
+	// yet) must see an all-clean dirty map, not an out-of-range one.
+	for len(st.dirty) < st.total {
+		st.dirty = append(st.dirty, false)
+	}
+
+	// Init phase: best incident >= threshold edge per node, plus the
+	// round statistics (edge endpoints counted once, at the smaller id).
+	// Cached entries are reused — only dirty rows (adjacency touched by
+	// the last merge, minted rows included) can differ from last round.
+	st.epoch++
+	prevEpoch := st.epoch
+	init := st.exStates[0]
+	prevChanged := int64(-1) // unknown frontier: forces dense iterations
+	if st.haveCache {
+		if serial {
+			prevChanged = st.initDirty(nodes, 0, len(nodes), threshold, init)
+		} else {
+			st.changed = 0
+			runRanges(bounds, func(lo, hi int) {
+				atomic.AddInt64(&st.changed, st.initDirty(nodes, lo, hi, threshold, init))
+			})
+			prevChanged = st.changed
+		}
 	} else {
-		k := know // fresh binding: closure captures by value, not the reassigned loop var
-		runRanges(bounds, func(lo, hi int) {
-			st.diffuseInit(nodes, lo, hi, threshold, k)
-		})
+		if serial {
+			st.initAll(nodes, 0, len(nodes), threshold, init)
+		} else {
+			runRanges(bounds, func(lo, hi int) {
+				st.initAll(nodes, lo, hi, threshold, init)
+			})
+		}
+		st.haveCache = true
 	}
 	var activeEdges int64
 	globalBest := noEdge
-	for i := range nodes {
-		activeEdges += st.edgeCnt[i]
-		if better(st.bests[i], globalBest) {
-			globalBest = st.bests[i]
+	for _, u := range nodes {
+		activeEdges += st.edgeCnt[u]
+		if better(st.bests[u], globalBest) {
+			globalBest = st.bests[u]
 		}
 	}
 
 	// r exchange iterations: take the max over own and neighbors' known
-	// edges. Double-buffered so reads see only the previous iteration.
+	// edges, reading level it and writing level it+1 so reads only see
+	// the previous level. A level entry is recomputed when the node is
+	// dirty (its input set changed) or any input value changed cross-
+	// round; everything else provably equals the memoized value.
 	for it := 0; it < rounds; it++ {
-		if serial {
-			st.diffuseExchange(nodes, 0, len(nodes), know, next)
-		} else {
-			k, nx := know, next
+		st.epoch++
+		src, dst := st.exStates[it], st.exStates[it+1]
+		dense := prevChanged < 0 || st.density < 0 ||
+			float64(prevChanged) > st.density*float64(len(nodes))
+		st.changed = 0
+		switch {
+		case dense && serial:
+			st.changed = st.denseIter(nodes, 0, len(nodes), src, dst)
+		case dense:
 			runRanges(bounds, func(lo, hi int) {
-				st.diffuseExchange(nodes, lo, hi, k, nx)
+				atomic.AddInt64(&st.changed, st.denseIter(nodes, lo, hi, src, dst))
+			})
+		case serial:
+			st.scatterFrontier(nodes, 0, len(nodes), prevEpoch)
+			st.changed = st.prunedIter(nodes, 0, len(nodes), src, dst)
+		default:
+			pe := prevEpoch
+			runRanges(bounds, func(lo, hi int) {
+				st.scatterFrontierAtomic(nodes, lo, hi, pe)
+			})
+			runRanges(bounds, func(lo, hi int) {
+				atomic.AddInt64(&st.changed, st.prunedIter(nodes, lo, hi, src, dst))
 			})
 		}
-		know, next = next, know
+		prevChanged = st.changed
+		prevEpoch = st.epoch
 	}
-	st.know, st.next = know, next
+	final := st.exStates[rounds]
 
 	// Selection: an edge whose both endpoints know it is locally maximal.
 	var selected []edgeRef
 	if serial {
-		selected = st.diffuseSelectSerial(nodes, threshold, know, st.selected[:0])
+		selected = st.diffuseSelectSerial(nodes, threshold, final, st.selected[:0])
 	} else {
 		sink := &selectSink{buf: st.selected[:0]}
-		k := know
 		runRanges(bounds, func(lo, hi int) {
-			st.diffuseSelectInto(nodes, lo, hi, threshold, k, sink)
+			st.diffuseSelectInto(nodes, lo, hi, threshold, final, sink)
 		})
 		selected = sink.buf
 	}
@@ -456,11 +541,11 @@ func runRanges(bounds []int32, fn func(lo, hi int)) {
 	wg.Wait()
 }
 
-// diffuseInit is diffusion iteration 0 over nodes[lo:hi]: each node's
-// best incident >= threshold edge, plus the round's edge count and
-// unconditional best edge for the round statistics. Pure CSR array
-// scans — no allocation.
-func (st *state) diffuseInit(nodes []int32, lo, hi int, threshold float64, know []edgeRef) {
+// initAll is the uncached init phase over nodes[lo:hi]: each node's
+// best incident >= threshold edge into init, plus the per-id round
+// statistics (edge endpoints counted once, at the smaller id). Pure CSR
+// array scans — no allocation.
+func (st *state) initAll(nodes []int32, lo, hi int, threshold float64, init []edgeRef) {
 	offsets, nbrs, wts := st.offsets, st.nbrs, st.wts
 	for i := lo; i < hi; i++ {
 		u := nodes[i]
@@ -483,26 +568,145 @@ func (st *state) diffuseInit(nodes []int32, lo, hi int, threshold float64, know 
 				best = cand
 			}
 		}
-		know[u] = best
-		st.edgeCnt[i] = edges
-		st.bests[i] = bestAny
+		init[u] = best
+		st.edgeCnt[u] = edges
+		st.bests[u] = bestAny
 	}
 }
 
-// diffuseExchange is one max-exchange iteration over nodes[lo:hi],
-// reading know and writing next.
-func (st *state) diffuseExchange(nodes []int32, lo, hi int, know, next []edgeRef) {
-	offsets, nbrs := st.offsets, st.nbrs
+// initDirty is the memoized init phase: only dirty rows — whose
+// adjacency the last merge changed — are recomputed; every other cached
+// entry is provably identical to a full recomputation. Rows whose init
+// state actually changed are stamped for the first exchange iteration's
+// frontier, and the change count is returned.
+func (st *state) initDirty(nodes []int32, lo, hi int, threshold float64, init []edgeRef) int64 {
+	offsets, nbrs, wts := st.offsets, st.nbrs, st.wts
+	epoch := st.epoch
+	var cnt int64
 	for i := lo; i < hi; i++ {
 		u := nodes[i]
-		best := know[u]
+		if !st.dirty[u] {
+			continue
+		}
+		best := noEdge
+		edges := int64(0)
+		bestAny := noEdge
 		for j := offsets[u]; j < offsets[u+1]; j++ {
-			if v := nbrs[j]; better(know[v], best) {
-				best = know[v]
+			v, w := nbrs[j], wts[j]
+			if u < v {
+				edges++
+			}
+			cand := mkEdgeRef(u, v, w)
+			if better(cand, bestAny) {
+				bestAny = cand
+			}
+			if w < threshold {
+				continue
+			}
+			if better(cand, best) {
+				best = cand
 			}
 		}
-		next[u] = best
+		st.edgeCnt[u] = edges
+		st.bests[u] = bestAny
+		if best != init[u] {
+			init[u] = best
+			st.chMark[u] = epoch
+			cnt++
+		}
 	}
+	return cnt
+}
+
+// denseIter recomputes level it+1 for every node of nodes[lo:hi] from
+// level it, stamping cross-round changes (new value differs from the
+// memoized one) and returning the change count.
+func (st *state) denseIter(nodes []int32, lo, hi int, src, dst []edgeRef) int64 {
+	offsets, nbrs := st.offsets, st.nbrs
+	epoch := st.epoch
+	var cnt int64
+	for i := lo; i < hi; i++ {
+		u := nodes[i]
+		best := src[u]
+		for j := offsets[u]; j < offsets[u+1]; j++ {
+			if v := nbrs[j]; better(src[v], best) {
+				best = src[v]
+			}
+		}
+		if best != dst[u] {
+			dst[u] = best
+			st.chMark[u] = epoch
+			cnt++
+		}
+	}
+	return cnt
+}
+
+// scatterFrontier marks for recomputation every node whose input set
+// for the current level can differ from last round: nodes whose own
+// previous-level value changed (plus their neighbors, who read it) and
+// dirty nodes (their neighbor set itself changed).
+func (st *state) scatterFrontier(nodes []int32, lo, hi int, prevEpoch uint32) {
+	offsets, nbrs := st.offsets, st.nbrs
+	epoch := st.epoch
+	for i := lo; i < hi; i++ {
+		u := nodes[i]
+		if st.chMark[u] == prevEpoch {
+			st.afMark[u] = epoch
+			for j := offsets[u]; j < offsets[u+1]; j++ {
+				st.afMark[nbrs[j]] = epoch
+			}
+		} else if st.dirty[u] {
+			st.afMark[u] = epoch
+		}
+	}
+}
+
+// scatterFrontierAtomic is scatterFrontier with atomic mark stores:
+// concurrent range workers may mark the same neighbor, and every store
+// carries the same epoch, so the marks stay deterministic.
+func (st *state) scatterFrontierAtomic(nodes []int32, lo, hi int, prevEpoch uint32) {
+	offsets, nbrs := st.offsets, st.nbrs
+	epoch := st.epoch
+	for i := lo; i < hi; i++ {
+		u := nodes[i]
+		if st.chMark[u] == prevEpoch {
+			atomic.StoreUint32(&st.afMark[u], epoch)
+			for j := offsets[u]; j < offsets[u+1]; j++ {
+				atomic.StoreUint32(&st.afMark[nbrs[j]], epoch)
+			}
+		} else if st.dirty[u] {
+			atomic.StoreUint32(&st.afMark[u], epoch)
+		}
+	}
+}
+
+// prunedIter recomputes only the marked nodes of nodes[lo:hi]; every
+// unmarked node keeps its memoized level value, which is provably what
+// the dense recomputation would produce (identical inputs to last
+// round). Cross-round changes are stamped and counted.
+func (st *state) prunedIter(nodes []int32, lo, hi int, src, dst []edgeRef) int64 {
+	offsets, nbrs := st.offsets, st.nbrs
+	epoch := st.epoch
+	var cnt int64
+	for i := lo; i < hi; i++ {
+		u := nodes[i]
+		if st.afMark[u] != epoch {
+			continue
+		}
+		best := src[u]
+		for j := offsets[u]; j < offsets[u+1]; j++ {
+			if v := nbrs[j]; better(src[v], best) {
+				best = src[v]
+			}
+		}
+		if best != dst[u] {
+			dst[u] = best
+			st.chMark[u] = epoch
+			cnt++
+		}
+	}
+	return cnt
 }
 
 // diffuseSelectSerial appends the locally-maximal edges (each edge
@@ -564,8 +768,15 @@ func (st *state) mergeSelected(selected []edgeRef, round int, cfg Config, d *den
 	// a merged old cluster to its new id and Eq. 4 coefficient.
 	for len(st.mergeTo) < newTotal {
 		st.mergeTo = append(st.mergeTo, -1)
-		st.know = append(st.know, noEdge)
-		st.next = append(st.next, noEdge)
+		st.chMark = append(st.chMark, 0)
+		st.afMark = append(st.afMark, 0)
+		st.edgeCnt = append(st.edgeCnt, 0)
+		st.bests = append(st.bests, noEdge)
+	}
+	for it := range st.exStates {
+		for len(st.exStates[it]) < newTotal {
+			st.exStates[it] = append(st.exStates[it], noEdge)
+		}
 	}
 	for len(st.coef) < newTotal {
 		st.coef = append(st.coef, 0)
@@ -586,54 +797,69 @@ func (st *state) mergeSelected(selected []edgeRef, round int, cfg Config, d *den
 	}
 
 	// Generate contributions from every old edge with >= 1 merged
-	// endpoint. Each selected pair's owner scans its two members;
-	// old edges between two merged nodes are emitted by the owner of the
-	// smaller new id only (dedup).
+	// endpoint, pre-sorted per owner. Each selected pair's owner merges
+	// its two members' ascending adjacency streams two-pointer style
+	// (ties resolved to the smaller member, whose canonical origin sorts
+	// first), so surviving-neighbor contributions — keys (nb, w), nb
+	// below base — emerge already in (key, orig) order. Only the usually
+	// tiny tail of minted-minted contributions — keys (w, q), q minted
+	// above w, discovered in old-neighbor order rather than q order —
+	// needs a sort, and every minted key sorts after every surviving key,
+	// so the sorted tail appends after the merged prefix. This removes
+	// the former full per-owner sort from the round. Old edges between
+	// two merged nodes are emitted by the owner of the smaller new id
+	// only (dedup).
 	offsets, nbrs, wts := st.offsets, st.nbrs, st.wts
 	for len(st.perOwner) < len(selected) {
 		st.perOwner = append(st.perOwner, nil)
+		st.perOwnerB = append(st.perOwnerB, nil)
 	}
-	perOwner := st.perOwner
+	perOwner, perOwnerB := st.perOwner, st.perOwnerB
 	parallelIdx(len(selected), st.workers, func(i int) {
 		e := selected[i]
 		w := base + int32(i)
+		eu, ev := e.U(), e.V()
 		out := perOwner[i][:0]
-		for _, member := range [2]int32{e.U(), e.V()} {
-			wm := st.coef[member]
-			for j := offsets[member]; j < offsets[member+1]; j++ {
-				nb, s := nbrs[j], wts[j]
-				mappedNb := st.mergeTo[nb]
-				var q int32
-				wq := 1.0
-				if mappedNb >= 0 {
-					if mappedNb == w {
-						continue // internal edge of this merge
-					}
-					q = mappedNb
-					wq = st.coef[nb]
-					if q < w {
-						continue // the other owner emits this one
-					}
-				} else {
-					q = nb
-				}
-				a, b := canon(w, q)
-				oa, ob := canon(member, nb)
-				out = append(out, contrib{key: [2]int32{a, b}, orig: [2]int32{oa, ob}, val: wm * wq * s})
+		tail := perOwnerB[i][:0]
+		jU, endU := offsets[eu], offsets[eu+1]
+		jV, endV := offsets[ev], offsets[ev+1]
+		wu, wv := st.coef[eu], st.coef[ev]
+		for jU < endU || jV < endV {
+			var member, nb int32
+			var wm, s float64
+			// Pick the stream with the smaller neighbor; on a shared
+			// neighbor the smaller member goes first (its canonical
+			// origin precedes the other's for every neighbor position).
+			if jV >= endV || (jU < endU && nbrs[jU] <= nbrs[jV]) {
+				member, nb, wm, s = eu, nbrs[jU], wu, wts[jU]
+				jU++
+			} else {
+				member, nb, wm, s = ev, nbrs[jV], wv, wts[jV]
+				jV++
 			}
+			mappedNb := st.mergeTo[nb]
+			if mappedNb < 0 {
+				oa, ob := canon(member, nb)
+				out = append(out, contrib{key: [2]int32{nb, w}, orig: [2]int32{oa, ob}, val: wm * s})
+				continue
+			}
+			if mappedNb <= w {
+				continue // internal edge, or the other owner emits it
+			}
+			oa, ob := canon(member, nb)
+			tail = append(tail, contrib{key: [2]int32{w, mappedNb}, orig: [2]int32{oa, ob}, val: wm * st.coef[nb] * s})
 		}
-		perOwner[i] = out
+		slices.SortFunc(tail, cmpContrib)
+		perOwner[i] = append(out, tail...)
+		perOwnerB[i] = tail[:0]
 	})
 
-	// Aggregate: per-owner pre-sort (parallel) + k-way merge with inline
-	// group summation, replacing the former flatten + O(E log E) global
-	// re-sort each round. Every old edge contributes exactly once, so
-	// (key, orig) pairs are unique across owners and the merge pops
-	// contributions in the exact global (key, orig) order the old sort
-	// produced — float summation per key is byte-identical.
-	parallelIdx(len(selected), st.workers, func(i int) {
-		slices.SortFunc(perOwner[i], cmpContrib)
-	})
+	// Aggregate via k-way merge with inline group summation, replacing
+	// the former flatten + O(E log E) global re-sort each round. Every
+	// old edge contributes exactly once, so (key, orig) pairs are unique
+	// across owners and the merge pops contributions in the exact global
+	// (key, orig) order the old sort produced — float summation per key
+	// is byte-identical.
 	newEdges := st.kwayMergeSum(perOwner[:len(selected)], cfg.StopThreshold)
 
 	// Build the next round's CSR into the spare buffers: surviving old
@@ -870,11 +1096,30 @@ func runRanges32(bounds []int32, fn func(lo, hi int32)) {
 	wg.Wait()
 }
 
+// searchEdgeU returns the first index whose edge has U >= x (edges are
+// sorted by canonical (U,V)). Hand-rolled so the zero-alloc serial
+// rebuild path never builds a search closure.
+func searchEdgeU(edges []wgraph.Edge, x int32) int {
+	lo, hi := 0, len(edges)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if edges[mid].U >= x {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
 // countRange computes the next-round degrees of rows [lo,hi): surviving
 // old neighbors from the row's own adjacency (a dead or merged row is
 // skipped; dead rows are empty by construction) plus incident coalesced
 // edges. A clean row — untouched by this round's merges — provably
 // keeps its whole adjacency, so its count is the old row length.
+// The coalesced list is (U,V)-sorted, so the range's U-side incidences
+// are a binary-searched contiguous run, and only the scattered V side
+// walks the list — capped at the run end, since e.U < e.V < hi.
 // Writes only deg[lo:hi], so ranges run concurrently.
 func (st *state) countRange(lo, hi int32, deg []int32, newEdges []wgraph.Edge) {
 	offsets, nbrs := st.offsets, st.nbrs
@@ -893,13 +1138,14 @@ func (st *state) countRange(lo, hi int32, deg []int32, newEdges []wgraph.Edge) {
 		}
 		deg[u] = d
 	}
-	for _, e := range newEdges {
-		if e.U >= lo && e.U < hi {
-			deg[e.U]++
-		}
+	uStart, uEnd := searchEdgeU(newEdges, lo), searchEdgeU(newEdges, hi)
+	for _, e := range newEdges[:uEnd] {
 		if e.V >= lo && e.V < hi {
 			deg[e.V]++
 		}
+	}
+	for _, e := range newEdges[uStart:uEnd] {
+		deg[e.U]++
 	}
 }
 
@@ -940,15 +1186,20 @@ func (st *state) fillRange(lo, hi int32, deg, bOffsets, bNbrs []int32, bWts []fl
 			}
 		}
 	}
-	for _, e := range newEdges {
-		if e.U >= lo && e.U < hi {
-			bNbrs[deg[e.U]], bWts[deg[e.U]] = e.V, e.W
-			deg[e.U]++
-		}
+	// Coalesced edges, V side first then the binary-searched U-side run:
+	// a row's V-side partners (minted ids below it) all precede its
+	// U-side partners (minted ids above it) in the sorted list, so the
+	// split loops append in the exact interleaved-scan order.
+	uStart, uEnd := searchEdgeU(newEdges, lo), searchEdgeU(newEdges, hi)
+	for _, e := range newEdges[:uEnd] {
 		if e.V >= lo && e.V < hi {
 			bNbrs[deg[e.V]], bWts[deg[e.V]] = e.U, e.W
 			deg[e.V]++
 		}
+	}
+	for _, e := range newEdges[uStart:uEnd] {
+		bNbrs[deg[e.U]], bWts[deg[e.U]] = e.V, e.W
+		deg[e.U]++
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"reflect"
+	"runtime"
 	"testing"
 
 	"shoal/internal/shard"
@@ -23,7 +24,7 @@ func TestShardedObservationallyIdentical(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			for _, s := range []int{1, 2, 3, 5, 8} {
+			for _, s := range []int{1, 2, 3, 5, 8, runtime.GOMAXPROCS(0) + 3} {
 				got, err := Diffuse(shard.Partition(base, s), r, 0.1, 0)
 				if err != nil {
 					t.Fatal(err)
@@ -40,7 +41,7 @@ func TestShardedObservationallyIdentical(t *testing.T) {
 			t.Fatal(err)
 		}
 		refBytes := gobBytes(t, ref)
-		for _, s := range []int{2, 3, 4, 7} {
+		for _, s := range []int{2, 3, 4, 7, runtime.GOMAXPROCS(0) + 3} {
 			for _, w := range []int{1, 4} {
 				res, err := Cluster(context.Background(), base, nil,
 					Config{StopThreshold: 0.15, DiffusionRounds: 2, Workers: w, Shards: s})

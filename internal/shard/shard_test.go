@@ -3,6 +3,7 @@ package shard
 import (
 	"math/rand/v2"
 	"reflect"
+	"runtime"
 	"testing"
 
 	"shoal/internal/wgraph"
@@ -26,7 +27,7 @@ func randomEdges(n, extra int, seed uint64) []wgraph.Edge {
 	return g.Edges()
 }
 
-var shardCounts = []int{1, 2, 3, 5, 8, 16}
+var shardCounts = []int{1, 2, 3, 5, 8, 16, runtime.GOMAXPROCS(0) + 3}
 
 // TestShardedObservationallyIdentical is the wgraph-level half of the
 // shard determinism contract: a sharded CSR must be indistinguishable
@@ -200,6 +201,79 @@ func TestFromEdgesRejectsAdversarialInput(t *testing.T) {
 		_, wgErr := wgraph.FromEdges(tc.n, tc.edges)
 		if wgErr == nil || wgErr.Error() != shardErr.Error() {
 			t.Errorf("%s: error mismatch: shard=%q wgraph=%v", tc.name, shardErr, wgErr)
+		}
+	}
+}
+
+// TestChunkedFromEdgesIdentical forces the multi-worker chunked
+// construction path (which a 1-CPU machine would otherwise never take)
+// and pins its output — arrays, cached aggregates, plan — byte-identical
+// to both the serial wgraph.FromEdges build and the auto-worker
+// FromEdges result, for every worker × shard combination.
+func TestChunkedFromEdgesIdentical(t *testing.T) {
+	for seed := uint64(1); seed <= 6; seed++ {
+		n := 60 + int(seed)*13
+		edges := randomEdges(n, n*4, seed)
+		base, err := wgraph.FromEdges(n, edges)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range []int{1, 3, 8} {
+			auto, err := FromEdges(n, edges, s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, w := range []int{2, 3, 5, 8} {
+				sc, err := fromEdges(n, edges, s, w)
+				if err != nil {
+					t.Fatalf("seed %d shards %d workers %d: %v", seed, s, w, err)
+				}
+				if !reflect.DeepEqual(sc.BaseCSR(), base) {
+					t.Fatalf("seed %d shards %d workers %d: chunked base differs from serial", seed, s, w)
+				}
+				if !reflect.DeepEqual(sc.Plan(), auto.Plan()) {
+					t.Fatalf("seed %d shards %d workers %d: plan differs from auto-worker build", seed, s, w)
+				}
+				if !reflect.DeepEqual(sc.Shards(), auto.Shards()) {
+					t.Fatalf("seed %d shards %d workers %d: shard aggregates differ", seed, s, w)
+				}
+			}
+		}
+	}
+}
+
+// TestChunkedFromEdgesRejectsAdversarialInput runs the adversarial
+// inputs through the forced-chunked path: the parallel validators must
+// report the exact first-offender error the serial scan would.
+func TestChunkedFromEdgesRejectsAdversarialInput(t *testing.T) {
+	cases := []struct {
+		name  string
+		n     int
+		edges []wgraph.Edge
+	}{
+		{"non-canonical", 3, []wgraph.Edge{{U: 2, V: 1, W: 0.5}}},
+		{"out-of-range", 3, []wgraph.Edge{{U: 0, V: 3, W: 0.5}}},
+		{"unsorted", 4, []wgraph.Edge{{U: 1, V: 2, W: 0.5}, {U: 0, V: 3, W: 0.5}}},
+		{"duplicate", 4, []wgraph.Edge{{U: 0, V: 1, W: 0.5}, {U: 0, V: 1, W: 0.6}}},
+		{"late-offender", 5, []wgraph.Edge{
+			{U: 0, V: 1, W: 0.5}, {U: 0, V: 2, W: 0.5}, {U: 1, V: 2, W: 0.5},
+			{U: 1, V: 3, W: 0.5}, {U: 3, V: 3, W: 0.5},
+		}},
+	}
+	for _, tc := range cases {
+		_, wgErr := wgraph.FromEdges(tc.n, tc.edges)
+		if wgErr == nil {
+			t.Fatalf("%s: wgraph.FromEdges accepted invalid input", tc.name)
+		}
+		for _, w := range []int{2, 4} {
+			_, err := fromEdges(tc.n, tc.edges, 4, w)
+			if err == nil {
+				t.Errorf("%s workers %d: chunked FromEdges accepted invalid input", tc.name, w)
+				continue
+			}
+			if err.Error() != wgErr.Error() {
+				t.Errorf("%s workers %d: error %q, want serial error %q", tc.name, w, err, wgErr)
+			}
 		}
 	}
 }

@@ -59,6 +59,7 @@ func (g *Graph) Freeze() *CSR {
 		wts:     make([]float64, 0, 2*g.numEdges),
 		wdeg:    make([]float64, n),
 	}
+	var total weightSummer
 	for u := 0; u < n; u++ {
 		for _, v := range g.sortedNeighbors(int32(u)) {
 			w := g.adj[u][v]
@@ -66,11 +67,12 @@ func (g *Graph) Freeze() *CSR {
 			c.wts = append(c.wts, w)
 			c.wdeg[u] += w
 			if int32(u) < v {
-				c.total += w
+				total.add(w)
 			}
 		}
 		c.offsets[u+1] = int32(len(c.nbrs))
 	}
+	c.total = total.total()
 	g.frozen = c
 	return c
 }
@@ -109,6 +111,10 @@ func FromEdges(n int, edges []Edge) (*CSR, error) {
 		c.offsets[u+1] = c.offsets[u] + deg[u]
 		deg[u] = c.offsets[u] // reuse as fill cursor
 	}
+	// The total accumulates through the canonical blocked summation (see
+	// sum.go) so parallel builders can reproduce it byte for byte.
+	var sums []float64
+	partial, bcnt := 0.0, 0
 	for _, e := range edges {
 		c.nbrs[deg[e.U]] = e.V
 		c.wts[deg[e.U]] = e.W
@@ -118,9 +124,45 @@ func FromEdges(n int, edges []Edge) (*CSR, error) {
 		deg[e.V]++
 		c.wdeg[e.U] += e.W
 		c.wdeg[e.V] += e.W
-		c.total += e.W
+		partial += e.W
+		if bcnt++; bcnt == WeightSumBlockSize {
+			sums = append(sums, partial)
+			partial, bcnt = 0, 0
+		}
 	}
+	if bcnt > 0 {
+		sums = append(sums, partial)
+	}
+	c.total = FoldWeightBlocks(sums)
 	return c, nil
+}
+
+// ValidateEdgeAt checks the single edge at index i of a canonical edge
+// list (canonical orientation, range, strict (U,V) order against its
+// predecessor). Factoring the per-index check out lets fused or parallel
+// validators (shard.FromEdges) cover disjoint index ranges while
+// reporting the exact error text a serial scan would. The happy path is
+// one fused condition with the error construction outlined, so the
+// check inlines into per-edge construction loops.
+func ValidateEdgeAt(n int, edges []Edge, i int) error {
+	e := edges[i]
+	if e.U >= e.V || e.U < 0 || int(e.V) >= n ||
+		(i > 0 && (e.U < edges[i-1].U || (e.U == edges[i-1].U && e.V <= edges[i-1].V))) {
+		return edgeErrorAt(n, edges, i)
+	}
+	return nil
+}
+
+// edgeErrorAt builds the deterministic error for the offending index i.
+func edgeErrorAt(n int, edges []Edge, i int) error {
+	e := edges[i]
+	if e.U >= e.V {
+		return fmt.Errorf("wgraph: FromEdges edge %d (%d,%d) not canonical", i, e.U, e.V)
+	}
+	if e.U < 0 || int(e.V) >= n {
+		return fmt.Errorf("wgraph: FromEdges edge %d (%d,%d) out of range [0,%d)", i, e.U, e.V, n)
+	}
+	return fmt.Errorf("wgraph: FromEdges edges not sorted at %d", i)
 }
 
 // ValidateEdges checks that edges is a canonical edge list for n nodes:
@@ -129,15 +171,9 @@ func FromEdges(n int, edges []Edge) (*CSR, error) {
 // error for a given input is deterministic: the first offending index is
 // always reported.
 func ValidateEdges(n int, edges []Edge) error {
-	for i, e := range edges {
-		if e.U >= e.V {
-			return fmt.Errorf("wgraph: FromEdges edge %d (%d,%d) not canonical", i, e.U, e.V)
-		}
-		if e.U < 0 || int(e.V) >= n {
-			return fmt.Errorf("wgraph: FromEdges edge %d (%d,%d) out of range [0,%d)", i, e.U, e.V, n)
-		}
-		if i > 0 && (e.U < edges[i-1].U || (e.U == edges[i-1].U && e.V <= edges[i-1].V)) {
-			return fmt.Errorf("wgraph: FromEdges edges not sorted at %d", i)
+	for i := range edges {
+		if err := ValidateEdgeAt(n, edges, i); err != nil {
+			return err
 		}
 	}
 	return nil

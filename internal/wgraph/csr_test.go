@@ -279,3 +279,26 @@ func TestSortedAdjacencyCacheAfterMutation(t *testing.T) {
 		t.Fatalf("Neighbors(1) corrupted by caller mutation: %v", got)
 	}
 }
+
+// TestCanonicalBlockedTotal pins the canonical-summation contract: the
+// builder, its frozen CSR, FromEdges, and the exported SumEdgeWeights
+// helper (the reduction parallel builders replicate) must all produce
+// the same float64 bit pattern for the total edge weight.
+func TestCanonicalBlockedTotal(t *testing.T) {
+	g := randomGraph(200, 700, 11)
+	edges := g.Edges()
+	want := SumEdgeWeights(edges)
+	if got := g.TotalWeight(); got != want {
+		t.Fatalf("builder total %v != SumEdgeWeights %v", got, want)
+	}
+	if got := g.Freeze().TotalWeight(); got != want {
+		t.Fatalf("frozen total %v != SumEdgeWeights %v", got, want)
+	}
+	c, err := FromEdges(g.NumNodes(), edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.TotalWeight(); got != want {
+		t.Fatalf("FromEdges total %v != SumEdgeWeights %v", got, want)
+	}
+}

@@ -178,21 +178,22 @@ func (g *Graph) ForEachNeighbor(u int32, fn func(v int32, w float64)) {
 }
 
 // TotalWeight returns the sum of all edge weights (each edge once),
-// accumulated in canonical (U,V) order so the value is byte-identical
-// to the frozen CSR's cached total.
+// accumulated over the canonical (U,V) order through the blocked
+// summation (see sum.go) so the value is byte-identical to the frozen
+// CSR's cached total.
 func (g *Graph) TotalWeight() float64 {
 	if g.frozen != nil {
 		return g.frozen.TotalWeight()
 	}
-	var s float64
+	var s weightSummer
 	for u := range g.adj {
 		for _, v := range g.sortedNeighbors(int32(u)) {
 			if int32(u) < v {
-				s += g.adj[u][v]
+				s.add(g.adj[u][v])
 			}
 		}
 	}
-	return s
+	return s.total()
 }
 
 // Clone returns a deep copy of the builder (caches are not shared).
