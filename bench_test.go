@@ -14,6 +14,7 @@ import (
 
 	"shoal"
 	"shoal/internal/abtest"
+	"shoal/internal/benchjson"
 	"shoal/internal/bipartite"
 	"shoal/internal/bm25"
 	"shoal/internal/bsp"
@@ -33,8 +34,11 @@ import (
 	"shoal/internal/word2vec"
 )
 
-// benchWorld is the shared fixture: a synthetic corpus and a full pipeline
-// build, constructed once.
+// benchWorld is the shared fixture: the fixed benchmark corpus and full
+// pipeline build from benchjson.FixedWorld — the same fixture the
+// BENCH_*.json substrate suite uses, built once per process and
+// optionally cached on disk via SHOAL_BENCH_FIXTURE so CI's bench smoke
+// pass and the benchjson re-run share one build.
 type benchWorld struct {
 	corpus *model.Corpus
 	build  *core.Build
@@ -49,31 +53,11 @@ var (
 func getWorld(b *testing.B) *benchWorld {
 	b.Helper()
 	worldOnce.Do(func() {
-		gen := synth.DefaultConfig()
-		gen.Scenarios = 16
-		gen.ItemsPerScenario = 100
-		gen.QueriesPerScenario = 24
-		gen.NoiseItems = 80
-		gen.HeadQueries = 12
-		corpus, err := synth.Generate(gen)
+		bd, _, sizes, err := benchjson.FixedWorld()
 		if err != nil {
 			panic(err)
 		}
-		cfg := core.DefaultConfig()
-		cfg.Word2Vec.Epochs = 2
-		cfg.Word2Vec.Dim = 24
-		cfg.Graph.MinSimilarity = 0.25
-		cfg.HAC.StopThreshold = 0.12
-		cfg.Taxonomy.Levels = []float64{0.12, 0.3, 0.5}
-		bd, err := core.Run(corpus, cfg)
-		if err != nil {
-			panic(err)
-		}
-		sizes := make([]int, len(bd.Entities.Entities))
-		for i := range sizes {
-			sizes[i] = bd.Entities.Entities[i].Size()
-		}
-		world = &benchWorld{corpus: corpus, build: bd, sizes: sizes}
+		world = &benchWorld{corpus: bd.Corpus, build: bd, sizes: sizes}
 	})
 	return world
 }

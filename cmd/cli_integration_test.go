@@ -8,6 +8,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -90,6 +91,26 @@ func TestGenBuildPipeline(t *testing.T) {
 	}
 	if len(tx.ItemTopic) != len(corpus.Items) {
 		t.Fatalf("taxonomy covers %d items, corpus has %d", len(tx.ItemTopic), len(corpus.Items))
+	}
+
+	// The -bsp flag routes clustering diffusion through the BSP engine;
+	// the built taxonomy must be identical and the engine stats printed.
+	bspPath := filepath.Join(dir, "tax-bsp.gob")
+	out = run(t, build, "-corpus", corpusPath, "-out", bspPath, "-stop", "0.12", "-bsp", "-v")
+	if !strings.Contains(out, "bsp: supersteps=") {
+		t.Fatalf("shoal-build -bsp -v did not report engine stats: %q", out)
+	}
+	bf, err := os.Open(bspPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bf.Close()
+	btx, err := shoal.LoadTaxonomy(bf)
+	if err != nil {
+		t.Fatalf("BSP-built taxonomy unreadable: %v", err)
+	}
+	if !reflect.DeepEqual(tx, btx) {
+		t.Fatal("-bsp changed the built taxonomy")
 	}
 }
 

@@ -35,6 +35,7 @@ func main() {
 		sequential = flag.Bool("sequential", false, "run pipeline stages one at a time instead of concurrently")
 		shards     = flag.Int("shards", 0, "row-range shards of the graph substrate (0: GOMAXPROCS); output is identical for any value")
 		frontier   = flag.Float64("frontier", 0, "frontier density of pruned diffusion (0: default 0.25, negative: dense); output is identical for any value")
+		bspMode    = flag.Bool("bsp", false, "route clustering diffusion through the shard-native BSP engine; output is identical, engine stats are reported")
 		verbose    = flag.Bool("v", false, "print stage timings and statistics")
 	)
 	flag.Parse()
@@ -57,6 +58,7 @@ func main() {
 	cfg.Sequential = *sequential
 	cfg.Shards = *shards
 	cfg.HAC.FrontierDensity = *frontier
+	cfg.BSP = *bspMode
 	cfg.Word2Vec.Epochs = 2
 	cfg.Word2Vec.Dim = 24
 	if *stop < cfg.Taxonomy.Levels[0] {
@@ -70,6 +72,10 @@ func main() {
 	if *verbose {
 		for _, st := range b.StageTimings {
 			fmt.Fprintf(os.Stderr, "%-22s start=%-12v elapsed=%v\n", st.Stage, st.Start, st.Elapsed)
+		}
+		if b.BSPStats != nil {
+			fmt.Fprintf(os.Stderr, "bsp: supersteps=%d messages=%d sends=%d combiner-hit-rate=%.3f\n",
+				b.BSPStats.Supersteps, b.BSPStats.Messages, b.BSPStats.Sends, b.BSPStats.CombinerHitRate())
 		}
 	}
 	f, err := os.Create(*out)

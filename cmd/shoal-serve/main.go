@@ -47,6 +47,7 @@ func main() {
 	pprofAddr := flag.String("pprof", "", "side listener address exposing net/http/pprof (e.g. localhost:6060; empty disables)")
 	shards := flag.Int("shards", 0, "row-range shards of the graph substrate (0: GOMAXPROCS); reported in /api/stats")
 	frontier := flag.Float64("frontier", 0, "frontier density of pruned diffusion (0: default 0.25, negative: dense); output is identical for any value")
+	bspMode := flag.Bool("bsp", false, "route clustering diffusion through the shard-native BSP engine; output is identical, engine stats land in /api/stats")
 	flag.Parse()
 
 	// Profiling stays off the serving listener: a dedicated mux on a side
@@ -80,6 +81,7 @@ func main() {
 	cfg.CatCorr.MinStrength = 0
 	cfg.Shards = *shards
 	cfg.HAC.FrontierDensity = *frontier
+	cfg.BSP = *bspMode
 	if *corpusPath != "" {
 		var err error
 		corpus, err = store.LoadCorpus(*corpusPath)

@@ -22,16 +22,14 @@ import (
 	"strings"
 	"testing"
 
-	"shoal/internal/bipartite"
 	"shoal/internal/bm25"
-	"shoal/internal/core"
+	"shoal/internal/bsp"
 	"shoal/internal/describe"
 	"shoal/internal/entitygraph"
 	"shoal/internal/hac"
 	"shoal/internal/modularity"
 	"shoal/internal/phac"
 	"shoal/internal/shard"
-	"shoal/internal/synth"
 	"shoal/internal/textutil"
 	"shoal/internal/wgraph"
 )
@@ -45,47 +43,12 @@ type Result struct {
 	Iterations  int     `json:"iterations"`
 }
 
-// fixedWorld builds the shared fixture: a synthetic corpus roughly 4x
-// the unit-test bench scale, plus a full pipeline build over it. The
-// scale is fixed (not flag-tunable) so BENCH_*.json files from
-// different PRs are comparable.
-func fixedWorld() (*core.Build, *bipartite.Graph, []int, error) {
-	gen := synth.DefaultConfig()
-	gen.Scenarios = 32
-	gen.ItemsPerScenario = 150
-	gen.QueriesPerScenario = 30
-	gen.NoiseItems = 160
-	gen.HeadQueries = 20
-	corpus, err := synth.Generate(gen)
-	if err != nil {
-		return nil, nil, nil, err
-	}
-	cfg := core.DefaultConfig()
-	cfg.Word2Vec.Epochs = 2
-	cfg.Word2Vec.Dim = 24
-	cfg.Graph.MinSimilarity = 0.25
-	cfg.Graph.MaxQueryFanout = 50
-	cfg.HAC.StopThreshold = 0.12
-	cfg.Taxonomy.Levels = []float64{0.12, 0.3, 0.5}
-	b, err := core.Run(corpus, cfg)
-	if err != nil {
-		return nil, nil, nil, err
-	}
-	clicks := bipartite.New(7)
-	if err := clicks.AddAll(corpus.Clicks); err != nil {
-		return nil, nil, nil, err
-	}
-	sizes := make([]int, len(b.Entities.Entities))
-	for i := range sizes {
-		sizes[i] = b.Entities.Entities[i].Size()
-	}
-	return b, clicks, sizes, nil
-}
-
 // Run executes every substrate benchmark once and returns the results
-// sorted by name.
+// sorted by name. The shared fixture comes from FixedWorld (see
+// fixture.go), so a process that already built it — or a CI step that
+// cached it on disk — does not pay for it again.
 func Run() ([]Result, error) {
-	b, clicks, sizes, err := fixedWorld()
+	b, clicks, sizes, err := FixedWorld()
 	if err != nil {
 		return nil, err
 	}
@@ -159,7 +122,31 @@ func Run() ([]Result, error) {
 			_, err := describe.Describe(ctx, b.Taxonomy, b.Corpus, clicks, describe.DefaultConfig())
 			return err
 		}),
+		// Diffusion on the shard-native BSP engine — the distributed
+		// execution model. Tracked next to diffuse-r{2,6} so the derived
+		// bsp-diffuse-r{2,6}-vs-shared ratios record the gap to the
+		// shared-memory path across PRs.
+		"bsp-diffuse-r2": record(func() error {
+			_, err := phac.DiffuseBSP(base, 2, 0.12, bsp.Config{})
+			return err
+		}),
+		"bsp-diffuse-r6": record(func() error {
+			_, err := phac.DiffuseBSP(base, 6, 0.12, bsp.Config{})
+			return err
+		}),
 	}
+	// Segment wire format: encode + decode every shard of a 4-way
+	// partition (the multi-host placement cost per shard hand-off).
+	segSrc := shard.Partition(base, 4)
+	segs := segSrc.Segments()
+	benches["segment-roundtrip"] = record(func() error {
+		for _, seg := range segs {
+			if _, err := shard.DecodeSegment(seg.Encode()); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
 	// Shard-count sweep: the same diffusion / clustering / construction
 	// work at increasing partition widths, so each BENCH_*.json records
 	// how the partition-parallel paths scale on the fixed corpus.
@@ -221,6 +208,22 @@ func Run() ([]Result, error) {
 				Name:    name + "-vs-serial",
 				NsPerOp: sh.NsPerOp / serial.NsPerOp,
 			})
+		}
+	}
+	// bsp-vs-shared: BSP-engine diffusion time over shared-memory
+	// diffusion time at the same exchange budget (dimensionless, lower
+	// is better; 1.0 means the distributed twin matches the shared path).
+	// Committed in the trajectory so the gap is tracked PR over PR.
+	for _, r := range []int{2, 6} {
+		bspName := fmt.Sprintf("bsp-diffuse-r%d", r)
+		sharedName := fmt.Sprintf("diffuse-r%d", r)
+		if bb, ok := byName[bspName]; ok {
+			if sh, ok := byName[sharedName]; ok && sh.NsPerOp > 0 {
+				out = append(out, Result{
+					Name:    bspName + "-vs-shared",
+					NsPerOp: bb.NsPerOp / sh.NsPerOp,
+				})
+			}
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })

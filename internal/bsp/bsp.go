@@ -1,15 +1,46 @@
 // Package bsp implements a Pregel-style vertex-centric bulk-synchronous
 // parallel engine. The paper runs Parallel HAC "on the Alibaba distributed
 // graph platform (ODPS)"; this engine is the in-process stand-in
-// (DESIGN.md §1.3): vertices are hash-partitioned across workers, compute
-// proceeds in supersteps separated by barriers, and messages produced in
-// superstep s are delivered at superstep s+1.
+// (DESIGN.md §1.3) and the distributed twin of the shared-memory
+// diffusion path: vertices are partitioned into contiguous row-range
+// shards (shard.Plan is the unit of placement), compute proceeds in
+// supersteps separated by barriers, and messages produced in superstep s
+// are delivered at superstep s+1.
 //
-// Determinism: each vertex's inbox is sorted by (sender, send order) before
-// delivery, so a program observes a canonical message order regardless of
-// scheduling. A chaos mode deliberately shuffles inboxes instead — programs
-// whose results must not depend on delivery order (like Parallel HAC's
-// max-diffusion) are tested under chaos.
+// Execution model:
+//
+//   - Placement: Config.Plan (or a uniform split into Config.Workers
+//     ranges) assigns each shard's contiguous vertex rows to one worker.
+//     One goroutine per shard; workers persist across supersteps and are
+//     driven over channels, so steady-state supersteps spawn nothing.
+//   - Message layout: messages live in a CSR-style flat layout — one
+//     contiguous per-shard message array plus per-vertex offset segments,
+//     double-buffered across supersteps and rebuilt with a counting pass
+//     then a fill, so steady-state supersteps allocate no message-buffer
+//     memory at all (locked by TestSteadyStateAllocFree).
+//   - Transport: each worker batches its outgoing messages per
+//     (source shard, dest shard) pair and hands them to a Transport at
+//     the superstep barrier. The in-process Loopback transport moves the
+//     batches by reference; a network transport plugs into the same seam
+//     by serializing them (see transport.go).
+//   - Determinism: each worker owns an ascending contiguous vertex range
+//     and emits messages in (vertex, send order); destination shards fill
+//     their inboxes from source batches in ascending source-shard order.
+//     The concatenation is therefore the canonical (sender, seq) order —
+//     no per-vertex sort anywhere. Chaos mode deliberately breaks this
+//     order instead; programs whose results must not depend on delivery
+//     order (like Parallel HAC's max-diffusion) are tested under chaos.
+//   - Combining: a Program that also implements Combiner[M] opts into
+//     sender-side folding — messages addressed to the same destination
+//     vertex within one shard's superstep are folded into a single
+//     envelope at the sender, cutting cross-shard traffic. The fold is a
+//     left fold in emission order, so an associative combiner keeps the
+//     engine deterministic.
+//   - Vote-to-halt: a vertex that returns halt stops being scheduled
+//     until a message arrives for it; the run ends when every vertex has
+//     halted and no messages are in flight. Converged regions therefore
+//     stop computing and sending entirely — the BSP mirror of the
+//     shared-memory path's frontier pruning.
 package bsp
 
 import (
@@ -17,28 +48,46 @@ import (
 	"fmt"
 	"math/rand/v2"
 	"runtime"
-	"sort"
-	"sync"
+
+	"shoal/internal/shard"
 )
 
 // VertexID identifies a vertex; ids are dense 0..N-1.
 type VertexID int32
 
-// Program is the vertex computation. Compute runs once per active vertex
-// per superstep. A vertex is active at superstep 0, and thereafter iff it
-// received messages or declined to halt last time it ran.
+// Program is the vertex computation. Compute runs once per eligible
+// vertex per superstep. A vertex is eligible at superstep 0, and
+// thereafter iff it received messages or declined to halt last time it
+// ran.
 type Program[M any] interface {
 	// Compute processes vertex v at the given superstep. inbox holds the
-	// messages sent to v during the previous superstep. send enqueues a
-	// message for delivery next superstep. Returning true votes to halt;
-	// an incoming message reactivates the vertex.
+	// messages sent to v during the previous superstep; the slice aliases
+	// the engine's reused message buffers and is only valid for the
+	// duration of the call — copy any payloads that must outlive it.
+	// send enqueues a message for delivery next superstep. Returning true
+	// votes to halt; an incoming message reactivates the vertex.
 	Compute(superstep int, v VertexID, inbox []M, send func(to VertexID, m M)) (halt bool)
+}
+
+// Combiner is an optional Program upgrade: when the program implements
+// it, the engine folds messages addressed to the same destination vertex
+// at the sender side (one folded envelope per source shard per
+// destination). Combine must be associative, and the program must not
+// depend on message multiplicity — the engine may deliver one combined
+// message where n were sent.
+type Combiner[M any] interface {
+	Combine(acc, m M) M
 }
 
 // Config controls engine execution.
 type Config struct {
-	// Workers is the number of partitions/goroutines; 0 means GOMAXPROCS.
+	// Workers is the number of shards (= worker goroutines) when no Plan
+	// is given; 0 means GOMAXPROCS. Clamped to the vertex count.
 	Workers int
+	// Plan, when non-empty, is the row-range placement: shard i's worker
+	// owns vertices [Plan.Bounds(i)). The plan must cover [0, n) exactly.
+	// Workers is ignored when a plan is supplied.
+	Plan shard.Plan
 	// MaxSupersteps aborts runs that fail to converge; 0 means 1<<20.
 	MaxSupersteps int
 	// Chaos, when non-nil, enables failure injection.
@@ -47,42 +96,112 @@ type Config struct {
 
 // Chaos injects distribution pathologies that a correct BSP program must
 // tolerate: shuffled message delivery order and stalled (but eventually
-// delivered) messages within a superstep boundary.
+// delivered) batches within a superstep boundary.
 type Chaos struct {
 	// Seed drives the shuffling.
 	Seed uint64
 	// ShuffleInbox randomizes per-vertex message order instead of the
 	// canonical (sender, seq) order.
 	ShuffleInbox bool
+	// StallBatches delivers each destination's source-shard batches in a
+	// random order within the barrier — emulating cross-host batches
+	// arriving late — instead of ascending source order.
+	StallBatches bool
 }
 
 // Stats reports one run's execution profile.
 type Stats struct {
 	Supersteps int
-	// Messages is the total number of messages delivered.
+	// Messages is the total number of envelopes delivered (after any
+	// sender-side combining).
 	Messages int64
+	// Sends is the total number of send() calls programs issued.
+	Sends int64
+	// CombinerHits counts sends folded into an existing envelope by the
+	// sender-side combiner (Sends - CombinerHits envelopes were shipped).
+	CombinerHits int64
 	// ActivePerStep is the number of vertices computed per superstep.
 	ActivePerStep []int
 }
 
-type message[M any] struct {
-	from VertexID
-	seq  int32
-	to   VertexID
-	m    M
+// CombinerHitRate is the fraction of sends absorbed by the combiner.
+func (s *Stats) CombinerHitRate() float64 {
+	if s.Sends == 0 {
+		return 0
+	}
+	return float64(s.CombinerHits) / float64(s.Sends)
+}
+
+// Add accumulates another run's profile (used by callers that run one
+// BSP job per clustering round and report the aggregate).
+func (s *Stats) Add(o *Stats) {
+	if o == nil {
+		return
+	}
+	s.Supersteps += o.Supersteps
+	s.Messages += o.Messages
+	s.Sends += o.Sends
+	s.CombinerHits += o.CombinerHits
+	s.ActivePerStep = append(s.ActivePerStep, o.ActivePerStep...)
+}
+
+// inboxBuf is one shard's CSR-style inbox: msgs[off[v-lo]:off[v-lo+1]]
+// are vertex v's messages. cur is the fill-cursor scratch. Two
+// generations per shard alternate across supersteps.
+type inboxBuf[M any] struct {
+	off  []int32 // len rows+1
+	cur  []int32 // len rows
+	msgs []M
+}
+
+// workerState is one shard worker's mutable state.
+type workerState[M any] struct {
+	out [][]Envelope[M] // outgoing batch per destination shard
+	// slot/slotEp implement the sender-side combiner: slotEp[v] == epoch
+	// marks that out[owner[v]] already holds an envelope for v this
+	// superstep, at index slot[v]. Allocated only when combining.
+	slot   []int32
+	slotEp []uint32
+	epoch  uint32
+	send   func(to VertexID, m M) // persistent closure (no per-step alloc)
+
+	err       error
+	sends     int64
+	hits      int64
+	computed  int
+	delta     int // net change of active vertices this superstep
+	delivered int64
 }
 
 // Engine executes a Program over a fixed set of vertices.
 type Engine[M any] struct {
-	n       int
-	prog    Program[M]
-	cfg     Config
-	workers int
+	n    int
+	prog Program[M]
+	comb Combiner[M]
+	cfg  Config
+	tr   Transport[M]
+
+	bounds []int32 // shard row bounds, len S+1
+	S      int
+	owner  []int32 // vertex -> owning shard
+
+	initialized bool
+	active      []bool
+	ws          []workerState[M]
+	in, nxt     []inboxBuf[M]
+	cmds        []chan wcmd
+	done        chan struct{}
+}
+
+// wcmd drives a persistent shard worker through one phase.
+type wcmd struct {
+	step int32
+	kind int8 // 0 compute+send, 1 recv+fill
 }
 
 // New creates an engine over n vertices. The topology lives inside the
 // program (vertices send to whichever ids they know); the engine only
-// validates destinations.
+// validates destinations and owns placement, transport and delivery.
 func New[M any](n int, prog Program[M], cfg Config) (*Engine[M], error) {
 	if n <= 0 {
 		return nil, errors.New("bsp: vertex count must be positive")
@@ -90,135 +209,321 @@ func New[M any](n int, prog Program[M], cfg Config) (*Engine[M], error) {
 	if prog == nil {
 		return nil, errors.New("bsp: nil program")
 	}
-	w := cfg.Workers
-	if w <= 0 {
-		w = runtime.GOMAXPROCS(0)
-	}
-	if w > n {
-		w = n
-	}
 	if cfg.MaxSupersteps <= 0 {
 		cfg.MaxSupersteps = 1 << 20
 	}
-	return &Engine[M]{n: n, prog: prog, cfg: cfg, workers: w}, nil
+	var bounds []int32
+	if cfg.Plan.NumShards() > 0 {
+		p := cfg.Plan
+		S := p.NumShards()
+		bounds = make([]int32, S+1)
+		for i := 0; i < S; i++ {
+			lo, hi := p.Bounds(i)
+			if lo > hi {
+				return nil, fmt.Errorf("bsp: plan shard %d has inverted bounds [%d,%d)", i, lo, hi)
+			}
+			bounds[i] = lo
+			bounds[i+1] = hi
+		}
+		if bounds[0] != 0 || int(bounds[S]) != n {
+			return nil, fmt.Errorf("bsp: plan covers [%d,%d), want [0,%d)", bounds[0], bounds[S], n)
+		}
+	} else {
+		w := cfg.Workers
+		if w <= 0 {
+			w = runtime.GOMAXPROCS(0)
+		}
+		if w > n {
+			w = n
+		}
+		bounds = make([]int32, w+1)
+		for i := 0; i <= w; i++ {
+			bounds[i] = int32(i * n / w)
+		}
+	}
+	e := &Engine[M]{n: n, prog: prog, cfg: cfg, bounds: bounds, S: len(bounds) - 1}
+	e.comb, _ = prog.(Combiner[M])
+	return e, nil
+}
+
+// Shards returns the number of worker shards the engine runs with.
+func (e *Engine[M]) Shards() int { return e.S }
+
+// SetTransport replaces the default in-process Loopback with a custom
+// transport (the multi-host seam). Must be called before Run. The
+// batches handed to Send are owned by the engine and reused after the
+// next superstep's barrier — a remote transport must copy or serialize
+// them inside Send.
+func (e *Engine[M]) SetTransport(t Transport[M]) { e.tr = t }
+
+// init allocates the reusable engine state on first Run.
+func (e *Engine[M]) init() {
+	if e.initialized {
+		return
+	}
+	e.initialized = true
+	if e.tr == nil {
+		e.tr = NewLoopback[M](e.S)
+	}
+	e.active = make([]bool, e.n)
+	e.owner = make([]int32, e.n)
+	for s := 0; s < e.S; s++ {
+		for v := e.bounds[s]; v < e.bounds[s+1]; v++ {
+			e.owner[v] = int32(s)
+		}
+	}
+	e.ws = make([]workerState[M], e.S)
+	e.in = make([]inboxBuf[M], e.S)
+	e.nxt = make([]inboxBuf[M], e.S)
+	for s := 0; s < e.S; s++ {
+		rows := int(e.bounds[s+1] - e.bounds[s])
+		e.in[s] = inboxBuf[M]{off: make([]int32, rows+1), cur: make([]int32, rows)}
+		e.nxt[s] = inboxBuf[M]{off: make([]int32, rows+1), cur: make([]int32, rows)}
+		ws := &e.ws[s]
+		ws.out = make([][]Envelope[M], e.S)
+		if e.comb != nil {
+			ws.slot = make([]int32, e.n)
+			ws.slotEp = make([]uint32, e.n)
+		}
+		ws.send = e.makeSend(ws)
+	}
+}
+
+// makeSend builds worker ws's persistent send closure: destination
+// validation, sender-side combining, and per-(source,dest) batching.
+func (e *Engine[M]) makeSend(ws *workerState[M]) func(VertexID, M) {
+	return func(to VertexID, m M) {
+		if ws.err != nil {
+			return
+		}
+		t := int32(to)
+		if t < 0 || int(t) >= e.n {
+			ws.err = fmt.Errorf("bsp: sent to out-of-range vertex %d", to)
+			return
+		}
+		ws.sends++
+		d := e.owner[t]
+		if e.comb != nil {
+			if ws.slotEp[t] == ws.epoch {
+				b := ws.out[d]
+				i := ws.slot[t]
+				b[i].Msg = e.comb.Combine(b[i].Msg, m)
+				ws.hits++
+				return
+			}
+			ws.slotEp[t] = ws.epoch
+			ws.slot[t] = int32(len(ws.out[d]))
+		}
+		ws.out[d] = append(ws.out[d], Envelope[M]{To: to, Msg: m})
+	}
 }
 
 // Run executes supersteps until every vertex halts with no messages in
-// flight, or MaxSupersteps is exceeded (an error).
+// flight, or MaxSupersteps is exceeded (an error). Run may be called
+// repeatedly; the engine reuses its message buffers, so steady-state
+// supersteps are allocation-free once capacities have grown.
 func (e *Engine[M]) Run() (*Stats, error) {
-	// Partition: vertex v belongs to worker v % workers (hash
-	// partitioning on dense ids), implemented by the strided loops below.
-	active := make([]bool, e.n)
-	for i := range active {
-		active[i] = true
+	e.init()
+	for v := range e.active {
+		e.active[v] = true
 	}
-	inboxes := make([][]message[M], e.n)
+	for s := 0; s < e.S; s++ {
+		ws := &e.ws[s]
+		ws.err, ws.sends, ws.hits = nil, 0, 0
+		clear(e.in[s].off)
+		clear(e.nxt[s].off)
+		// A previous Run that aborted between its send and fill phases
+		// may have left undelivered batches in the transport; drain them
+		// so they cannot surface as phantom superstep-0 messages.
+		if _, err := e.tr.Recv(0, s); err != nil {
+			return nil, err
+		}
+	}
+	activeCnt := e.n
+	pending := int64(0)
+
+	if e.S > 1 {
+		e.cmds = make([]chan wcmd, e.S)
+		e.done = make(chan struct{}, e.S)
+		for s := 0; s < e.S; s++ {
+			e.cmds[s] = make(chan wcmd, 1)
+			go e.worker(s)
+		}
+		defer func() {
+			for s := 0; s < e.S; s++ {
+				close(e.cmds[s])
+			}
+		}()
+	}
 
 	stats := &Stats{}
 	for step := 0; ; step++ {
+		if activeCnt == 0 && pending == 0 {
+			break
+		}
 		if step >= e.cfg.MaxSupersteps {
 			return stats, fmt.Errorf("bsp: exceeded %d supersteps without converging", e.cfg.MaxSupersteps)
 		}
-		// Determine the compute set.
-		var anyActive bool
-		for v := 0; v < e.n; v++ {
-			if len(inboxes[v]) > 0 {
-				active[v] = true
-			}
-			if active[v] {
-				anyActive = true
-			}
-		}
-		if !anyActive {
-			break
-		}
-
-		// outPer[w] collects messages produced by worker w, in send
-		// order — deterministic because each worker owns fixed vertices
-		// scanned in id order.
-		outPer := make([][]message[M], e.workers)
-		errs := make([]error, e.workers)
-		computed := make([]int, e.workers)
-		var wg sync.WaitGroup
-		for w := 0; w < e.workers; w++ {
-			wg.Add(1)
-			go func(w int) {
-				defer wg.Done()
-				var seq int32
-				for v := w; v < e.n; v += e.workers {
-					if !active[v] {
-						continue
-					}
-					inbox := e.deliverOrder(inboxes[v], step)
-					vid := VertexID(v)
-					var sendErr error
-					halt := e.prog.Compute(step, vid, inbox, func(to VertexID, m M) {
-						if to < 0 || int(to) >= e.n {
-							sendErr = fmt.Errorf("bsp: vertex %d sent to out-of-range vertex %d", vid, to)
-							return
-						}
-						outPer[w] = append(outPer[w], message[M]{from: vid, seq: seq, to: to, m: m})
-						seq++
-					})
-					if sendErr != nil {
-						errs[w] = sendErr
-						return
-					}
-					active[v] = !halt
-					computed[w]++
-				}
-			}(w)
-		}
-		wg.Wait()
-		for _, err := range errs {
-			if err != nil {
+		e.phase(wcmd{step: int32(step), kind: 0})
+		for s := 0; s < e.S; s++ {
+			if err := e.ws[s].err; err != nil {
 				return stats, err
 			}
 		}
-
-		// Route messages into next-superstep inboxes.
-		for v := range inboxes {
-			inboxes[v] = nil
-		}
+		e.phase(wcmd{step: int32(step), kind: 1})
 		var delivered int64
-		for w := 0; w < e.workers; w++ {
-			for _, msg := range outPer[w] {
-				inboxes[msg.to] = append(inboxes[msg.to], msg)
-				delivered++
+		computed := 0
+		for s := 0; s < e.S; s++ {
+			ws := &e.ws[s]
+			if ws.err != nil {
+				return stats, ws.err
 			}
+			delivered += ws.delivered
+			computed += ws.computed
+			activeCnt += ws.delta
 		}
+		e.in, e.nxt = e.nxt, e.in
+		pending = delivered
 		stats.Messages += delivered
-		totalComputed := 0
-		for _, c := range computed {
-			totalComputed += c
-		}
-		stats.ActivePerStep = append(stats.ActivePerStep, totalComputed)
+		stats.ActivePerStep = append(stats.ActivePerStep, computed)
 		stats.Supersteps++
+	}
+	for s := 0; s < e.S; s++ {
+		stats.Sends += e.ws[s].sends
+		stats.CombinerHits += e.ws[s].hits
 	}
 	return stats, nil
 }
 
-// deliverOrder produces the inbox payloads in canonical (sender, seq) order,
-// or shuffled when chaos is enabled.
-func (e *Engine[M]) deliverOrder(msgs []message[M], step int) []M {
-	if len(msgs) == 0 {
-		return nil
+// phase runs one barrier-delimited phase on every shard — inline when
+// single-sharded, via the persistent workers otherwise.
+func (e *Engine[M]) phase(c wcmd) {
+	if e.S == 1 {
+		e.runPhase(0, c)
+		return
 	}
-	sorted := make([]message[M], len(msgs))
-	copy(sorted, msgs)
-	sort.Slice(sorted, func(i, j int) bool {
-		if sorted[i].from != sorted[j].from {
-			return sorted[i].from < sorted[j].from
+	for s := 0; s < e.S; s++ {
+		e.cmds[s] <- c
+	}
+	for s := 0; s < e.S; s++ {
+		<-e.done
+	}
+}
+
+// worker is the persistent goroutine driving shard s, one phase per
+// command. It exits when the command channel closes at the end of Run.
+func (e *Engine[M]) worker(s int) {
+	for c := range e.cmds[s] {
+		e.runPhase(s, c)
+		e.done <- struct{}{}
+	}
+}
+
+func (e *Engine[M]) runPhase(s int, c wcmd) {
+	if c.kind == 0 {
+		e.computeShard(s, int(c.step))
+	} else {
+		e.fillShard(s, int(c.step))
+	}
+}
+
+// computeShard runs the superstep's compute over shard s's rows and
+// hands the resulting per-destination batches to the transport. Eligible
+// vertices (active, or holding messages) are scanned in ascending row
+// order, so the shard's emission stream is in canonical (sender, seq)
+// order by construction.
+func (e *Engine[M]) computeShard(s, step int) {
+	ws := &e.ws[s]
+	ws.epoch++
+	ws.computed, ws.delta = 0, 0
+	for d := range ws.out {
+		ws.out[d] = ws.out[d][:0]
+	}
+	in := &e.in[s]
+	lo, hi := e.bounds[s], e.bounds[s+1]
+	chaos := e.cfg.Chaos
+	for v := lo; v < hi; v++ {
+		i0, i1 := in.off[v-lo], in.off[v-lo+1]
+		if !e.active[v] && i0 == i1 {
+			continue
 		}
-		return sorted[i].seq < sorted[j].seq
-	})
-	if e.cfg.Chaos != nil && e.cfg.Chaos.ShuffleInbox {
-		rng := rand.New(rand.NewPCG(e.cfg.Chaos.Seed, uint64(step)<<32|uint64(sorted[0].to)))
-		rng.Shuffle(len(sorted), func(i, j int) { sorted[i], sorted[j] = sorted[j], sorted[i] })
+		inbox := in.msgs[i0:i1:i1]
+		if chaos != nil && chaos.ShuffleInbox && len(inbox) > 1 {
+			rng := rand.New(rand.NewPCG(chaos.Seed, uint64(step)<<32|uint64(uint32(v))))
+			rng.Shuffle(len(inbox), func(i, j int) { inbox[i], inbox[j] = inbox[j], inbox[i] })
+		}
+		halt := e.prog.Compute(step, VertexID(v), inbox, ws.send)
+		if ws.err != nil {
+			return
+		}
+		if halt == e.active[v] { // state flips
+			if halt {
+				ws.delta--
+			} else {
+				ws.delta++
+			}
+		}
+		e.active[v] = !halt
+		ws.computed++
 	}
-	out := make([]M, len(sorted))
-	for i, m := range sorted {
-		out[i] = m.m
+	for d := 0; d < e.S; d++ {
+		if len(ws.out[d]) == 0 {
+			continue
+		}
+		if err := e.tr.Send(step, s, d, ws.out[d]); err != nil {
+			ws.err = err
+			return
+		}
 	}
-	return out
+}
+
+// fillShard builds shard d's next-superstep inbox from the transport's
+// batches: a counting pass over the envelopes, a prefix sum into the
+// per-vertex offsets, then the fill — batches in ascending source-shard
+// order, envelopes in emission order, which concatenates to the
+// canonical (sender, seq) delivery order without any sort. All buffers
+// are reused; steady-state supersteps allocate nothing here.
+func (e *Engine[M]) fillShard(d, step int) {
+	ws := &e.ws[d]
+	ws.delivered = 0
+	batches, err := e.tr.Recv(step, d)
+	if err != nil {
+		ws.err = err
+		return
+	}
+	chaos := e.cfg.Chaos
+	if chaos != nil && chaos.StallBatches && len(batches) > 1 {
+		rng := rand.New(rand.NewPCG(chaos.Seed^0x57A11ED, uint64(step)<<32|uint64(uint32(d))))
+		rng.Shuffle(len(batches), func(i, j int) { batches[i], batches[j] = batches[j], batches[i] })
+	}
+	nb := &e.nxt[d]
+	lo := e.bounds[d]
+	rows := int(e.bounds[d+1] - lo)
+	off := nb.off
+	clear(off)
+	total := 0
+	for _, bt := range batches {
+		total += len(bt)
+		for i := range bt {
+			off[int32(bt[i].To)-lo+1]++
+		}
+	}
+	for i := 0; i < rows; i++ {
+		off[i+1] += off[i]
+	}
+	if cap(nb.msgs) < total {
+		nb.msgs = make([]M, total)
+	} else {
+		nb.msgs = nb.msgs[:total]
+	}
+	cur := nb.cur
+	copy(cur, off[:rows])
+	for _, bt := range batches {
+		for i := range bt {
+			r := int32(bt[i].To) - lo
+			nb.msgs[cur[r]] = bt[i].Msg
+			cur[r]++
+		}
+	}
+	ws.delivered = int64(total)
 }

@@ -1,0 +1,79 @@
+package bsp
+
+import "fmt"
+
+// Envelope is one routed message: a destination vertex and its payload.
+type Envelope[M any] struct {
+	To  VertexID
+	Msg M
+}
+
+// Transport moves one superstep's cross-shard message batches — the seam
+// where a network transport plugs in once shards live on separate hosts
+// (shard.Segment is the matching serializable placement unit).
+//
+// Contract: the engine calls Send during the compute phase, concurrently
+// for distinct source shards, once per non-empty (source, dest) pair;
+// then, after the superstep barrier, Recv concurrently for distinct
+// destination shards. Recv must return dst's batches in ascending
+// source-shard order (the engine's canonical delivery order) and forget
+// them — a batch is delivered exactly once. Batches are owned by the
+// engine and reused after the next barrier, so a remote implementation
+// must copy or serialize inside Send. At the start of every Run the
+// engine additionally calls Recv once per destination and discards the
+// result, draining batches a previously aborted run may have left
+// undelivered.
+type Transport[M any] interface {
+	Send(step, src, dst int, batch []Envelope[M]) error
+	Recv(step, dst int) ([][]Envelope[M], error)
+}
+
+// Loopback is the in-process Transport: batches move by reference
+// through a (source, dest) mailbox matrix. Send writes row src (each
+// source worker owns its row); Recv drains column dst after the barrier.
+// The per-destination collect buffers are reused, so steady-state
+// supersteps allocate nothing.
+type Loopback[M any] struct {
+	shards int
+	slots  [][][]Envelope[M] // [src][dst] -> batch
+	recv   [][][]Envelope[M] // [dst] reusable collect scratch
+}
+
+// NewLoopback creates a loopback transport for the given shard count.
+func NewLoopback[M any](shards int) *Loopback[M] {
+	l := &Loopback[M]{shards: shards}
+	l.slots = make([][][]Envelope[M], shards)
+	l.recv = make([][][]Envelope[M], shards)
+	for i := range l.slots {
+		l.slots[i] = make([][]Envelope[M], shards)
+		l.recv[i] = make([][]Envelope[M], 0, shards)
+	}
+	return l
+}
+
+// Send records src's batch for dst. Safe for concurrent use across
+// distinct src values.
+func (l *Loopback[M]) Send(step, src, dst int, batch []Envelope[M]) error {
+	if src < 0 || src >= l.shards || dst < 0 || dst >= l.shards {
+		return fmt.Errorf("bsp: loopback send %d->%d outside %d shards", src, dst, l.shards)
+	}
+	l.slots[src][dst] = batch
+	return nil
+}
+
+// Recv drains and returns dst's batches in ascending source order. Safe
+// for concurrent use across distinct dst values.
+func (l *Loopback[M]) Recv(step, dst int) ([][]Envelope[M], error) {
+	if dst < 0 || dst >= l.shards {
+		return nil, fmt.Errorf("bsp: loopback recv for shard %d outside %d shards", dst, l.shards)
+	}
+	out := l.recv[dst][:0]
+	for src := 0; src < l.shards; src++ {
+		if b := l.slots[src][dst]; len(b) > 0 {
+			out = append(out, b)
+			l.slots[src][dst] = nil
+		}
+	}
+	l.recv[dst] = out
+	return out, nil
+}

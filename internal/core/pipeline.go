@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"shoal/internal/bipartite"
+	"shoal/internal/bsp"
 	"shoal/internal/catcorr"
 	"shoal/internal/dendrogram"
 	"shoal/internal/describe"
@@ -48,7 +49,13 @@ type Config struct {
 	// Results are byte-identical for every value; recorded in
 	// /api/stats. Per-stage overrides (Graph.Shards, HAC.Shards) win
 	// when set.
-	Shards   int
+	Shards int
+	// BSP routes clustering diffusion through the shard-native BSP
+	// engine (internal/bsp) — the distributed execution model — instead
+	// of the shared-memory scans. Output is byte-identical either way;
+	// the engine profile is recorded in Build.BSPStats and /api/stats.
+	// Equivalent to setting HAC.UseBSP.
+	BSP      bool
 	Word2Vec word2vec.Config
 	Graph    entitygraph.Config
 	// HAC also carries the frontier-pruned diffusion knob
@@ -92,9 +99,13 @@ type Build struct {
 	// with (Graph.NumShards() — per-stage overrides and tiny-graph
 	// clamping included), recorded by the entity-graph stage.
 	Shards       int
-	Embeddings   *word2vec.Model
-	Dendrogram   *dendrogram.Dendrogram
-	Rounds       []phac.RoundStat
+	Embeddings *word2vec.Model
+	Dendrogram *dendrogram.Dendrogram
+	Rounds     []phac.RoundStat
+	// BSPStats is the aggregated BSP engine profile across clustering
+	// rounds when the BSP path ran (Config.BSP / HAC.UseBSP); nil
+	// otherwise. Reported by /api/stats.
+	BSPStats *bsp.Stats
 	Taxonomy     *taxonomy.Taxonomy
 	Descriptions []describe.Description
 	Correlations *catcorr.Graph
@@ -152,6 +163,9 @@ func run(ctx context.Context, corpus *model.Corpus, clicks *bipartite.Graph, cfg
 	}
 	if cfg.HAC.Shards <= 0 {
 		cfg.HAC.Shards = cfg.Shards
+	}
+	if cfg.BSP {
+		cfg.HAC.UseBSP = true
 	}
 	b := &Build{Corpus: corpus, Clicks: clicks}
 	eng, err := NewEngine(pipelineStages(cfg, clicks != nil)...)
@@ -232,6 +246,7 @@ func pipelineStages(cfg Config, externalClicks bool) []Stage {
 			}
 			b.Dendrogram = res.Dendrogram
 			b.Rounds = res.Rounds
+			b.BSPStats = res.BSP
 			return nil
 		}),
 		StageFunc("taxonomy", []string{"parallel-hac"}, func(ctx context.Context, b *Build) error {
@@ -263,6 +278,11 @@ func pipelineStages(cfg Config, externalClicks bool) []Stage {
 	)
 	return stages
 }
+
+// SearchDocs builds the per-topic search documents exactly as the
+// search-index stage does — exported for callers that reconstruct a
+// Searcher outside the pipeline (e.g. the bench fixture cache).
+func (b *Build) SearchDocs(tokenCap int) [][]string { return b.searchDocs(tokenCap) }
 
 // searchDocs builds the per-topic search documents: description queries,
 // member query texts, category names, and member title tokens, each doc

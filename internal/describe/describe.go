@@ -110,6 +110,14 @@ func Describe(ctx context.Context, tx *taxonomy.Taxonomy, corpus *model.Corpus, 
 	scorer := idx.NewScorer()
 	defer scorer.Close()
 
+	// Candidate token cache: a query that clicks into many topics is a
+	// candidate for each of them, but its text never changes — tokenize
+	// it once on first sight and reuse the slice across topics. Indexed
+	// by dense query id; the nil/empty distinction is carried by a seen
+	// mark so empty token lists are cached too.
+	qToks := make([][]string, len(corpus.Queries))
+	qSeen := make([]bool, len(corpus.Queries))
+
 	out := make([]Description, 0, k)
 	for t := range tx.Topics {
 		if t%64 == 0 {
@@ -129,7 +137,11 @@ func Describe(ctx context.Context, tx *taxonomy.Taxonomy, corpus *model.Corpus, 
 		ranked := make([]scored, 0, len(cands))
 		for _, c := range cands {
 			qText := corpus.Queries[c.query].Text
-			qToks := textutil.TokenizeFiltered(qText)
+			if !qSeen[c.query] {
+				qSeen[c.query] = true
+				qToks[c.query] = textutil.TokenizeFiltered(qText)
+			}
+			toks := qToks[c.query]
 
 			// Popularity.
 			pop := 0.0
@@ -146,7 +158,7 @@ func Describe(ctx context.Context, tx *taxonomy.Taxonomy, corpus *model.Corpus, 
 			// summation order: float addition is not associative, so
 			// summing in an arbitrary order would make scores vary run
 			// to run.
-			rels := scorer.ScoreAll(qToks)
+			rels := scorer.ScoreAll(toks)
 			relK := 0.0
 			var den float64 = 1 // the "+1" of the formula
 			for _, h := range rels {

@@ -1,0 +1,132 @@
+package phac
+
+import (
+	"shoal/internal/bsp"
+)
+
+// clusterDiffusionProgram is one clustering round's diffusion+selection
+// as a BSP vertex program over the contracted CSR (dead rows are empty
+// and go quiet after superstep 0). It is the in-round twin of
+// diffusionProgram: max-combiner, changed-only sends, vote-to-halt —
+// plus the round-statistics side outputs (per-id edge counts and best
+// incident edge regardless of threshold) that selectLocalMaxima computes
+// during its init scan.
+type clusterDiffusionProgram struct {
+	offsets   []int32
+	nbrs      []int32
+	wts       []float64
+	rounds    int
+	threshold float64
+	know      []edgeRef
+	edgeCnt   []int64
+	bests     []edgeRef
+}
+
+// Combine is the sender-side max-fold (bsp.Combiner).
+func (p *clusterDiffusionProgram) Combine(acc, m edgeRef) edgeRef {
+	if better(m, acc) {
+		return m
+	}
+	return acc
+}
+
+func (p *clusterDiffusionProgram) Compute(step int, v bsp.VertexID, inbox []edgeRef, send func(bsp.VertexID, edgeRef)) bool {
+	u := int32(v)
+	rl, rh := p.offsets[u], p.offsets[u+1]
+	changed := false
+	if step == 0 {
+		best, bestAny := noEdge, noEdge
+		edges := int64(0)
+		for j := rl; j < rh; j++ {
+			nb, w := p.nbrs[j], p.wts[j]
+			if u < nb {
+				edges++
+			}
+			cand := mkEdgeRef(u, nb, w)
+			if better(cand, bestAny) {
+				bestAny = cand
+			}
+			if w < p.threshold {
+				continue
+			}
+			if better(cand, best) {
+				best = cand
+			}
+		}
+		p.know[u] = best
+		p.edgeCnt[u] = edges
+		p.bests[u] = bestAny
+		changed = best != noEdge
+	} else {
+		for _, m := range inbox {
+			if better(m, p.know[u]) {
+				p.know[u] = m
+				changed = true
+			}
+		}
+	}
+	if changed && step < p.rounds {
+		for j := rl; j < rh; j++ {
+			send(bsp.VertexID(p.nbrs[j]), p.know[u])
+		}
+		return false
+	}
+	return true
+}
+
+// selectLocalMaximaBSP is selectLocalMaxima routed through the BSP
+// engine: one engine run per clustering round over the current
+// contracted CSR, partitioned into st.shards row ranges. The selection,
+// round edge count and best similarity are byte-identical to the
+// shared-memory scans (max-exchange reaches the same fixed point under
+// any execution order); agg accumulates the engine profile across
+// rounds.
+func (st *state) selectLocalMaximaBSP(rounds int, threshold float64, agg *bsp.Stats) ([]edgeRef, int, float64, error) {
+	n := st.total
+	for len(st.bspKnow) < n {
+		st.bspKnow = append(st.bspKnow, noEdge)
+	}
+	prog := &clusterDiffusionProgram{
+		offsets:   st.offsets[:n+1],
+		nbrs:      st.nbrs,
+		wts:       st.wts,
+		rounds:    rounds,
+		threshold: threshold,
+		know:      st.bspKnow[:n],
+		edgeCnt:   st.edgeCnt[:n],
+		bests:     st.bests[:n],
+	}
+	eng, err := bsp.New[edgeRef](n, prog, bsp.Config{Workers: st.shards})
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	stats, err := eng.Run()
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	agg.Add(stats)
+
+	var activeEdges int64
+	globalBest := noEdge
+	for _, u := range st.aliveList() {
+		activeEdges += st.edgeCnt[u]
+		if better(st.bests[u], globalBest) {
+			globalBest = st.bests[u]
+		}
+	}
+	// Selection in ascending u order: keys come out canonically sorted
+	// without the sort the shared-memory path needs.
+	selected := st.selected[:0]
+	know := prog.know
+	for u := int32(0); int(u) < n; u++ {
+		e := know[u]
+		if e.U() != u || e.sim < threshold {
+			continue
+		}
+		if know[e.V()] == e {
+			selected = append(selected, e)
+		}
+	}
+	st.selected = selected
+	return selected, int(activeEdges), globalBest.sim, nil
+}

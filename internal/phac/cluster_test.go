@@ -10,6 +10,7 @@ import (
 	"shoal/internal/bsp"
 	"shoal/internal/dendrogram"
 	"shoal/internal/hac"
+	"shoal/internal/shard"
 	"shoal/internal/wgraph"
 )
 
@@ -325,15 +326,79 @@ func TestDiffuseBSPUnderChaos(t *testing.T) {
 		t.Fatal(err)
 	}
 	for seed := uint64(1); seed <= 4; seed++ {
-		got, err := DiffuseBSP(g, 2, 0.3, bsp.Config{
-			Workers: 3,
-			Chaos:   &bsp.Chaos{Seed: seed, ShuffleInbox: true},
-		})
+		for _, chaos := range []*bsp.Chaos{
+			{Seed: seed, ShuffleInbox: true},
+			{Seed: seed, StallBatches: true},
+			{Seed: seed, ShuffleInbox: true, StallBatches: true},
+		} {
+			got, err := DiffuseBSP(g, 2, 0.3, bsp.Config{Workers: 3, Chaos: chaos})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("chaos seed %d %+v changed diffusion result: %v vs %v", seed, chaos, got, want)
+			}
+		}
+	}
+}
+
+// Combiner + vote-to-halt must keep DiffuseBSP byte-identical under
+// adversarial delivery for every shard count × worker count × chaos seed
+// combination on larger random graphs — the acceptance matrix of the
+// shard-native engine.
+func TestDiffuseBSPChaosMatrix(t *testing.T) {
+	for gseed := uint64(1); gseed <= 3; gseed++ {
+		g := randomGraph(60, 150, gseed)
+		base := g.Freeze()
+		want, err := Diffuse(base, 2, 0.3, 1)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if !reflect.DeepEqual(want, got) {
-			t.Fatalf("chaos seed %d changed diffusion result: %v vs %v", seed, got, want)
+		for _, shards := range []int{1, 2, 5} {
+			sc := shard.Partition(base, shards)
+			for seed := uint64(1); seed <= 3; seed++ {
+				got, err := DiffuseBSP(sc, 2, 0.3, bsp.Config{
+					Chaos: &bsp.Chaos{Seed: seed, ShuffleInbox: true, StallBatches: true},
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(want, got) {
+					t.Fatalf("graph %d shards %d chaos %d: result changed", gseed, shards, seed)
+				}
+			}
+		}
+	}
+}
+
+// Routing every clustering round's diffusion through the BSP engine must
+// leave the clustering byte-identical, for any partition width.
+func TestClusterBSPMatches(t *testing.T) {
+	for seed := uint64(1); seed <= 4; seed++ {
+		g := randomGraph(70, 200, seed)
+		want, err := Cluster(context.Background(), g, nil, Config{StopThreshold: 0.25, DiffusionRounds: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, shards := range []int{1, 3} {
+			got, err := Cluster(context.Background(), g, nil, Config{
+				StopThreshold: 0.25, DiffusionRounds: 2, Shards: shards, UseBSP: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(want.Dendrogram, got.Dendrogram) {
+				t.Fatalf("seed %d shards %d: BSP clustering dendrogram differs", seed, shards)
+			}
+			if !reflect.DeepEqual(want.Rounds, got.Rounds) {
+				t.Fatalf("seed %d shards %d: BSP round stats differ: %v vs %v", seed, shards, want.Rounds, got.Rounds)
+			}
+			if got.BSP == nil || got.BSP.Supersteps == 0 {
+				t.Fatalf("seed %d shards %d: BSP stats not aggregated", seed, shards)
+			}
+			if want.BSP != nil {
+				t.Fatalf("seed %d: shared-memory run reported BSP stats", seed)
+			}
 		}
 	}
 }

@@ -328,45 +328,83 @@ func diffuseSharded(sc *shard.CSR, rounds int, threshold float64, density float6
 }
 
 // DiffuseBSP computes the same matching as Diffuse but runs the exchange
-// protocol on the Pregel-style BSP engine (internal/bsp) — the execution
-// model the paper deploys on ODPS. chaos may be nil.
+// protocol on the shard-native BSP engine (internal/bsp) — the execution
+// model the paper deploys on ODPS. The graph is partitioned by its
+// shard.Plan (a *shard.CSR keeps its own plan; anything else is
+// partitioned by cfg.Workers), each shard's topology is consumed through
+// its self-contained shard.Segment, and the program uses a max-combiner
+// with changed-only sends — yet the output is byte-identical to Diffuse
+// for every shard count, worker count and chaos seed (E9 and the
+// TestDiffuseBSP* family).
 func DiffuseBSP(g wgraph.View, rounds int, threshold float64, cfg bsp.Config) ([]Edge, error) {
+	sel, _, err := DiffuseBSPStats(g, rounds, threshold, cfg)
+	return sel, err
+}
+
+// DiffuseBSPStats is DiffuseBSP surfacing the engine's execution profile
+// (supersteps, messages, per-step active counts, combiner hit rate).
+func DiffuseBSPStats(g wgraph.View, rounds int, threshold float64, cfg bsp.Config) ([]Edge, *bsp.Stats, error) {
 	if g.NumNodes() == 0 {
-		return nil, fmt.Errorf("phac: empty graph")
+		return nil, nil, fmt.Errorf("phac: empty graph")
 	}
 	if rounds < 0 {
-		return nil, fmt.Errorf("phac: negative diffusion rounds %d", rounds)
+		return nil, nil, fmt.Errorf("phac: negative diffusion rounds %d", rounds)
+	}
+	sc, ok := g.(*shard.CSR)
+	if !ok {
+		sc = shard.Partition(wgraph.AsCSR(g), cfg.Workers)
+	}
+	if cfg.Plan.NumShards() == 0 {
+		cfg.Plan = sc.Plan()
 	}
 	prog := &diffusionProgram{
-		g:         wgraph.AsCSR(g),
+		segs:      sc.Segments(),
+		plan:      sc.Plan(),
 		rounds:    rounds,
 		threshold: threshold,
 		know:      make([]edgeRef, g.NumNodes()),
 	}
 	eng, err := bsp.New[edgeRef](g.NumNodes(), prog, cfg)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	if _, err := eng.Run(); err != nil {
-		return nil, err
+	stats, err := eng.Run()
+	if err != nil {
+		return nil, nil, err
 	}
-	return collectSelected(prog.know, threshold), nil
+	return collectSelected(prog.know, threshold), stats, nil
 }
 
-// diffusionProgram is the vertex-centric formulation: superstep 0
-// initializes each vertex with its best incident edge and broadcasts it;
-// supersteps 1..rounds fold the inbox maximum and re-broadcast. The fold is
-// order-independent, so the program is correct under chaotic delivery.
+// diffusionProgram is the vertex-centric formulation over per-shard
+// segments: superstep 0 initializes each vertex with its best incident
+// >= threshold edge and broadcasts it; supersteps 1..rounds fold the
+// inbox maximum and re-broadcast only when the fold changed the vertex's
+// known edge (every neighbor already folded the old value, and
+// max-exchange is monotone, so suppressed resends are provably
+// absorbing). A vertex with nothing new votes to halt and is reactivated
+// by the next incoming message. The fold is order-independent, so the
+// program is correct under chaotic delivery, and Combine gives the
+// engine the sender-side max-fold.
 type diffusionProgram struct {
-	g         *wgraph.CSR
+	segs      []*shard.Segment
+	plan      shard.Plan
 	rounds    int
 	threshold float64
 	know      []edgeRef
 }
 
+// Combine is the sender-side max-fold (bsp.Combiner).
+func (p *diffusionProgram) Combine(acc, m edgeRef) edgeRef {
+	if better(m, acc) {
+		return m
+	}
+	return acc
+}
+
 func (p *diffusionProgram) Compute(step int, v bsp.VertexID, inbox []edgeRef, send func(bsp.VertexID, edgeRef)) bool {
 	u := int32(v)
-	nbrs, wts := p.g.Row(u)
+	nbrs, wts := p.segs[p.plan.Find(u)].Row(u)
+	changed := false
 	if step == 0 {
 		best := noEdge
 		for i, nb := range nbrs {
@@ -380,14 +418,16 @@ func (p *diffusionProgram) Compute(step int, v bsp.VertexID, inbox []edgeRef, se
 			}
 		}
 		p.know[u] = best
+		changed = best != noEdge
 	} else {
 		for _, m := range inbox {
 			if better(m, p.know[u]) {
 				p.know[u] = m
+				changed = true
 			}
 		}
 	}
-	if step < p.rounds {
+	if changed && step < p.rounds {
 		for _, nb := range nbrs {
 			send(bsp.VertexID(nb), p.know[u])
 		}

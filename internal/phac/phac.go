@@ -38,6 +38,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"shoal/internal/bsp"
 	"shoal/internal/dendrogram"
 	"shoal/internal/wgraph"
 )
@@ -110,6 +111,13 @@ type Config struct {
 	MaxRounds int
 	// Linkage is the merge update rule; zero value is the paper's Eq. 4.
 	Linkage Linkage
+	// UseBSP routes every round's diffusion+selection through the
+	// shard-native BSP engine (internal/bsp) instead of the shared-memory
+	// scans — the execution model the paper deploys on ODPS. The
+	// clustering result is byte-identical either way (locked by
+	// TestClusterBSPMatches); Result.BSP carries the aggregated engine
+	// profile.
+	UseBSP bool
 }
 
 // DefaultConfig mirrors the paper: r=2, threshold 0.35.
@@ -157,6 +165,9 @@ type RoundStat struct {
 type Result struct {
 	Dendrogram *dendrogram.Dendrogram
 	Rounds     []RoundStat
+	// BSP is the aggregated engine profile across every clustering
+	// round's diffusion when Config.UseBSP is set; nil otherwise.
+	BSP *bsp.Stats
 }
 
 // edgeRef is a totally ordered reference to an edge: better means higher
@@ -212,6 +223,9 @@ func Cluster(ctx context.Context, g wgraph.View, sizes []int, cfg Config) (*Resu
 
 	st := newState(wgraph.AsCSR(g), sizes, cfg)
 	res := &Result{Dendrogram: &dendrogram.Dendrogram{Leaves: n}}
+	if cfg.UseBSP {
+		res.BSP = &bsp.Stats{}
+	}
 
 	for round := 0; ; round++ {
 		if err := ctx.Err(); err != nil {
@@ -220,7 +234,18 @@ func Cluster(ctx context.Context, g wgraph.View, sizes []int, cfg Config) (*Resu
 		if cfg.MaxRounds > 0 && round >= cfg.MaxRounds {
 			break
 		}
-		selected, activeEdges, bestSim := st.selectLocalMaxima(cfg.DiffusionRounds, cfg.Workers, cfg.StopThreshold)
+		var selected []edgeRef
+		var activeEdges int
+		var bestSim float64
+		if cfg.UseBSP {
+			var err error
+			selected, activeEdges, bestSim, err = st.selectLocalMaximaBSP(cfg.DiffusionRounds, cfg.StopThreshold, res.BSP)
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			selected, activeEdges, bestSim = st.selectLocalMaxima(cfg.DiffusionRounds, cfg.Workers, cfg.StopThreshold)
+		}
 		stat := RoundStat{
 			Round: round, ActiveClusters: st.aliveCount,
 			ActiveEdges: activeEdges, BestSim: bestSim, Selected: len(selected),
@@ -285,8 +310,15 @@ type state struct {
 	selected   []edgeRef // selection output, reused per round
 	mergeTo    []int32   // id -> new id this round, -1 otherwise
 	coef       []float64 // id -> Eq. 4 coefficient this round
-	deg        []int32   // degree/cursor scratch for CSR rebuild
-	dirty      []bool    // id -> adjacency changed this round (rebuild)
+	deg []int32 // degree/cursor scratch for CSR rebuild
+	// dirty stamps ids whose adjacency the current merge round changed:
+	// dirty[id] == dirtyEpoch means dirty. Marks are written inside the
+	// contribution-generation pass (which already walks every merged
+	// member's adjacency), so no separate marking scan exists; the epoch
+	// bump replaces the per-round clear.
+	dirty      []uint32
+	dirtyEpoch uint32
+	bspKnow    []edgeRef // per-id know scratch for the UseBSP path
 	perOwner   [][]contrib
 	perOwnerB  [][]contrib // minted-minted tail scratch per owner
 	bounds     []int32       // edge-balanced range scratch (diffusion + rebuild)
@@ -310,11 +342,15 @@ func newState(c *wgraph.CSR, sizes []int, cfg Config) *state {
 		cfg.FrontierDensity = defaultFrontierDensity
 	}
 	st := &state{
-		total:      n,
-		offsets:    offsets,
-		nbrs:       nbrs,
-		wts:        wts,
-		ownsCur:    false,
+		total:   n,
+		offsets: offsets,
+		nbrs:    nbrs,
+		wts:     wts,
+		ownsCur: false,
+		// dirtyEpoch starts above the zero value of fresh dirty stamps:
+		// before the first merge nothing is dirty, so round 0's frontier
+		// scatter must not see every zero stamp as a match.
+		dirtyEpoch: 1,
 		size:       make([]float64, n, 2*n),
 		alive:      make([]bool, n, 2*n),
 		aliveCount: n,
@@ -378,9 +414,10 @@ func (st *state) selectLocalMaxima(rounds, workers int, threshold float64) ([]ed
 		bounds = st.nodeRangeBounds(nodes)
 	}
 	// Repeated diffusion without an intervening merge (no dirty scratch
-	// yet) must see an all-clean dirty map, not an out-of-range one.
+	// yet) must see an all-clean dirty map, not an out-of-range one —
+	// fresh zero stamps never equal a positive dirtyEpoch.
 	for len(st.dirty) < st.total {
-		st.dirty = append(st.dirty, false)
+		st.dirty = append(st.dirty, 0)
 	}
 
 	// Init phase: best incident >= threshold edge per node, plus the
@@ -583,9 +620,10 @@ func (st *state) initDirty(nodes []int32, lo, hi int, threshold float64, init []
 	offsets, nbrs, wts := st.offsets, st.nbrs, st.wts
 	epoch := st.epoch
 	var cnt int64
+	dirtyEpoch := st.dirtyEpoch
 	for i := lo; i < hi; i++ {
 		u := nodes[i]
-		if !st.dirty[u] {
+		if st.dirty[u] != dirtyEpoch {
 			continue
 		}
 		best := noEdge
@@ -656,7 +694,7 @@ func (st *state) scatterFrontier(nodes []int32, lo, hi int, prevEpoch uint32) {
 			for j := offsets[u]; j < offsets[u+1]; j++ {
 				st.afMark[nbrs[j]] = epoch
 			}
-		} else if st.dirty[u] {
+		} else if st.dirty[u] == st.dirtyEpoch {
 			st.afMark[u] = epoch
 		}
 	}
@@ -675,7 +713,7 @@ func (st *state) scatterFrontierAtomic(nodes []int32, lo, hi int, prevEpoch uint
 			for j := offsets[u]; j < offsets[u+1]; j++ {
 				atomic.StoreUint32(&st.afMark[nbrs[j]], epoch)
 			}
-		} else if st.dirty[u] {
+		} else if st.dirty[u] == st.dirtyEpoch {
 			atomic.StoreUint32(&st.afMark[u], epoch)
 		}
 	}
@@ -809,11 +847,23 @@ func (st *state) mergeSelected(selected []edgeRef, round int, cfg Config, d *den
 	// the former full per-owner sort from the round. Old edges between
 	// two merged nodes are emitted by the owner of the smaller new id
 	// only (dedup).
+	//
+	// The pass also stamps the round's dirty rows for the rebuild and the
+	// next round's memoized diffusion: every visited neighbor (the walk
+	// covers both members' whole adjacency) plus the owner's minted row.
+	// Shared neighbors may be stamped by several owners — the stores all
+	// carry the same epoch, so atomic stores keep them deterministic —
+	// and the former serial marking pre-scan over the same rows is gone.
 	offsets, nbrs, wts := st.offsets, st.nbrs, st.wts
 	for len(st.perOwner) < len(selected) {
 		st.perOwner = append(st.perOwner, nil)
 		st.perOwnerB = append(st.perOwnerB, nil)
 	}
+	for len(st.dirty) < newTotal {
+		st.dirty = append(st.dirty, 0)
+	}
+	st.dirtyEpoch++
+	dirtyEpoch := st.dirtyEpoch
 	perOwner, perOwnerB := st.perOwner, st.perOwnerB
 	parallelIdx(len(selected), st.workers, func(i int) {
 		e := selected[i]
@@ -824,6 +874,7 @@ func (st *state) mergeSelected(selected []edgeRef, round int, cfg Config, d *den
 		jU, endU := offsets[eu], offsets[eu+1]
 		jV, endV := offsets[ev], offsets[ev+1]
 		wu, wv := st.coef[eu], st.coef[ev]
+		st.dirty[w] = dirtyEpoch // minted rows are always fresh
 		for jU < endU || jV < endV {
 			var member, nb int32
 			var wm, s float64
@@ -837,6 +888,7 @@ func (st *state) mergeSelected(selected []edgeRef, round int, cfg Config, d *den
 				member, nb, wm, s = ev, nbrs[jV], wv, wts[jV]
 				jV++
 			}
+			atomic.StoreUint32(&st.dirty[nb], dirtyEpoch)
 			mappedNb := st.mergeTo[nb]
 			if mappedNb < 0 {
 				oa, ob := canon(member, nb)
@@ -885,22 +937,6 @@ func (st *state) mergeSelected(selected []edgeRef, round int, cfg Config, d *den
 		st.bOffsets = append(st.bOffsets, 0)
 	}
 	bOffsets := st.bOffsets[:newTotal+1]
-	for len(st.dirty) < newTotal {
-		st.dirty = append(st.dirty, false)
-	}
-	dirty := st.dirty[:newTotal]
-	clear(dirty)
-	for _, e := range selected {
-		for _, member := range [2]int32{e.U(), e.V()} {
-			for j := offsets[member]; j < offsets[member+1]; j++ {
-				dirty[nbrs[j]] = true
-			}
-		}
-	}
-	for i := range selected {
-		dirty[base+int32(i)] = true // minted rows are always fresh
-	}
-
 	sharded := st.shards > 1 && newTotal >= 256
 	if sharded {
 		// Count per row range, balanced by old-row entries (minted rows
@@ -1126,7 +1162,7 @@ func (st *state) countRange(lo, hi int32, deg []int32, newEdges []wgraph.Edge) {
 	for u := lo; u < hi; u++ {
 		var d int32
 		if int(u) < st.total && st.mergeTo[u] < 0 {
-			if !st.dirty[u] {
+			if st.dirty[u] != st.dirtyEpoch {
 				d = offsets[u+1] - offsets[u]
 			} else {
 				for j := offsets[u]; j < offsets[u+1]; j++ {
@@ -1170,7 +1206,7 @@ func (st *state) fillRange(lo, hi int32, deg, bOffsets, bNbrs []int32, bWts []fl
 			continue
 		}
 		rl, rh := offsets[u], offsets[u+1]
-		if !st.dirty[u] {
+		if st.dirty[u] != st.dirtyEpoch {
 			if rl == rh {
 				continue
 			}

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"shoal/internal/bsp"
+	"shoal/internal/shard"
 	"shoal/internal/wgraph"
 )
 
@@ -181,12 +182,46 @@ func TestDiffuseBSPEquivalence(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			viaBSP, err := DiffuseBSP(g, r, 0.2, bsp.Config{Workers: 3})
+			for _, workers := range []int{1, 3, 8} {
+				viaBSP, err := DiffuseBSP(g, r, 0.2, bsp.Config{Workers: workers})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(direct, viaBSP) {
+					t.Fatalf("seed %d r=%d workers=%d: Diffuse=%v DiffuseBSP=%v", seed, r, workers, direct, viaBSP)
+				}
+			}
+		}
+	}
+}
+
+// The shard-partitioned engine must be byte-identical to Diffuse when
+// the input is a sharded CSR: placement follows the shard.Plan and the
+// topology is consumed through the per-shard Segments.
+func TestDiffuseBSPShardedEquivalence(t *testing.T) {
+	for seed := uint64(1); seed <= 4; seed++ {
+		g := randomGraph(80, 200, seed)
+		base := g.Freeze()
+		for _, r := range []int{0, 2, 6} {
+			direct, err := Diffuse(base, r, 0.2, 4)
 			if err != nil {
 				t.Fatal(err)
 			}
-			if !reflect.DeepEqual(direct, viaBSP) {
-				t.Fatalf("seed %d r=%d: Diffuse=%v DiffuseBSP=%v", seed, r, direct, viaBSP)
+			for _, shards := range []int{1, 2, 3, 7} {
+				sc := shard.Partition(base, shards)
+				viaBSP, stats, err := DiffuseBSPStats(sc, r, 0.2, bsp.Config{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(direct, viaBSP) {
+					t.Fatalf("seed %d r=%d shards=%d: Diffuse=%v DiffuseBSP=%v", seed, r, shards, direct, viaBSP)
+				}
+				if stats == nil || stats.Supersteps == 0 {
+					t.Fatalf("seed %d r=%d shards=%d: stats not populated", seed, r, shards)
+				}
+				if r >= 2 && shards > 1 && stats.CombinerHits == 0 {
+					t.Fatalf("seed %d r=%d shards=%d: max-combiner absorbed nothing", seed, r, shards)
+				}
 			}
 		}
 	}

@@ -141,6 +141,20 @@ type StageStat struct {
 	ElapsedMs float64 `json:"elapsedMs"`
 }
 
+// BSPStat is the BSP engine profile in the stats payload, present when
+// clustering diffusion ran on the shard-native BSP engine (core
+// Config.BSP): total supersteps and message counts across rounds, the
+// sender-side combiner hit rate, and the per-superstep active-vertex
+// trajectory (vote-to-halt makes it collapse as regions converge).
+type BSPStat struct {
+	Supersteps      int     `json:"supersteps"`
+	Messages        int64   `json:"messages"`
+	Sends           int64   `json:"sends"`
+	CombinerHits    int64   `json:"combinerHits"`
+	CombinerHitRate float64 `json:"combinerHitRate"`
+	ActivePerStep   []int   `json:"activePerStep"`
+}
+
 // Stats is the /api/stats payload.
 type Stats struct {
 	Items        int `json:"items"`
@@ -154,6 +168,7 @@ type Stats struct {
 	// was partitioned into (core.Config.Shards).
 	Shards int         `json:"shards"`
 	Swaps  int64       `json:"swaps"`
+	BSP    *BSPStat    `json:"bsp,omitempty"`
 	Stages []StageStat `json:"stages"`
 }
 
@@ -274,6 +289,16 @@ func (h *Handler) stats(w http.ResponseWriter, r *http.Request) {
 	}
 	if b.Correlations != nil {
 		out.Correlations = len(b.Correlations.Pairs())
+	}
+	if b.BSPStats != nil {
+		out.BSP = &BSPStat{
+			Supersteps:      b.BSPStats.Supersteps,
+			Messages:        b.BSPStats.Messages,
+			Sends:           b.BSPStats.Sends,
+			CombinerHits:    b.BSPStats.CombinerHits,
+			CombinerHitRate: b.BSPStats.CombinerHitRate(),
+			ActivePerStep:   b.BSPStats.ActivePerStep,
+		}
 	}
 	for _, st := range b.StageTimings {
 		out.Stages = append(out.Stages, StageStat{

@@ -368,3 +368,47 @@ func TestMethodNotAllowed(t *testing.T) {
 		t.Fatalf("POST status = %d, want 405", resp.StatusCode)
 	}
 }
+
+// A build whose clustering ran on the BSP engine must surface the engine
+// profile in /api/stats; builds from the shared-memory path must omit it.
+func TestStatsBSPSection(t *testing.T) {
+	srv := newServer(t)
+	var stats Stats
+	if code := getJSON(t, srv.URL+"/api/stats", &stats); code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if stats.BSP != nil {
+		t.Fatalf("shared-memory build surfaced BSP stats: %+v", stats.BSP)
+	}
+
+	cfg := core.DefaultConfig()
+	cfg.Word2Vec.Epochs = 1
+	cfg.Word2Vec.MinCount = 1
+	cfg.Graph.MinSimilarity = 0.2
+	cfg.HAC.StopThreshold = 0.12
+	cfg.Taxonomy.Levels = []float64{0.12, 0.4}
+	cfg.CatCorr.MinStrength = 0
+	cfg.BSP = true
+	b, err := core.Run(synth.Curated(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := NewHandler(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bsrv := httptest.NewServer(h)
+	defer bsrv.Close()
+	if code := getJSON(t, bsrv.URL+"/api/stats", &stats); code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if stats.BSP == nil {
+		t.Fatal("BSP build did not surface engine stats")
+	}
+	if stats.BSP.Supersteps <= 0 || stats.BSP.Sends <= 0 || len(stats.BSP.ActivePerStep) == 0 {
+		t.Fatalf("implausible BSP stats: %+v", stats.BSP)
+	}
+	if stats.BSP.CombinerHitRate < 0 || stats.BSP.CombinerHitRate > 1 {
+		t.Fatalf("combiner hit rate out of range: %+v", stats.BSP)
+	}
+}

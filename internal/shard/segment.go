@@ -1,0 +1,308 @@
+package shard
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"slices"
+	"sort"
+)
+
+// Segment is a self-contained, serializable unit of one shard: the
+// shard's local CSR rows, the ghost-neighbor id table (every neighbor id
+// owned by another shard), and the placement header (shard id plus the
+// full plan bounds). A segment carries everything a remote host needs to
+// run vertex programs over its rows — local topology, the global row
+// partition for routing messages, and the ghost table naming the foreign
+// vertices it will message — so shard.Plan is the unit of BSP placement
+// (ROADMAP "Multi-host BSP over shards").
+//
+// Encode/Decode is a deterministic binary format: encoding the same
+// segment always yields the same bytes, and Encode(Decode(b)) == b for
+// every valid b (locked by TestSegmentRoundTrip and FuzzSegmentDecode).
+type Segment struct {
+	// ShardID is this segment's index in the plan.
+	ShardID int32
+	// Bounds is the full plan header: row bounds of every shard
+	// (len NumShards+1, Bounds[0] == 0, last == total rows). Kept whole
+	// so a segment alone can route any destination vertex to its owner.
+	Bounds []int32
+	// Offsets are the local row offsets: Offsets[0] == 0 and row u
+	// (global id, Lo() <= u < Hi()) spans entries
+	// [Offsets[u-Lo()], Offsets[u-Lo()+1]).
+	Offsets []int32
+	// Nbrs holds global neighbor ids, ascending within each row.
+	Nbrs []int32
+	// Wts are the parallel edge weights (bit-exact across round trips).
+	Wts []float64
+	// Ghosts is the sorted, de-duplicated table of neighbor ids owned by
+	// other shards — the vertices this shard sends cross-shard messages
+	// to. Every out-of-range id in Nbrs appears here.
+	Ghosts []int32
+}
+
+// NumShards returns the plan width recorded in the header.
+func (s *Segment) NumShards() int { return len(s.Bounds) - 1 }
+
+// Lo returns the first row owned by the segment.
+func (s *Segment) Lo() int32 { return s.Bounds[s.ShardID] }
+
+// Hi returns one past the last row owned by the segment.
+func (s *Segment) Hi() int32 { return s.Bounds[s.ShardID+1] }
+
+// NumNodes returns the global row count recorded in the plan header.
+func (s *Segment) NumNodes() int { return int(s.Bounds[len(s.Bounds)-1]) }
+
+// Plan reconstructs the placement plan from the header.
+func (s *Segment) Plan() Plan { return Plan{bounds: s.Bounds} }
+
+// Row returns the adjacency of global row u, which must be owned by the
+// segment (Lo() <= u < Hi()). Zero-copy views.
+func (s *Segment) Row(u int32) ([]int32, []float64) {
+	lo := s.Lo()
+	j0, j1 := s.Offsets[u-lo], s.Offsets[u-lo+1]
+	return s.Nbrs[j0:j1], s.Wts[j0:j1]
+}
+
+// Segments returns one self-contained Segment per shard of the plan.
+// Nbrs/Wts alias the base CSR arrays (zero copy); Offsets are localized
+// and Ghosts computed on first call, then cached — segments are
+// immutable views, safe for concurrent use like the CSR itself.
+func (s *CSR) Segments() []*Segment {
+	s.segOnce.Do(s.initSegments)
+	return s.segs
+}
+
+func (s *CSR) initSegments() {
+	offsets, nbrs, wts := s.base.Adj()
+	p := s.plan
+	s.segs = make([]*Segment, p.NumShards())
+	bounds := append([]int32(nil), p.bounds...) // one shared immutable copy
+	for i := range s.segs {
+		lo, hi := p.Bounds(i)
+		local := make([]int32, hi-lo+1)
+		for u := lo; u <= hi; u++ {
+			local[u-lo] = offsets[u] - offsets[lo]
+		}
+		seg := &Segment{
+			ShardID: int32(i),
+			Bounds:  bounds,
+			Offsets: local,
+			Nbrs:    nbrs[offsets[lo]:offsets[hi]],
+			Wts:     wts[offsets[lo]:offsets[hi]],
+		}
+		var ghosts []int32
+		for _, v := range seg.Nbrs {
+			if v < lo || v >= hi {
+				ghosts = append(ghosts, v)
+			}
+		}
+		slices.Sort(ghosts)
+		seg.Ghosts = slices.Compact(ghosts)
+		s.segs[i] = seg
+	}
+}
+
+// segMagic identifies the segment wire format; the trailing byte is the
+// format version (bump for incompatible changes).
+var segMagic = [4]byte{'S', 'S', 'G', '1'}
+
+// Encode serializes the segment into the deterministic little-endian
+// binary form. The layout is fixed — magic, shard id, plan bounds, local
+// offsets, neighbor ids, weight bits, ghost table — so equal segments
+// always encode to equal bytes and Encode∘Decode is the identity on
+// valid encodings.
+func (s *Segment) Encode() []byte {
+	rows := int(s.Hi() - s.Lo())
+	size := 4 + 4 + 4 + len(s.Bounds)*4 + // magic, shardID, numShards, bounds
+		4 + (rows+1)*4 + // rows, offsets
+		4 + len(s.Nbrs)*4 + len(s.Wts)*8 + // entries, nbrs, wts
+		4 + len(s.Ghosts)*4 // nghosts, ghosts
+	out := make([]byte, 0, size)
+	out = append(out, segMagic[:]...)
+	out = binary.LittleEndian.AppendUint32(out, uint32(s.ShardID))
+	out = binary.LittleEndian.AppendUint32(out, uint32(s.NumShards()))
+	for _, b := range s.Bounds {
+		out = binary.LittleEndian.AppendUint32(out, uint32(b))
+	}
+	out = binary.LittleEndian.AppendUint32(out, uint32(rows))
+	for _, o := range s.Offsets {
+		out = binary.LittleEndian.AppendUint32(out, uint32(o))
+	}
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(s.Nbrs)))
+	for _, v := range s.Nbrs {
+		out = binary.LittleEndian.AppendUint32(out, uint32(v))
+	}
+	for _, w := range s.Wts {
+		out = binary.LittleEndian.AppendUint64(out, math.Float64bits(w))
+	}
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(s.Ghosts)))
+	for _, g := range s.Ghosts {
+		out = binary.LittleEndian.AppendUint32(out, uint32(g))
+	}
+	return out
+}
+
+// segReader is a bounds-checked little-endian cursor over an encoding.
+type segReader struct {
+	data []byte
+	pos  int
+}
+
+func (r *segReader) u32() (uint32, error) {
+	if r.pos+4 > len(r.data) {
+		return 0, fmt.Errorf("shard: truncated segment at byte %d", r.pos)
+	}
+	v := binary.LittleEndian.Uint32(r.data[r.pos:])
+	r.pos += 4
+	return v, nil
+}
+
+// i32s reads n int32 values; n has already been validated against the
+// remaining length by count().
+func (r *segReader) i32s(n int) []int32 {
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(r.data[r.pos:]))
+		r.pos += 4
+	}
+	return out
+}
+
+// count reads a u32 element count and verifies the remaining buffer can
+// hold that many elements of the given width — so a hostile count can
+// never drive an allocation past the input size.
+func (r *segReader) count(width int, what string) (int, error) {
+	v, err := r.u32()
+	if err != nil {
+		return 0, err
+	}
+	n := int(v)
+	if n < 0 || n > (len(r.data)-r.pos)/width {
+		return 0, fmt.Errorf("shard: segment %s count %d exceeds input", what, n)
+	}
+	return n, nil
+}
+
+// DecodeSegment parses and validates one encoded segment. Every
+// structural invariant is checked — magic, plan monotonicity, shard id
+// range, offset monotonicity, neighbor ids in range and ascending per
+// row, ghost table sorted/unique/foreign and covering every out-of-range
+// neighbor — so a decoded segment is safe to compute over. Weights
+// round-trip bit-exactly.
+func DecodeSegment(data []byte) (*Segment, error) {
+	r := &segReader{data: data}
+	if len(data) < 4 || [4]byte(data[:4]) != segMagic {
+		return nil, fmt.Errorf("shard: bad segment magic")
+	}
+	r.pos = 4
+	shardID32, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	shardID := int32(shardID32)
+	nShards, err := r.count(4, "shard")
+	if err != nil {
+		return nil, err
+	}
+	if nShards < 1 {
+		return nil, fmt.Errorf("shard: segment plan has %d shards", nShards)
+	}
+	if len(data)-r.pos < (nShards+1)*4 {
+		return nil, fmt.Errorf("shard: truncated plan bounds")
+	}
+	bounds := r.i32s(nShards + 1)
+	if bounds[0] != 0 {
+		return nil, fmt.Errorf("shard: plan bounds start at %d, want 0", bounds[0])
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] < bounds[i-1] {
+			return nil, fmt.Errorf("shard: plan bounds not monotone at %d", i)
+		}
+	}
+	if shardID < 0 || int(shardID) >= nShards {
+		return nil, fmt.Errorf("shard: segment shard id %d out of range [0,%d)", shardID, nShards)
+	}
+	lo, hi := bounds[shardID], bounds[shardID+1]
+	n := bounds[nShards]
+
+	rows, err := r.count(4, "row")
+	if err != nil {
+		return nil, err
+	}
+	if int32(rows) != hi-lo {
+		return nil, fmt.Errorf("shard: segment row count %d != plan range %d", rows, hi-lo)
+	}
+	if len(data)-r.pos < (rows+1)*4 {
+		return nil, fmt.Errorf("shard: truncated offsets")
+	}
+	offsets := r.i32s(rows + 1)
+	if offsets[0] != 0 {
+		return nil, fmt.Errorf("shard: segment offsets start at %d, want 0", offsets[0])
+	}
+	for i := 1; i < len(offsets); i++ {
+		if offsets[i] < offsets[i-1] {
+			return nil, fmt.Errorf("shard: segment offsets not monotone at row %d", i-1)
+		}
+	}
+
+	entries, err := r.count(4+8, "entry")
+	if err != nil {
+		return nil, err
+	}
+	if int32(entries) != offsets[rows] {
+		return nil, fmt.Errorf("shard: segment entry count %d != offsets total %d", entries, offsets[rows])
+	}
+	nbrs := r.i32s(entries)
+	wts := make([]float64, entries)
+	for i := range wts {
+		wts[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[r.pos:]))
+		r.pos += 8
+	}
+	nGhosts, err := r.count(4, "ghost")
+	if err != nil {
+		return nil, err
+	}
+	ghosts := r.i32s(nGhosts)
+	if r.pos != len(data) {
+		return nil, fmt.Errorf("shard: %d trailing bytes after segment", len(data)-r.pos)
+	}
+
+	for i := 1; i < len(ghosts); i++ {
+		if ghosts[i] <= ghosts[i-1] {
+			return nil, fmt.Errorf("shard: ghost table not strictly ascending at %d", i)
+		}
+	}
+	for _, g := range ghosts {
+		if g < 0 || g >= n || (g >= lo && g < hi) {
+			return nil, fmt.Errorf("shard: ghost %d is not a foreign vertex", g)
+		}
+	}
+	for u := 0; u < rows; u++ {
+		prev := int32(-1)
+		for j := offsets[u]; j < offsets[u+1]; j++ {
+			v := nbrs[j]
+			if v < 0 || v >= n {
+				return nil, fmt.Errorf("shard: row %d neighbor %d out of range [0,%d)", int32(u)+lo, v, n)
+			}
+			if v <= prev {
+				return nil, fmt.Errorf("shard: row %d adjacency not strictly ascending", int32(u)+lo)
+			}
+			prev = v
+			if v < lo || v >= hi {
+				k := sort.Search(len(ghosts), func(i int) bool { return ghosts[i] >= v })
+				if k == len(ghosts) || ghosts[k] != v {
+					return nil, fmt.Errorf("shard: foreign neighbor %d missing from ghost table", v)
+				}
+			}
+		}
+	}
+	return &Segment{
+		ShardID: shardID,
+		Bounds:  bounds,
+		Offsets: offsets,
+		Nbrs:    nbrs,
+		Wts:     wts,
+		Ghosts:  ghosts,
+	}, nil
+}

@@ -1,0 +1,153 @@
+package shard
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"reflect"
+	"testing"
+
+	"shoal/internal/wgraph"
+)
+
+// randomSegGraph builds a random canonical edge list over n nodes.
+func randomSegGraph(t testing.TB, n, m int, seed uint64) *wgraph.CSR {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(seed, 0xE))
+	g := wgraph.New(n)
+	for i := 0; i < m; i++ {
+		u := int32(rng.IntN(n))
+		v := int32(rng.IntN(n))
+		if u == v {
+			continue
+		}
+		if err := g.SetEdge(u, v, 0.05+0.95*rng.Float64()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g.Freeze()
+}
+
+func TestSegmentRoundTrip(t *testing.T) {
+	for _, shards := range []int{1, 2, 3, 7} {
+		sc := Partition(randomSegGraph(t, 60, 240, uint64(shards)), shards)
+		segs := sc.Segments()
+		if len(segs) != sc.NumShards() {
+			t.Fatalf("shards=%d: %d segments", shards, len(segs))
+		}
+		for i, seg := range segs {
+			data := seg.Encode()
+			dec, err := DecodeSegment(data)
+			if err != nil {
+				t.Fatalf("shards=%d seg %d: decode: %v", shards, i, err)
+			}
+			if !reflect.DeepEqual(normalize(seg), normalize(dec)) {
+				t.Fatalf("shards=%d seg %d: decoded segment differs", shards, i)
+			}
+			re := dec.Encode()
+			if !bytes.Equal(data, re) {
+				t.Fatalf("shards=%d seg %d: re-encoding differs (%d vs %d bytes)", shards, i, len(data), len(re))
+			}
+			// Encoding is deterministic: a second encode of the original
+			// is byte-identical too.
+			if !bytes.Equal(data, seg.Encode()) {
+				t.Fatalf("shards=%d seg %d: Encode is not deterministic", shards, i)
+			}
+		}
+	}
+}
+
+// normalize maps nil and empty slices together: the wire format cannot
+// distinguish them and DeepEqual should not either.
+func normalize(s *Segment) *Segment {
+	c := *s
+	if len(c.Nbrs) == 0 {
+		c.Nbrs = nil
+	}
+	if len(c.Wts) == 0 {
+		c.Wts = nil
+	}
+	if len(c.Ghosts) == 0 {
+		c.Ghosts = nil
+	}
+	return &c
+}
+
+// Segments must agree with the base CSR row for row, and ghost tables
+// must name exactly the foreign neighbors.
+func TestSegmentsMatchBase(t *testing.T) {
+	base := randomSegGraph(t, 80, 300, 9)
+	sc := Partition(base, 4)
+	offsets, nbrs, wts := base.Adj()
+	for _, seg := range sc.Segments() {
+		for u := seg.Lo(); u < seg.Hi(); u++ {
+			sn, sw := seg.Row(u)
+			wantN := nbrs[offsets[u]:offsets[u+1]]
+			wantW := wts[offsets[u]:offsets[u+1]]
+			if !reflect.DeepEqual(append([]int32{}, sn...), append([]int32{}, wantN...)) {
+				t.Fatalf("row %d neighbors differ", u)
+			}
+			if !reflect.DeepEqual(append([]float64{}, sw...), append([]float64{}, wantW...)) {
+				t.Fatalf("row %d weights differ", u)
+			}
+			for _, v := range sn {
+				foreign := v < seg.Lo() || v >= seg.Hi()
+				inGhosts := false
+				for _, g := range seg.Ghosts {
+					if g == v {
+						inGhosts = true
+					}
+				}
+				if foreign != inGhosts {
+					t.Fatalf("row %d neighbor %d: foreign=%v ghost=%v", u, v, foreign, inGhosts)
+				}
+			}
+		}
+	}
+}
+
+func TestDecodeSegmentRejectsCorrupt(t *testing.T) {
+	sc := Partition(randomSegGraph(t, 30, 90, 3), 3)
+	good := sc.Segments()[1].Encode()
+	if _, err := DecodeSegment(nil); err == nil {
+		t.Fatal("nil input accepted")
+	}
+	if _, err := DecodeSegment(good[:len(good)-3]); err == nil {
+		t.Fatal("truncated input accepted")
+	}
+	if _, err := DecodeSegment(append(append([]byte{}, good...), 0)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+	bad := append([]byte{}, good...)
+	bad[0] = 'X'
+	if _, err := DecodeSegment(bad); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	// Flip the shard id past the plan width.
+	bad = append([]byte{}, good...)
+	bad[4] = 0xFF
+	if _, err := DecodeSegment(bad); err == nil {
+		t.Fatal("out-of-range shard id accepted")
+	}
+}
+
+// FuzzSegmentDecode drives DecodeSegment with arbitrary bytes: it must
+// never panic, and any input it accepts must re-encode byte-identically
+// (the round-trip invariant the BSP placement layer relies on).
+func FuzzSegmentDecode(f *testing.F) {
+	for _, shards := range []int{1, 2, 4} {
+		sc := Partition(randomSegGraph(f, 40, 160, uint64(shards)+11), shards)
+		for _, seg := range sc.Segments() {
+			f.Add(seg.Encode())
+		}
+	}
+	f.Add([]byte{'S', 'S', 'G', '1'})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		seg, err := DecodeSegment(data)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(seg.Encode(), data) {
+			t.Fatalf("accepted input does not round-trip byte-identically")
+		}
+	})
+}

@@ -160,6 +160,10 @@ type CSR struct {
 	plan   Plan
 	once   sync.Once
 	shards []Shard
+	// segOnce/segs lazily cache the serializable per-shard Segments
+	// (see segment.go) — derived immutable views, like shards above.
+	segOnce sync.Once
+	segs    []*Segment
 }
 
 var (
