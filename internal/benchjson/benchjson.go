@@ -134,6 +134,18 @@ func Run() ([]Result, error) {
 			_, err := phac.DiffuseBSP(base, 6, 0.12, bsp.Config{})
 			return err
 		}),
+		// Full clustering on the BSP engine (core -bsp): every merge
+		// round's diffusion served by one persistent engine rebound to
+		// each round's contracted CSR. Tracked next to phac-cluster so
+		// the derived phac-cluster-bsp-vs-shared ratio records the
+		// end-to-end cost of the distributed execution model, not just
+		// the standalone-diffusion gap.
+		"phac-cluster-bsp": record(func() error {
+			_, err := phac.Cluster(ctx, g, sizes, phac.Config{
+				StopThreshold: 0.12, DiffusionRounds: 2, UseBSP: true,
+			})
+			return err
+		}),
 	}
 	// Segment wire format: encode + decode every shard of a 4-way
 	// partition (the multi-host placement cost per shard hand-off).
@@ -214,13 +226,15 @@ func Run() ([]Result, error) {
 	// diffusion time at the same exchange budget (dimensionless, lower
 	// is better; 1.0 means the distributed twin matches the shared path).
 	// Committed in the trajectory so the gap is tracked PR over PR.
-	for _, r := range []int{2, 6} {
-		bspName := fmt.Sprintf("bsp-diffuse-r%d", r)
-		sharedName := fmt.Sprintf("diffuse-r%d", r)
-		if bb, ok := byName[bspName]; ok {
-			if sh, ok := byName[sharedName]; ok && sh.NsPerOp > 0 {
+	for _, pair := range [][2]string{
+		{"bsp-diffuse-r2", "diffuse-r2"},
+		{"bsp-diffuse-r6", "diffuse-r6"},
+		{"phac-cluster-bsp", "phac-cluster"},
+	} {
+		if bb, ok := byName[pair[0]]; ok {
+			if sh, ok := byName[pair[1]]; ok && sh.NsPerOp > 0 {
 				out = append(out, Result{
-					Name:    bspName + "-vs-shared",
+					Name:    pair[0] + "-vs-shared",
 					NsPerOp: bb.NsPerOp / sh.NsPerOp,
 				})
 			}
@@ -268,13 +282,32 @@ func ReadFile(path string) ([]Result, error) {
 // can never come back silently.
 const VsSerialCeiling = 1.10
 
+// BspVsSharedCeiling is the hard ceiling for the bsp-diffuse-*-vs-shared
+// derived ratios: BSP-engine diffusion time over shared-memory diffusion
+// time at the same exchange budget. A ratio at or above it means the
+// distributed execution model has fallen behind the shared path by more
+// than the accepted envelope, which the gate fails outright — the PR-6
+// gap-closing work (persistent engines across rounds, O(frontier)
+// combiner scratch, dense-mode inbox scans) brought the ratios to
+// ~1.2-1.25, and this ceiling keeps the gap from silently reopening
+// toward the ~2x it started at. The ceiling deliberately covers only the
+// diffusion ratios: phac-cluster-bsp-vs-shared compares against a shared
+// path with cross-round frontier memoization the per-round BSP model
+// recomputes by design, so it is tracked by the relative trajectory gate
+// instead. Like VsSerialCeiling, the effective ceiling widens to
+// 1 + threshold when the gate runs with a larger relative tolerance
+// (noisy shared runners), while the committed-trajectory gate stays
+// strict.
+const BspVsSharedCeiling = 1.45
+
 // Regressions compares two result sets and reports every benchmark name
 // present in both whose ns/op grew by more than threshold (a fraction:
 // 0.25 means "fail past +25%"). Benchmarks only in one set are ignored —
 // the gate constrains the shared trajectory, it does not force every PR
-// to keep the same suite — except the *-vs-serial derived ratios in the
-// new set, which additionally fail outright above VsSerialCeiling. The
-// report is sorted by name.
+// to keep the same suite — except the derived ratios in the new set:
+// *-vs-serial additionally fails outright above VsSerialCeiling, and
+// bsp-diffuse-*-vs-shared above BspVsSharedCeiling. The report is
+// sorted by name.
 func Regressions(oldRes, newRes []Result, threshold float64) []string {
 	prev := make(map[string]Result, len(oldRes))
 	for _, r := range oldRes {
@@ -284,11 +317,20 @@ func Regressions(oldRes, newRes []Result, threshold float64) []string {
 	if 1+threshold > ceiling {
 		ceiling = 1 + threshold
 	}
+	bspCeiling := BspVsSharedCeiling
+	if 1+threshold > bspCeiling {
+		bspCeiling = 1 + threshold
+	}
 	var out []string
 	for _, n := range newRes {
 		if strings.HasSuffix(n.Name, "-vs-serial") && n.NsPerOp >= ceiling {
 			out = append(out, fmt.Sprintf("%s: ratio %.2f >= %.2f — parallel construction lost to serial",
 				n.Name, n.NsPerOp, ceiling))
+			continue
+		}
+		if strings.HasPrefix(n.Name, "bsp-diffuse-") && strings.HasSuffix(n.Name, "-vs-shared") && n.NsPerOp >= bspCeiling {
+			out = append(out, fmt.Sprintf("%s: ratio %.2f >= %.2f — BSP engine fell behind the shared-memory path",
+				n.Name, n.NsPerOp, bspCeiling))
 			continue
 		}
 		o, ok := prev[n.Name]

@@ -70,6 +70,48 @@ func TestVsSerialCeiling(t *testing.T) {
 	}
 }
 
+// TestBspVsSharedCeiling pins the BSP-gap assertion: a
+// bsp-diffuse-*-vs-shared entry at or above BspVsSharedCeiling fails
+// outright — even when the old file never recorded the name — while
+// sub-ceiling ratios answer only to the normal relative comparison, a
+// wide runner-side threshold widens the ceiling to 1 + threshold, and
+// the phac-cluster-bsp ratio (whose shared twin memoizes across rounds)
+// is deliberately outside the hard ceiling.
+func TestBspVsSharedCeiling(t *testing.T) {
+	var oldRes []Result // ratio names brand new in this trajectory
+	newRes := []Result{
+		{Name: "bsp-diffuse-r2-vs-shared", NsPerOp: 1.25},   // post-PR-6 shape: allowed
+		{Name: "bsp-diffuse-r6-vs-shared", NsPerOp: 1.45},   // at ceiling: gap reopened
+		{Name: "bsp-diffuse-r4-vs-shared", NsPerOp: 2.02},   // the PR-5 gap shape
+		{Name: "phac-cluster-bsp-vs-shared", NsPerOp: 2.52}, // outside the ceiling: relative gate only
+	}
+	got := Regressions(oldRes, newRes, 0.25)
+	if len(got) != 2 {
+		t.Fatalf("Regressions = %v, want the two above-ceiling diffusion ratios", got)
+	}
+	for _, line := range got {
+		if !strings.Contains(line, "fell behind the shared-memory path") {
+			t.Fatalf("unexpected report line %q", line)
+		}
+		if strings.Contains(line, "phac-cluster-bsp") {
+			t.Fatalf("cluster ratio hit the diffusion ceiling: %q", line)
+		}
+	}
+	// Runner-side slack: a 60% threshold widens the ceiling to 1.6, so
+	// only the 2x diffusion shape still fails.
+	got = Regressions(oldRes, newRes, 0.6)
+	if len(got) != 1 || !strings.Contains(got[0], "bsp-diffuse-r4") {
+		t.Fatalf("wide-threshold gate = %v, want only the 2x diffusion ratio", got)
+	}
+	// Under the ceiling, the relative trajectory comparison still bites.
+	got = Regressions(
+		[]Result{{Name: "bsp-diffuse-r2-vs-shared", NsPerOp: 1.10}},
+		[]Result{{Name: "bsp-diffuse-r2-vs-shared", NsPerOp: 1.40}}, 0.25)
+	if len(got) != 1 || !strings.Contains(got[0], "ns/op") {
+		t.Fatalf("relative gate on sub-ceiling ratio = %v, want one trajectory entry", got)
+	}
+}
+
 // The committed-trajectory comparison itself (BENCH_3.json vs
 // BENCH_4.json at 25%) lives in CI as the dedicated bench-gate step
 // (`shoal-bench -benchgate`), so it is deliberately not duplicated

@@ -9,32 +9,56 @@
 //
 // Execution model:
 //
+//   - Lifecycle: an engine is persistent. New → Run → (Rebind → Run)* →
+//     Close: workers, channels, transport, inbox accumulators and
+//     combiner scratch survive across Runs, and Rebind swaps in a new
+//     vertex count and program — growing or shrinking the row ranges in
+//     place — without discarding any of them. Callers that run one BSP
+//     job per clustering round (phac.Cluster) therefore pay for engine
+//     construction exactly once per clustering, not once per round.
 //   - Placement: Config.Plan (or a uniform split into Config.Workers
 //     ranges) assigns each shard's contiguous vertex rows to one worker.
-//     One goroutine per shard; workers persist across supersteps and are
-//     driven over channels, so steady-state supersteps spawn nothing.
-//   - Message layout: messages live in a CSR-style flat layout — one
-//     contiguous per-shard message array plus per-vertex offset segments,
-//     double-buffered across supersteps and rebuilt with a counting pass
-//     then a fill, so steady-state supersteps allocate no message-buffer
+//     One persistent goroutine per shard, spawned on the first Run and
+//     retired by Close; workers are driven over channels, so steady-state
+//     supersteps (and steady-state Runs) spawn nothing.
+//   - Worklists: each worker tracks the vertices that declined to halt
+//     and each inbox tracks the rows that received messages, both as
+//     sorted generation-stamped lists, so a superstep visits only the
+//     union of the two frontiers — O(frontier), not O(rows). When the
+//     frontier covers most of a shard the fill skips the worklist sort
+//     and the next compute scans the row range by generation stamp
+//     instead (same ascending visit order, cheaper than sorting).
+//     Superstep 0 visits every row (all vertices start active).
+//   - Message layout: for combining programs the inbox is a per-row
+//     accumulator — messages fold into acc[row] on arrival and Compute
+//     receives the single folded message — double-buffered across
+//     supersteps with epoch stamps instead of clears. Non-combining
+//     programs get the CSR-style flat layout (contiguous message array
+//     plus per-row segments) rebuilt per superstep from the touched rows
+//     only. Either way steady-state supersteps allocate no message-buffer
 //     memory at all (locked by TestSteadyStateAllocFree).
 //   - Transport: each worker batches its outgoing messages per
 //     (source shard, dest shard) pair and hands them to a Transport at
 //     the superstep barrier. The in-process Loopback transport moves the
 //     batches by reference; a network transport plugs into the same seam
-//     by serializing them (see transport.go).
+//     by serializing them (see transport.go). A single-shard engine
+//     running a combining program skips envelopes and transport entirely:
+//     sends fold straight into the next superstep's accumulator, which is
+//     the same fold the two-stage path computes.
 //   - Determinism: each worker owns an ascending contiguous vertex range
-//     and emits messages in (vertex, send order); destination shards fill
-//     their inboxes from source batches in ascending source-shard order.
-//     The concatenation is therefore the canonical (sender, seq) order —
-//     no per-vertex sort anywhere. Chaos mode deliberately breaks this
-//     order instead; programs whose results must not depend on delivery
-//     order (like Parallel HAC's max-diffusion) are tested under chaos.
+//     and emits messages in (vertex, send order); destination shards fold
+//     or fill their inboxes from source batches in ascending source-shard
+//     order. The result is the canonical (sender, seq) order — no
+//     per-vertex sort anywhere. Chaos mode deliberately breaks this order
+//     instead; programs whose results must not depend on delivery order
+//     (like Parallel HAC's max-diffusion) are tested under chaos.
 //   - Combining: a Program that also implements Combiner[M] opts into
-//     sender-side folding — messages addressed to the same destination
-//     vertex within one shard's superstep are folded into a single
-//     envelope at the sender, cutting cross-shard traffic. The fold is a
-//     left fold in emission order, so an associative combiner keeps the
+//     message folding — at the sender, messages addressed to the same
+//     destination vertex within one shard's superstep fold into a single
+//     envelope (tracked by an epoch-stamped sparse index sized to the
+//     destinations actually touched, not O(n)); at the receiver, the
+//     per-source envelopes fold into the row accumulator. Both folds are
+//     left folds in canonical order, so an associative combiner keeps the
 //     engine deterministic.
 //   - Vote-to-halt: a vertex that returns halt stops being scheduled
 //     until a message arrives for it; the run ends when every vertex has
@@ -48,12 +72,21 @@ import (
 	"fmt"
 	"math/rand/v2"
 	"runtime"
+	"slices"
+	"unsafe"
 
 	"shoal/internal/shard"
 )
 
 // VertexID identifies a vertex; ids are dense 0..N-1.
 type VertexID int32
+
+// denseTouchedDiv: a fill phase leaves its touched worklist unsorted
+// ("dense mode") when more than 1/denseTouchedDiv of the shard's rows
+// received messages — past that point an O(rows) generation-stamp scan
+// in the next compute phase is cheaper than the O(t log t) worklist
+// sort, and both visit rows in the same ascending (canonical) order.
+const denseTouchedDiv = 8
 
 // Program is the vertex computation. Compute runs once per eligible
 // vertex per superstep. A vertex is eligible at superstep 0, and
@@ -64,17 +97,18 @@ type Program[M any] interface {
 	// messages sent to v during the previous superstep; the slice aliases
 	// the engine's reused message buffers and is only valid for the
 	// duration of the call — copy any payloads that must outlive it.
-	// send enqueues a message for delivery next superstep. Returning true
-	// votes to halt; an incoming message reactivates the vertex.
-	Compute(superstep int, v VertexID, inbox []M, send func(to VertexID, m M)) (halt bool)
+	// out.Send enqueues a message for delivery next superstep. Returning
+	// true votes to halt; an incoming message reactivates the vertex.
+	Compute(superstep int, v VertexID, inbox []M, out *Outbox[M]) (halt bool)
 }
 
 // Combiner is an optional Program upgrade: when the program implements
 // it, the engine folds messages addressed to the same destination vertex
-// at the sender side (one folded envelope per source shard per
-// destination). Combine must be associative, and the program must not
-// depend on message multiplicity — the engine may deliver one combined
-// message where n were sent.
+// — at the sender side (one folded envelope per source shard per
+// destination) and again on arrival, so Compute sees a single combined
+// message. Combine must be associative, and the program must not depend
+// on message multiplicity — the engine may deliver one combined message
+// where n were sent.
 type Combiner[M any] interface {
 	Combine(acc, m M) M
 }
@@ -101,7 +135,9 @@ type Chaos struct {
 	// Seed drives the shuffling.
 	Seed uint64
 	// ShuffleInbox randomizes per-vertex message order instead of the
-	// canonical (sender, seq) order.
+	// canonical (sender, seq) order. Combining programs receive a single
+	// folded message, so their delivery-order chaos comes from
+	// StallBatches scrambling the arrival fold order instead.
 	ShuffleInbox bool
 	// StallBatches delivers each destination's source-shard batches in a
 	// random order within the barrier — emulating cross-host batches
@@ -109,7 +145,8 @@ type Chaos struct {
 	StallBatches bool
 }
 
-// Stats reports one run's execution profile.
+// Stats reports one run's execution profile plus the engine's lifetime
+// reuse counters as of that run.
 type Stats struct {
 	Supersteps int
 	// Messages is the total number of envelopes delivered (after any
@@ -122,6 +159,16 @@ type Stats struct {
 	CombinerHits int64
 	// ActivePerStep is the number of vertices computed per superstep.
 	ActivePerStep []int
+	// RunsServed is how many Runs this engine has completed over its
+	// lifetime, counting this one — >1 means the engine was reused.
+	RunsServed int
+	// Rebinds is how many times Rebind swapped a new topology into this
+	// engine over its lifetime.
+	Rebinds int
+	// PeakRetainedBytes is the high-water mark of buffer memory the
+	// engine keeps alive between Runs (inboxes, batches, worklists,
+	// combiner scratch).
+	PeakRetainedBytes int64
 }
 
 // CombinerHitRate is the fraction of sends absorbed by the combiner.
@@ -133,7 +180,9 @@ func (s *Stats) CombinerHitRate() float64 {
 }
 
 // Add accumulates another run's profile (used by callers that run one
-// BSP job per clustering round and report the aggregate).
+// BSP job per clustering round and report the aggregate). Per-run
+// counters sum; the engine-lifetime reuse counters keep the maximum, so
+// aggregating a reused engine's rounds reports its final totals.
 func (s *Stats) Add(o *Stats) {
 	if o == nil {
 		return
@@ -143,37 +192,219 @@ func (s *Stats) Add(o *Stats) {
 	s.Sends += o.Sends
 	s.CombinerHits += o.CombinerHits
 	s.ActivePerStep = append(s.ActivePerStep, o.ActivePerStep...)
+	s.RunsServed = max(s.RunsServed, o.RunsServed)
+	s.Rebinds = max(s.Rebinds, o.Rebinds)
+	s.PeakRetainedBytes = max(s.PeakRetainedBytes, o.PeakRetainedBytes)
 }
 
-// inboxBuf is one shard's CSR-style inbox: msgs[off[v-lo]:off[v-lo+1]]
-// are vertex v's messages. cur is the fill-cursor scratch. Two
-// generations per shard alternate across supersteps.
+// inboxBuf is one shard's inbox for one superstep generation. rowGen
+// stamps replace clears: row r holds messages iff rowGen[r] == gen, and
+// touched lists those rows (ascending once sealed by the fill phase).
+// Combining programs use the folded layout (acc[r] is the single
+// combined message); others the CSR layout (msgs[start[r]:start[r]+
+// cnt[r]] in canonical order). Two generations per shard alternate
+// across supersteps.
 type inboxBuf[M any] struct {
-	off  []int32 // len rows+1
-	cur  []int32 // len rows
-	msgs []M
+	gen     uint32   // engine generation this buffer was filled for; 0 = empty
+	dense   bool     // touched covers most rows: left unsorted, compute scans the range
+	touched []int32  // global row ids with messages, ascending after seal
+	rowGen  []uint32 // local row -> generation it last received messages
+	acc     []M      // folded layout: one combined message per local row
+	// CSR layout (non-combining programs):
+	start []int32
+	cnt   []int32
+	cur   []int32
+	msgs  []M
 }
 
 // workerState is one shard worker's mutable state.
 type workerState[M any] struct {
-	out [][]Envelope[M] // outgoing batch per destination shard
-	// slot/slotEp implement the sender-side combiner: slotEp[v] == epoch
-	// marks that out[owner[v]] already holds an envelope for v this
-	// superstep, at index slot[v]. Allocated only when combining.
-	slot   []int32
-	slotEp []uint32
-	epoch  uint32
-	send   func(to VertexID, m M) // persistent closure (no per-step alloc)
+	ob Outbox[M]
+	// actCur lists the shard's vertices that declined to halt last
+	// superstep, ascending; actNext is the swap buffer being built.
+	actCur  []int32
+	actNext []int32
 
-	err       error
-	sends     int64
-	hits      int64
 	computed  int
-	delta     int // net change of active vertices this superstep
 	delivered int64
 }
 
-// Engine executes a Program over a fixed set of vertices.
+// Outbox is the per-worker send surface handed to Program.Compute:
+// destination validation, sender-side combining, and either direct
+// accumulator folding (single shard + combiner) or per-(source, dest)
+// envelope batching.
+type Outbox[M any] struct {
+	n    int32
+	comb Combiner[M]
+
+	// Fast path (single-shard engine running a combining program): sends
+	// fold straight into the next superstep's inbox accumulator — no
+	// envelopes, no transport. Emission order is the canonical delivery
+	// order when there is only one source shard, so the fold is
+	// byte-identical to the batch path's two-stage fold.
+	acc     []M
+	rowGen  []uint32
+	touched []int32
+	gen     uint32
+
+	// Batch path: owner routes destinations to shards (nil means a
+	// single shard), ci is the epoch-stamped sparse combiner index.
+	owner []int32
+	out   [][]Envelope[M]
+	ci    combIndex
+
+	err         error
+	sends, hits int64
+}
+
+// Send enqueues a message for delivery to vertex `to` next superstep.
+func (o *Outbox[M]) Send(to VertexID, m M) {
+	t := int32(to)
+	if uint32(t) >= uint32(o.n) {
+		if o.err == nil {
+			o.err = fmt.Errorf("bsp: sent to out-of-range vertex %d", to)
+		}
+		return
+	}
+	o.sends++
+	if o.acc != nil {
+		if o.rowGen[t] == o.gen {
+			o.acc[t] = o.comb.Combine(o.acc[t], m)
+			o.hits++
+			return
+		}
+		o.rowGen[t] = o.gen
+		o.acc[t] = m
+		o.touched = append(o.touched, t)
+		return
+	}
+	var d int32
+	if o.owner != nil {
+		d = o.owner[t]
+	}
+	if o.comb != nil {
+		if i, ok := o.ci.slot(t, int32(len(o.out[d]))); ok {
+			b := o.out[d]
+			b[i].Msg = o.comb.Combine(b[i].Msg, m)
+			o.hits++
+			return
+		}
+	}
+	o.out[d] = append(o.out[d], Envelope[M]{To: to, Msg: m})
+}
+
+// SendMany sends m to every vertex id in to, in order — the broadcast
+// form of Send for fan-out programs (one call per vertex instead of one
+// per edge). Semantically identical to calling Send(id, m) for each id;
+// on the single-shard fast path the per-send bookkeeping is hoisted out
+// of the loop, which is a measurable win at one send per adjacency
+// entry.
+func (o *Outbox[M]) SendMany(to []int32, m M) {
+	if o.acc == nil {
+		for _, t := range to {
+			o.Send(VertexID(t), m)
+		}
+		return
+	}
+	gen, acc, rowGen, comb := o.gen, o.acc, o.rowGen, o.comb
+	n, touched := o.n, o.touched
+	var sends, hits int64
+	for _, t := range to {
+		if uint32(t) >= uint32(n) {
+			if o.err == nil {
+				o.err = fmt.Errorf("bsp: sent to out-of-range vertex %d", t)
+			}
+			continue
+		}
+		sends++
+		if rowGen[t] == gen {
+			acc[t] = comb.Combine(acc[t], m)
+			hits++
+			continue
+		}
+		rowGen[t] = gen
+		acc[t] = m
+		touched = append(touched, t)
+	}
+	o.touched = touched
+	o.sends += sends
+	o.hits += hits
+}
+
+// combIndex is the sender-side combiner's destination index: open
+// addressing with epoch stamps, so a superstep boundary is one counter
+// bump instead of an O(n) clear, and capacity tracks the destinations a
+// superstep actually touches instead of the vertex count. Doubles by
+// rehashing the live epoch's entries when half full; steady-state
+// supersteps allocate nothing once capacity has grown.
+type combIndex struct {
+	keys  []int32
+	idxs  []int32
+	eps   []uint32
+	epoch uint32
+	shift uint32
+	live  int
+}
+
+func (c *combIndex) init(pow uint32) {
+	c.keys = make([]int32, 1<<pow)
+	c.idxs = make([]int32, 1<<pow)
+	c.eps = make([]uint32, 1<<pow)
+	c.shift = 32 - pow
+}
+
+func (c *combIndex) nextEpoch() {
+	c.epoch++
+	c.live = 0
+}
+
+// slot probes for key. Found: returns its stored batch index and true.
+// Absent: records ins as key's batch index and returns false.
+func (c *combIndex) slot(key, ins int32) (int32, bool) {
+	mask := uint32(len(c.keys) - 1)
+	h := (uint32(key) * 2654435769) >> c.shift
+	for {
+		if c.eps[h] != c.epoch {
+			c.eps[h] = c.epoch
+			c.keys[h] = key
+			c.idxs[h] = ins
+			c.live++
+			if c.live*2 >= len(c.keys) {
+				c.grow()
+			}
+			return 0, false
+		}
+		if c.keys[h] == key {
+			return c.idxs[h], true
+		}
+		h = (h + 1) & mask
+	}
+}
+
+// grow doubles the table, reinserting only the current epoch's entries.
+func (c *combIndex) grow() {
+	keys, idxs, eps, epoch := c.keys, c.idxs, c.eps, c.epoch
+	c.init(33 - c.shift)
+	// Fresh stamps are zero and the live epoch is >= 1 (nextEpoch runs
+	// before any slot call), so the new table reads as empty.
+	mask := uint32(len(c.keys) - 1)
+	for i := range keys {
+		if eps[i] != epoch {
+			continue
+		}
+		h := (uint32(keys[i]) * 2654435769) >> c.shift
+		for c.eps[h] == epoch {
+			h = (h + 1) & mask
+		}
+		c.eps[h] = epoch
+		c.keys[h] = keys[i]
+		c.idxs[h] = idxs[i]
+	}
+}
+
+// Engine executes a Program over a fixed set of vertices. It is
+// persistent: Run may be called repeatedly, Rebind swaps in a new vertex
+// count and program between Runs, and Close retires the workers.
 type Engine[M any] struct {
 	n    int
 	prog Program[M]
@@ -183,14 +414,20 @@ type Engine[M any] struct {
 
 	bounds []int32 // shard row bounds, len S+1
 	S      int
-	owner  []int32 // vertex -> owning shard
+	owner  []int32 // vertex -> owning shard; nil when single-sharded
 
 	initialized bool
-	active      []bool
+	closed      bool
+	fast        bool // single shard + combiner: fold sends directly
 	ws          []workerState[M]
 	in, nxt     []inboxBuf[M]
 	cmds        []chan wcmd
 	done        chan struct{}
+	gen         uint32 // inbox generation, monotonic across Runs and Rebinds
+
+	runs         int
+	rebinds      int
+	peakRetained int64
 }
 
 // wcmd drives a persistent shard worker through one phase.
@@ -250,13 +487,83 @@ func New[M any](n int, prog Program[M], cfg Config) (*Engine[M], error) {
 func (e *Engine[M]) Shards() int { return e.S }
 
 // SetTransport replaces the default in-process Loopback with a custom
-// transport (the multi-host seam). Must be called before Run. The
-// batches handed to Send are owned by the engine and reused after the
-// next superstep's barrier — a remote transport must copy or serialize
-// them inside Send.
+// transport (the multi-host seam). Must be called before the first Run.
+// The batches handed to Send are owned by the engine and reused after
+// the next superstep's barrier — a remote transport must copy or
+// serialize them inside Send. A single-shard engine running a combining
+// program delivers locally and bypasses the transport entirely (a
+// one-host deployment has no wire to cross).
 func (e *Engine[M]) SetTransport(t Transport[M]) { e.tr = t }
 
-// init allocates the reusable engine state on first Run.
+// Rebind swaps a new vertex count and program into the engine between
+// Runs, repartitioning the rows uniformly across the same workers.
+// Everything expensive survives: worker goroutines, channels, transport,
+// inbox buffers, worklists and combiner scratch are kept and re-sliced
+// (growing amortized when n grows, shrink-only otherwise). This is the
+// per-round hook for iterated jobs like phac's merge rounds, where each
+// round's contracted topology replaces the last. The program's
+// combiner-ness must not change across rebinds (the two message layouts
+// are incompatible).
+func (e *Engine[M]) Rebind(n int, prog Program[M]) error {
+	if e.closed {
+		return errors.New("bsp: engine is closed")
+	}
+	if n <= 0 {
+		return errors.New("bsp: vertex count must be positive")
+	}
+	if prog == nil {
+		return errors.New("bsp: nil program")
+	}
+	comb, _ := prog.(Combiner[M])
+	if e.initialized && (comb == nil) != (e.comb == nil) {
+		return errors.New("bsp: Rebind cannot change whether the program combines")
+	}
+	e.n, e.prog, e.comb = n, prog, comb
+	for i := 0; i <= e.S; i++ {
+		e.bounds[i] = int32(i * n / e.S)
+	}
+	e.rebinds++
+	if !e.initialized {
+		return nil
+	}
+	if e.S > 1 {
+		if cap(e.owner) < n {
+			e.owner = make([]int32, n)
+		} else {
+			e.owner = e.owner[:n]
+		}
+		for s := 0; s < e.S; s++ {
+			for v := e.bounds[s]; v < e.bounds[s+1]; v++ {
+				e.owner[v] = int32(s)
+			}
+		}
+	}
+	for s := 0; s < e.S; s++ {
+		e.sizeShard(s)
+		ob := &e.ws[s].ob
+		ob.n = int32(n)
+		ob.comb = comb
+		ob.owner = e.owner
+	}
+	return nil
+}
+
+// Close retires the persistent shard workers. The engine cannot Run or
+// Rebind afterwards. Safe to call more than once; single-shard engines
+// have no goroutines and Close is then a pure marker.
+func (e *Engine[M]) Close() {
+	if e.closed {
+		return
+	}
+	e.closed = true
+	for _, c := range e.cmds {
+		close(c)
+	}
+	e.cmds = nil
+}
+
+// init allocates the reusable engine state and spawns the persistent
+// workers on first Run.
 func (e *Engine[M]) init() {
 	if e.initialized {
 		return
@@ -265,83 +572,29 @@ func (e *Engine[M]) init() {
 	if e.tr == nil {
 		e.tr = NewLoopback[M](e.S)
 	}
-	e.active = make([]bool, e.n)
-	e.owner = make([]int32, e.n)
-	for s := 0; s < e.S; s++ {
-		for v := e.bounds[s]; v < e.bounds[s+1]; v++ {
-			e.owner[v] = int32(s)
+	e.fast = e.comb != nil && e.S == 1
+	if e.S > 1 {
+		e.owner = make([]int32, e.n)
+		for s := 0; s < e.S; s++ {
+			for v := e.bounds[s]; v < e.bounds[s+1]; v++ {
+				e.owner[v] = int32(s)
+			}
 		}
 	}
 	e.ws = make([]workerState[M], e.S)
 	e.in = make([]inboxBuf[M], e.S)
 	e.nxt = make([]inboxBuf[M], e.S)
 	for s := 0; s < e.S; s++ {
-		rows := int(e.bounds[s+1] - e.bounds[s])
-		e.in[s] = inboxBuf[M]{off: make([]int32, rows+1), cur: make([]int32, rows)}
-		e.nxt[s] = inboxBuf[M]{off: make([]int32, rows+1), cur: make([]int32, rows)}
-		ws := &e.ws[s]
-		ws.out = make([][]Envelope[M], e.S)
-		if e.comb != nil {
-			ws.slot = make([]int32, e.n)
-			ws.slotEp = make([]uint32, e.n)
-		}
-		ws.send = e.makeSend(ws)
-	}
-}
-
-// makeSend builds worker ws's persistent send closure: destination
-// validation, sender-side combining, and per-(source,dest) batching.
-func (e *Engine[M]) makeSend(ws *workerState[M]) func(VertexID, M) {
-	return func(to VertexID, m M) {
-		if ws.err != nil {
-			return
-		}
-		t := int32(to)
-		if t < 0 || int(t) >= e.n {
-			ws.err = fmt.Errorf("bsp: sent to out-of-range vertex %d", to)
-			return
-		}
-		ws.sends++
-		d := e.owner[t]
-		if e.comb != nil {
-			if ws.slotEp[t] == ws.epoch {
-				b := ws.out[d]
-				i := ws.slot[t]
-				b[i].Msg = e.comb.Combine(b[i].Msg, m)
-				ws.hits++
-				return
-			}
-			ws.slotEp[t] = ws.epoch
-			ws.slot[t] = int32(len(ws.out[d]))
-		}
-		ws.out[d] = append(ws.out[d], Envelope[M]{To: to, Msg: m})
-	}
-}
-
-// Run executes supersteps until every vertex halts with no messages in
-// flight, or MaxSupersteps is exceeded (an error). Run may be called
-// repeatedly; the engine reuses its message buffers, so steady-state
-// supersteps are allocation-free once capacities have grown.
-func (e *Engine[M]) Run() (*Stats, error) {
-	e.init()
-	for v := range e.active {
-		e.active[v] = true
-	}
-	for s := 0; s < e.S; s++ {
-		ws := &e.ws[s]
-		ws.err, ws.sends, ws.hits = nil, 0, 0
-		clear(e.in[s].off)
-		clear(e.nxt[s].off)
-		// A previous Run that aborted between its send and fill phases
-		// may have left undelivered batches in the transport; drain them
-		// so they cannot surface as phantom superstep-0 messages.
-		if _, err := e.tr.Recv(0, s); err != nil {
-			return nil, err
+		e.sizeShard(s)
+		ob := &e.ws[s].ob
+		ob.n = int32(e.n)
+		ob.comb = e.comb
+		ob.owner = e.owner
+		ob.out = make([][]Envelope[M], e.S)
+		if e.comb != nil && !e.fast {
+			ob.ci.init(8)
 		}
 	}
-	activeCnt := e.n
-	pending := int64(0)
-
 	if e.S > 1 {
 		e.cmds = make([]chan wcmd, e.S)
 		e.done = make(chan struct{}, e.S)
@@ -349,12 +602,64 @@ func (e *Engine[M]) Run() (*Stats, error) {
 			e.cmds[s] = make(chan wcmd, 1)
 			go e.worker(s)
 		}
-		defer func() {
-			for s := 0; s < e.S; s++ {
-				close(e.cmds[s])
-			}
-		}()
 	}
+}
+
+// sizeShard (re)sizes shard s's per-row inbox arrays to its current row
+// range. Growth appends zeroed tails (stale generation stamps can never
+// match: generations are monotonic and never reset), shrink re-slices;
+// capacities are amortized across rebinds either way.
+func (e *Engine[M]) sizeShard(s int) {
+	rows := int(e.bounds[s+1] - e.bounds[s])
+	for _, b := range [2]*inboxBuf[M]{&e.in[s], &e.nxt[s]} {
+		b.rowGen = growN(b.rowGen, rows)
+		if e.comb != nil {
+			b.acc = growN(b.acc, rows)
+		} else {
+			b.start = growN(b.start, rows)
+			b.cnt = growN(b.cnt, rows)
+			b.cur = growN(b.cur, rows)
+		}
+	}
+}
+
+// growN re-slices b to length n, allocating only when capacity is short;
+// preserved prefixes keep their (stale, harmless) contents.
+func growN[T any](b []T, n int) []T {
+	if cap(b) >= n {
+		return b[:n]
+	}
+	nb := make([]T, n)
+	copy(nb, b)
+	return nb
+}
+
+// Run executes supersteps until every vertex halts with no messages in
+// flight, or MaxSupersteps is exceeded (an error). Run may be called
+// repeatedly; the engine reuses its buffers, so steady-state supersteps
+// — message layout, worklists and combiner scratch included — are
+// allocation-free once capacities have grown.
+func (e *Engine[M]) Run() (*Stats, error) {
+	if e.closed {
+		return nil, errors.New("bsp: engine is closed")
+	}
+	e.init()
+	for s := 0; s < e.S; s++ {
+		ws := &e.ws[s]
+		ws.ob.err, ws.ob.sends, ws.ob.hits = nil, 0, 0
+		ws.actCur = ws.actCur[:0]
+		// Mark both inbox generations empty (gen 0 never matches a
+		// stamp: the engine generation is bumped before first use).
+		e.in[s].gen, e.nxt[s].gen = 0, 0
+		// A previous Run that aborted between its send and fill phases
+		// may have left undelivered batches in the transport; drain them
+		// so they cannot surface as phantom superstep-0 messages.
+		if _, err := e.tr.Recv(0, s); err != nil {
+			return nil, err
+		}
+	}
+	activeCnt := e.n // superstep 0 computes every vertex
+	pending := int64(0)
 
 	stats := &Stats{}
 	for step := 0; ; step++ {
@@ -364,23 +669,25 @@ func (e *Engine[M]) Run() (*Stats, error) {
 		if step >= e.cfg.MaxSupersteps {
 			return stats, fmt.Errorf("bsp: exceeded %d supersteps without converging", e.cfg.MaxSupersteps)
 		}
+		e.gen++
 		e.phase(wcmd{step: int32(step), kind: 0})
 		for s := 0; s < e.S; s++ {
-			if err := e.ws[s].err; err != nil {
+			if err := e.ws[s].ob.err; err != nil {
 				return stats, err
 			}
 		}
 		e.phase(wcmd{step: int32(step), kind: 1})
 		var delivered int64
 		computed := 0
+		activeCnt = 0
 		for s := 0; s < e.S; s++ {
 			ws := &e.ws[s]
-			if ws.err != nil {
-				return stats, ws.err
+			if ws.ob.err != nil {
+				return stats, ws.ob.err
 			}
 			delivered += ws.delivered
 			computed += ws.computed
-			activeCnt += ws.delta
+			activeCnt += len(ws.actCur)
 		}
 		e.in, e.nxt = e.nxt, e.in
 		pending = delivered
@@ -389,10 +696,38 @@ func (e *Engine[M]) Run() (*Stats, error) {
 		stats.Supersteps++
 	}
 	for s := 0; s < e.S; s++ {
-		stats.Sends += e.ws[s].sends
-		stats.CombinerHits += e.ws[s].hits
+		stats.Sends += e.ws[s].ob.sends
+		stats.CombinerHits += e.ws[s].ob.hits
 	}
+	e.runs++
+	if rb := e.retainedBytes(); rb > e.peakRetained {
+		e.peakRetained = rb
+	}
+	stats.RunsServed = e.runs
+	stats.Rebinds = e.rebinds
+	stats.PeakRetainedBytes = e.peakRetained
 	return stats, nil
+}
+
+// retainedBytes sums the buffer memory the engine keeps alive between
+// Runs — the price of persistence, surfaced in Stats.
+func (e *Engine[M]) retainedBytes() int64 {
+	esz := int64(unsafe.Sizeof(Envelope[M]{}))
+	msz := int64(unsafe.Sizeof(*new(M)))
+	total := int64(cap(e.owner))*4 + int64(cap(e.bounds))*4
+	for s := range e.ws {
+		ws := &e.ws[s]
+		total += int64(cap(ws.actCur)+cap(ws.actNext)) * 4
+		for d := range ws.ob.out {
+			total += int64(cap(ws.ob.out[d])) * esz
+		}
+		total += int64(len(ws.ob.ci.keys)) * 12
+		for _, b := range [2]*inboxBuf[M]{&e.in[s], &e.nxt[s]} {
+			total += int64(cap(b.rowGen)+cap(b.touched)+cap(b.start)+cap(b.cnt)+cap(b.cur)) * 4
+			total += int64(cap(b.acc)+cap(b.msgs)) * msz
+		}
+	}
+	return total
 }
 
 // phase runs one barrier-delimited phase on every shard — inline when
@@ -411,7 +746,8 @@ func (e *Engine[M]) phase(c wcmd) {
 }
 
 // worker is the persistent goroutine driving shard s, one phase per
-// command. It exits when the command channel closes at the end of Run.
+// command. It is spawned once on the first Run and exits when Close
+// closes the command channel.
 func (e *Engine[M]) worker(s int) {
 	for c := range e.cmds[s] {
 		e.runPhase(s, c)
@@ -427,68 +763,179 @@ func (e *Engine[M]) runPhase(s int, c wcmd) {
 	}
 }
 
-// computeShard runs the superstep's compute over shard s's rows and
-// hands the resulting per-destination batches to the transport. Eligible
-// vertices (active, or holding messages) are scanned in ascending row
-// order, so the shard's emission stream is in canonical (sender, seq)
-// order by construction.
+// computeShard runs the superstep's compute over shard s's eligible rows
+// and hands the resulting per-destination batches to the transport (the
+// fast path folded its sends directly and ships nothing). Superstep 0
+// visits every row; later supersteps visit the sorted merge of the
+// active worklist and the inbox's touched rows — O(frontier) — still in
+// ascending row order, so the shard's emission stream stays in canonical
+// (sender, seq) order by construction.
 func (e *Engine[M]) computeShard(s, step int) {
 	ws := &e.ws[s]
-	ws.epoch++
-	ws.computed, ws.delta = 0, 0
-	for d := range ws.out {
-		ws.out[d] = ws.out[d][:0]
+	ob := &ws.ob
+	if e.fast {
+		nb := &e.nxt[s]
+		nb.gen = e.gen
+		ob.gen = e.gen
+		ob.acc = nb.acc
+		ob.rowGen = nb.rowGen
+		ob.touched = nb.touched[:0]
+	} else {
+		for d := range ob.out {
+			ob.out[d] = ob.out[d][:0]
+		}
+		if ob.comb != nil {
+			ob.ci.nextEpoch()
+		}
 	}
 	in := &e.in[s]
 	lo, hi := e.bounds[s], e.bounds[s+1]
 	chaos := e.cfg.Chaos
-	for v := lo; v < hi; v++ {
-		i0, i1 := in.off[v-lo], in.off[v-lo+1]
-		if !e.active[v] && i0 == i1 {
-			continue
-		}
-		inbox := in.msgs[i0:i1:i1]
-		if chaos != nil && chaos.ShuffleInbox && len(inbox) > 1 {
-			rng := rand.New(rand.NewPCG(chaos.Seed, uint64(step)<<32|uint64(uint32(v))))
-			rng.Shuffle(len(inbox), func(i, j int) { inbox[i], inbox[j] = inbox[j], inbox[i] })
-		}
-		halt := e.prog.Compute(step, VertexID(v), inbox, ws.send)
-		if ws.err != nil {
-			return
-		}
-		if halt == e.active[v] { // state flips
-			if halt {
-				ws.delta--
-			} else {
-				ws.delta++
+	nextAct := ws.actNext[:0]
+	folded := ob.comb != nil
+	if step == 0 {
+		for v := lo; v < hi; v++ {
+			if halt := e.prog.Compute(step, VertexID(v), nil, ob); !halt {
+				nextAct = append(nextAct, v)
+			}
+			if ob.err != nil {
+				break
 			}
 		}
-		e.active[v] = !halt
-		ws.computed++
+		ws.computed = int(hi - lo)
+	} else if in.gen != 0 && in.dense {
+		// Dense frontier: the fill phase left touched unsorted because
+		// most rows received messages; an ascending range scan over the
+		// generation stamps (with a pointer walking the sorted active
+		// list) recovers the canonical visit order cheaper than sorting.
+		act := ws.actCur
+		ai, n := 0, 0
+		for v := lo; v < hi; v++ {
+			for ai < len(act) && act[ai] < v {
+				ai++
+			}
+			hasMsg := in.rowGen[v-lo] == in.gen
+			if !hasMsg && !(ai < len(act) && act[ai] == v) {
+				continue
+			}
+			var inbox []M
+			if hasMsg {
+				if r := v - lo; folded {
+					inbox = in.acc[r : r+1 : r+1]
+				} else {
+					m0 := in.start[r]
+					m1 := m0 + in.cnt[r]
+					inbox = in.msgs[m0:m1:m1]
+				}
+			}
+			if chaos != nil && chaos.ShuffleInbox && len(inbox) > 1 {
+				rng := rand.New(rand.NewPCG(chaos.Seed, uint64(step)<<32|uint64(uint32(v))))
+				rng.Shuffle(len(inbox), func(i, j int) { inbox[i], inbox[j] = inbox[j], inbox[i] })
+			}
+			halt := e.prog.Compute(step, VertexID(v), inbox, ob)
+			n++
+			if !halt {
+				nextAct = append(nextAct, v)
+			}
+			if ob.err != nil {
+				break
+			}
+		}
+		ws.computed = n
+	} else {
+		act, tch := ws.actCur, in.touched
+		if in.gen == 0 {
+			tch = nil
+		}
+		i, j, n := 0, 0, 0
+		for i < len(act) || j < len(tch) {
+			var v int32
+			switch {
+			case j >= len(tch):
+				v = act[i]
+				i++
+			case i >= len(act):
+				v = tch[j]
+				j++
+			case act[i] < tch[j]:
+				v = act[i]
+				i++
+			case act[i] > tch[j]:
+				v = tch[j]
+				j++
+			default:
+				v = act[i]
+				i++
+				j++
+			}
+			var inbox []M
+			if r := v - lo; in.gen != 0 && in.rowGen[r] == in.gen {
+				if folded {
+					inbox = in.acc[r : r+1 : r+1]
+				} else {
+					m0 := in.start[r]
+					m1 := m0 + in.cnt[r]
+					inbox = in.msgs[m0:m1:m1]
+				}
+			}
+			if chaos != nil && chaos.ShuffleInbox && len(inbox) > 1 {
+				rng := rand.New(rand.NewPCG(chaos.Seed, uint64(step)<<32|uint64(uint32(v))))
+				rng.Shuffle(len(inbox), func(i, j int) { inbox[i], inbox[j] = inbox[j], inbox[i] })
+			}
+			halt := e.prog.Compute(step, VertexID(v), inbox, ob)
+			n++
+			if !halt {
+				nextAct = append(nextAct, v)
+			}
+			if ob.err != nil {
+				break
+			}
+		}
+		ws.computed = n
+	}
+	ws.actNext = ws.actCur
+	ws.actCur = nextAct
+	if e.fast {
+		e.nxt[s].touched = ob.touched
+		return
 	}
 	for d := 0; d < e.S; d++ {
-		if len(ws.out[d]) == 0 {
+		if len(ob.out[d]) == 0 {
 			continue
 		}
-		if err := e.tr.Send(step, s, d, ws.out[d]); err != nil {
-			ws.err = err
+		if err := e.tr.Send(step, s, d, ob.out[d]); err != nil {
+			ob.err = err
 			return
 		}
 	}
 }
 
 // fillShard builds shard d's next-superstep inbox from the transport's
-// batches: a counting pass over the envelopes, a prefix sum into the
-// per-vertex offsets, then the fill — batches in ascending source-shard
-// order, envelopes in emission order, which concatenates to the
-// canonical (sender, seq) delivery order without any sort. All buffers
-// are reused; steady-state supersteps allocate nothing here.
+// batches — folding them into the row accumulator for combining
+// programs, or laying them out CSR-style otherwise. Batches arrive in
+// ascending source-shard order and envelopes in emission order, so the
+// fold (or concatenation) is the canonical (sender, seq) delivery order
+// without any sort; only the touched-row worklist is sorted, O(t log t)
+// in the rows that actually received messages. All buffers are reused;
+// steady-state supersteps allocate nothing here. On the fast path the
+// compute phase already folded everything, and sealing is just the
+// worklist sort.
 func (e *Engine[M]) fillShard(d, step int) {
 	ws := &e.ws[d]
 	ws.delivered = 0
+	nb := &e.nxt[d]
+	rows := int(e.bounds[d+1] - e.bounds[d])
+	if e.fast {
+		nb.dense = len(nb.touched)*denseTouchedDiv > rows
+		if !nb.dense {
+			slices.Sort(nb.touched)
+		}
+		ws.delivered = int64(len(nb.touched))
+		return
+	}
 	batches, err := e.tr.Recv(step, d)
 	if err != nil {
-		ws.err = err
+		ws.ob.err = err
 		return
 	}
 	chaos := e.cfg.Chaos
@@ -496,34 +943,67 @@ func (e *Engine[M]) fillShard(d, step int) {
 		rng := rand.New(rand.NewPCG(chaos.Seed^0x57A11ED, uint64(step)<<32|uint64(uint32(d))))
 		rng.Shuffle(len(batches), func(i, j int) { batches[i], batches[j] = batches[j], batches[i] })
 	}
-	nb := &e.nxt[d]
+	gen := e.gen
+	nb.gen = gen
 	lo := e.bounds[d]
-	rows := int(e.bounds[d+1] - lo)
-	off := nb.off
-	clear(off)
-	total := 0
+	touched := nb.touched[:0]
+	if e.comb != nil {
+		var total int64
+		for _, bt := range batches {
+			total += int64(len(bt))
+			for i := range bt {
+				r := int32(bt[i].To) - lo
+				if nb.rowGen[r] != gen {
+					nb.rowGen[r] = gen
+					nb.acc[r] = bt[i].Msg
+					touched = append(touched, lo+r)
+				} else {
+					nb.acc[r] = e.comb.Combine(nb.acc[r], bt[i].Msg)
+				}
+			}
+		}
+		nb.dense = len(touched)*denseTouchedDiv > rows
+		if !nb.dense {
+			slices.Sort(touched)
+		}
+		nb.touched = touched
+		ws.delivered = total
+		return
+	}
+	nb.dense = false // CSR layout needs the sorted order below
+	total := int32(0)
 	for _, bt := range batches {
-		total += len(bt)
+		total += int32(len(bt))
 		for i := range bt {
-			off[int32(bt[i].To)-lo+1]++
+			r := int32(bt[i].To) - lo
+			if nb.rowGen[r] != gen {
+				nb.rowGen[r] = gen
+				nb.cnt[r] = 0
+				touched = append(touched, lo+r)
+			}
+			nb.cnt[r]++
 		}
 	}
-	for i := 0; i < rows; i++ {
-		off[i+1] += off[i]
+	slices.Sort(touched)
+	pos := int32(0)
+	for _, v := range touched {
+		r := v - lo
+		nb.start[r] = pos
+		nb.cur[r] = pos
+		pos += nb.cnt[r]
 	}
-	if cap(nb.msgs) < total {
+	if cap(nb.msgs) < int(total) {
 		nb.msgs = make([]M, total)
 	} else {
 		nb.msgs = nb.msgs[:total]
 	}
-	cur := nb.cur
-	copy(cur, off[:rows])
 	for _, bt := range batches {
 		for i := range bt {
 			r := int32(bt[i].To) - lo
-			nb.msgs[cur[r]] = bt[i].Msg
-			cur[r]++
+			nb.msgs[nb.cur[r]] = bt[i].Msg
+			nb.cur[r]++
 		}
 	}
+	nb.touched = touched
 	ws.delivered = int64(total)
 }

@@ -16,7 +16,7 @@ type maxProg struct {
 	best []int64 // per-vertex current max; indexed by vertex id
 }
 
-func (p *maxProg) Compute(step int, v VertexID, inbox []int64, send func(VertexID, int64)) bool {
+func (p *maxProg) Compute(step int, v VertexID, inbox []int64, out *Outbox[int64]) bool {
 	changed := step == 0
 	for _, m := range inbox {
 		if m > p.best[v] {
@@ -27,8 +27,8 @@ func (p *maxProg) Compute(step int, v VertexID, inbox []int64, send func(VertexI
 	if changed {
 		next := VertexID((int(v) + 1) % p.n)
 		prev := VertexID((int(v) - 1 + p.n) % p.n)
-		send(next, p.best[v])
-		send(prev, p.best[v])
+		out.Send(next, p.best[v])
+		out.Send(prev, p.best[v])
 		return false
 	}
 	return true
@@ -179,7 +179,7 @@ func TestCombinerInvariance(t *testing.T) {
 		t.Fatalf("combiner did not cut traffic: %d vs %d delivered", stats.Messages, base.Messages)
 	}
 	if stats.Sends != base.Sends {
-		t.Fatalf("combining changed the send() count: %d vs %d", stats.Sends, base.Sends)
+		t.Fatalf("combining changed the send count: %d vs %d", stats.Sends, base.Sends)
 	}
 	for seed := uint64(1); seed <= 3; seed++ {
 		pc := &combMaxProg{*newMaxProg(53)}
@@ -230,12 +230,12 @@ type echoProg struct {
 	violated atomic.Bool
 }
 
-func (p *echoProg) Compute(step int, v VertexID, inbox []int64, send func(VertexID, int64)) bool {
+func (p *echoProg) Compute(step int, v VertexID, inbox []int64, out *Outbox[int64]) bool {
 	switch step {
 	case 0:
 		// Everyone messages vertex 0, twice, payload = sender*10+seq.
-		send(0, int64(v)*10)
-		send(0, int64(v)*10+1)
+		out.Send(0, int64(v)*10)
+		out.Send(0, int64(v)*10+1)
 		return true
 	case 1:
 		if v == 0 {
@@ -272,7 +272,7 @@ func TestCanonicalDeliveryOrder(t *testing.T) {
 // haltProg halts immediately; the engine must terminate after one step.
 type haltProg struct{}
 
-func (haltProg) Compute(step int, v VertexID, inbox []struct{}, send func(VertexID, struct{})) bool {
+func (haltProg) Compute(step int, v VertexID, inbox []struct{}, out *Outbox[struct{}]) bool {
 	return true
 }
 
@@ -298,7 +298,7 @@ type reactivateProg struct {
 	wokeAt int32
 }
 
-func (p *reactivateProg) Compute(step int, v VertexID, inbox []int64, send func(VertexID, int64)) bool {
+func (p *reactivateProg) Compute(step int, v VertexID, inbox []int64, out *Outbox[int64]) bool {
 	if v == 0 {
 		if step > 0 && len(inbox) > 0 {
 			atomic.StoreInt32(&p.wokeAt, int32(step))
@@ -306,7 +306,7 @@ func (p *reactivateProg) Compute(step int, v VertexID, inbox []int64, send func(
 		return true // always votes to halt
 	}
 	if v == 1 && step == 2 {
-		send(0, 99)
+		out.Send(0, 99)
 	}
 	return step >= 3
 }
@@ -328,8 +328,8 @@ func TestMessageReactivatesHaltedVertex(t *testing.T) {
 // badProg sends to an out-of-range vertex.
 type badProg struct{}
 
-func (badProg) Compute(step int, v VertexID, inbox []int64, send func(VertexID, int64)) bool {
-	send(10_000, 1)
+func (badProg) Compute(step int, v VertexID, inbox []int64, out *Outbox[int64]) bool {
+	out.Send(10_000, 1)
 	return true
 }
 
@@ -346,7 +346,7 @@ func TestOutOfRangeSendFails(t *testing.T) {
 // spinProg never halts; MaxSupersteps must abort it.
 type spinProg struct{}
 
-func (spinProg) Compute(step int, v VertexID, inbox []int64, send func(VertexID, int64)) bool {
+func (spinProg) Compute(step int, v VertexID, inbox []int64, out *Outbox[int64]) bool {
 	return false
 }
 
@@ -389,22 +389,43 @@ type pulseProg struct {
 	n, steps int
 }
 
-func (p *pulseProg) Compute(step int, v VertexID, inbox []int64, send func(VertexID, int64)) bool {
+func (p *pulseProg) Compute(step int, v VertexID, inbox []int64, out *Outbox[int64]) bool {
 	if step < p.steps {
-		send(VertexID((int(v)+1)%p.n), int64(step))
+		out.Send(VertexID((int(v)+1)%p.n), int64(step))
 		return false
 	}
 	return true
 }
 
-// TestSteadyStateAllocFree pins the CSR message layout's allocation
-// contract: once an engine's buffers have grown (one warmup run), a
-// subsequent run allocates no message-buffer memory per superstep — the
-// allocation count of a warmed run must not scale with its superstep
-// count (the few remaining allocations are the Stats value itself).
+// combPulseProg is pulseProg with a sender-side combiner, so a warmed
+// run exercises the sparse combiner scratch (inbox accumulators,
+// generation stamps, touched worklists) instead of the CSR layout.
+type combPulseProg struct{ pulseProg }
+
+func (p *combPulseProg) Combine(acc, m int64) int64 {
+	if m > acc {
+		return m
+	}
+	return acc
+}
+
+// TestSteadyStateAllocFree pins the engine's allocation contract: once
+// an engine's buffers have grown (one warmup run), a subsequent run
+// allocates no message-buffer memory per superstep — with or without a
+// combiner, and across Rebind — so the allocation count of a warmed run
+// must not scale with its superstep count (the few remaining
+// allocations are the Stats value itself). The rebind case is the
+// multi-round reuse contract: Rebind → Run on a warmed engine keeps the
+// combiner scratch alive, so steady-state rounds stay alloc-free too.
 func TestSteadyStateAllocFree(t *testing.T) {
-	measure := func(steps int) float64 {
-		eng, err := New[int64](32, &pulseProg{n: 32, steps: steps}, Config{Workers: 1})
+	measure := func(steps int, combine, rebind bool) float64 {
+		var prog Program[int64]
+		if combine {
+			prog = &combPulseProg{pulseProg{n: 32, steps: steps}}
+		} else {
+			prog = &pulseProg{n: 32, steps: steps}
+		}
+		eng, err := New[int64](32, prog, Config{Workers: 1})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -412,17 +433,31 @@ func TestSteadyStateAllocFree(t *testing.T) {
 			t.Fatal(err)
 		}
 		return testing.AllocsPerRun(3, func() {
+			if rebind {
+				if err := eng.Rebind(32, prog); err != nil {
+					t.Fatal(err)
+				}
+			}
 			if _, err := eng.Run(); err != nil {
 				t.Fatal(err)
 			}
 		})
 	}
-	short, long := measure(16), measure(256)
-	// 240 extra supersteps may only add the O(log) Stats.ActivePerStep
-	// growth, never per-superstep message-buffer allocations.
-	if long > short+8 {
-		t.Fatalf("allocations scale with supersteps: %d steps -> %.0f allocs, %d steps -> %.0f allocs",
-			16, short, 256, long)
+	for _, tc := range []struct {
+		name            string
+		combine, rebind bool
+	}{
+		{"messages", false, false},
+		{"combiner", true, false},
+		{"rebind-combiner", true, true},
+	} {
+		short, long := measure(16, tc.combine, tc.rebind), measure(256, tc.combine, tc.rebind)
+		// 240 extra supersteps may only add the O(log) Stats.ActivePerStep
+		// growth, never per-superstep message-buffer or combiner allocations.
+		if long > short+8 {
+			t.Errorf("%s: allocations scale with supersteps: %d steps -> %.0f allocs, %d steps -> %.0f allocs",
+				tc.name, 16, short, 256, long)
+		}
 	}
 }
 
@@ -476,14 +511,14 @@ type staleProg struct {
 	phantom atomic.Bool
 }
 
-func (p *staleProg) Compute(step int, v VertexID, inbox []int64, send func(VertexID, int64)) bool {
+func (p *staleProg) Compute(step int, v VertexID, inbox []int64, out *Outbox[int64]) bool {
 	if step >= 1 && len(inbox) > 0 {
 		p.phantom.Store(true)
 	}
 	if p.fail && step == 0 {
-		send(VertexID((int(v)+2)%4), int64(v)) // cross-shard with workers=2
+		out.Send(VertexID((int(v)+2)%4), int64(v)) // cross-shard with workers=2
 		if v == 3 {
-			send(9999, 0) // shard 1 aborts after shard 0 already sent
+			out.Send(9999, 0) // shard 1 aborts after shard 0 already sent
 		}
 		return false
 	}
@@ -532,4 +567,84 @@ func TestRunReusable(t *testing.T) {
 	if s1.Supersteps != s2.Supersteps || s1.Messages != s2.Messages {
 		t.Fatalf("repeated runs differ: %+v vs %+v", s1, s2)
 	}
+}
+
+// Rebind must reject every invalid transition: bad vertex counts, nil
+// programs, flipping combiner-ness on an initialized engine, and any use
+// after Close. Close itself is idempotent.
+func TestRebindValidation(t *testing.T) {
+	p := newMaxProg(16)
+	eng, err := New[int64](16, p, Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Rebind(0, p); err == nil {
+		t.Fatal("Rebind accepted zero vertex count")
+	}
+	if err := eng.Rebind(16, nil); err == nil {
+		t.Fatal("Rebind accepted nil program")
+	}
+	if err := eng.Rebind(16, &combMaxProg{*newMaxProg(16)}); err == nil {
+		t.Fatal("Rebind accepted a combiner-ness change on an initialized engine")
+	}
+	eng.Close()
+	eng.Close() // idempotent
+	if err := eng.Rebind(16, p); err == nil {
+		t.Fatal("Rebind accepted a closed engine")
+	}
+	if _, err := eng.Run(); err == nil {
+		t.Fatal("Run accepted a closed engine")
+	}
+}
+
+// One engine rebound across a shrinking-and-growing sequence of
+// topologies must produce exactly what a fresh engine produces for each,
+// while the lifetime counters record the reuse: RunsServed counts every
+// Run, Rebinds every swap, and the retained high-water mark is the
+// buffer memory the reuse actually saved.
+func TestRebindReuseMatchesFresh(t *testing.T) {
+	var eng *Engine[int64]
+	var err error
+	for i, n := range []int{40, 25, 33, 12} {
+		p := newMaxProg(n)
+		if eng == nil {
+			if eng, err = New[int64](n, p, Config{Workers: 3}); err != nil {
+				t.Fatal(err)
+			}
+		} else if err = eng.Rebind(n, p); err != nil {
+			t.Fatal(err)
+		}
+		stats, err := eng.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh := newMaxProg(n)
+		feng, err := New[int64](n, fresh, Config{Workers: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := feng.Run(); err != nil {
+			t.Fatal(err)
+		}
+		feng.Close()
+		for v := range fresh.best {
+			if p.best[v] != fresh.best[v] {
+				t.Fatalf("n=%d vertex %d: rebound engine diverged from fresh: %d vs %d",
+					n, v, p.best[v], fresh.best[v])
+			}
+		}
+		if stats.RunsServed != i+1 {
+			t.Fatalf("run %d: RunsServed = %d, want %d", i, stats.RunsServed, i+1)
+		}
+		if stats.Rebinds != i {
+			t.Fatalf("run %d: Rebinds = %d, want %d", i, stats.Rebinds, i)
+		}
+		if stats.PeakRetainedBytes <= 0 {
+			t.Fatalf("run %d: PeakRetainedBytes = %d, want > 0", i, stats.PeakRetainedBytes)
+		}
+	}
+	eng.Close()
 }

@@ -63,7 +63,7 @@ type Config struct {
 	// clustering recomputes only changed diffusion frontiers when the
 	// changed fraction stays under it, with byte-identical output for
 	// every setting.
-	HAC phac.Config
+	HAC      phac.Config
 	Taxonomy taxonomy.Config
 	Describe describe.Config
 	CatCorr  catcorr.Config
@@ -98,14 +98,16 @@ type Build struct {
 	// Shards is the shard count the graph substrate was actually built
 	// with (Graph.NumShards() — per-stage overrides and tiny-graph
 	// clamping included), recorded by the entity-graph stage.
-	Shards       int
+	Shards     int
 	Embeddings *word2vec.Model
 	Dendrogram *dendrogram.Dendrogram
 	Rounds     []phac.RoundStat
 	// BSPStats is the aggregated BSP engine profile across clustering
 	// rounds when the BSP path ran (Config.BSP / HAC.UseBSP); nil
-	// otherwise. Reported by /api/stats.
-	BSPStats *bsp.Stats
+	// otherwise. Carries the persistent-engine reuse counters
+	// (RunsServed, Rebinds, PeakRetainedBytes) alongside the message
+	// totals. Reported by /api/stats.
+	BSPStats     *bsp.Stats
 	Taxonomy     *taxonomy.Taxonomy
 	Descriptions []describe.Description
 	Correlations *catcorr.Graph

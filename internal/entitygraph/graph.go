@@ -148,13 +148,19 @@ func Build(ctx context.Context, es *EntitySet, clicks *bipartite.Graph, emb *wor
 		return nil, err
 	}
 	// Candidate pairs via shared queries, with fanout cap. Pairs are
-	// generated as packed uint64 keys into per-worker shards, then the
-	// concatenated list is sorted and run-length counted — the sort
-	// canonicalizes shard order, so the result is deterministic and the
-	// former map[[2]int32]int32 counter (the largest map on the build
-	// path) is gone.
+	// generated as packed uint64 keys and counted inside each worker: a
+	// worker sorts its own keys and run-length encodes them in place, so
+	// duplicate pairs collapse before anything crosses a goroutine
+	// boundary and the all-pairs concatenation+sort the old path
+	// materialized is gone. A k-way merge of the sorted per-worker runs
+	// then sums the counts — merge order is by key, so the result is
+	// deterministic regardless of which worker saw which query.
 	numQueries := len(qStart) - 1
-	shards := make([][]uint64, cfg.Workers)
+	type pairRun struct {
+		keys   []uint64
+		counts []int32
+	}
+	runs := make([]pairRun, cfg.Workers)
 	{
 		var wg sync.WaitGroup
 		for w := 0; w < cfg.Workers; w++ {
@@ -184,7 +190,22 @@ func Build(ctx context.Context, es *EntitySet, clicks *bipartite.Graph, emb *wor
 						}
 					}
 				}
-				shards[w] = out
+				// Sort and run-length count in place: the write cursor
+				// never passes the read cursor, so the key list reuses
+				// the raw pair buffer.
+				slices.Sort(out)
+				keys := out[:0]
+				var counts []int32
+				for i := 0; i < len(out); {
+					k := out[i]
+					j := i
+					for ; j < len(out) && out[j] == k; j++ {
+					}
+					keys = append(keys, k)
+					counts = append(counts, int32(j-i))
+					i = j
+				}
+				runs[w] = pairRun{keys: keys, counts: counts}
 			}(w)
 		}
 		wg.Wait()
@@ -192,26 +213,38 @@ func Build(ctx context.Context, es *EntitySet, clicks *bipartite.Graph, emb *wor
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	// Merge the sorted per-worker runs, summing counts of equal keys.
+	// Workers partition queries, not pairs, so the same pair can appear
+	// in several runs; the min-key sweep emits each unique pair once, in
+	// ascending canonical order.
 	total := 0
-	for _, s := range shards {
-		total += len(s)
+	for _, r := range runs {
+		total += len(r.keys)
 	}
-	packed := make([]uint64, 0, total)
-	for _, s := range shards {
-		packed = append(packed, s...)
-	}
-	slices.Sort(packed)
-	// Run-length encode the sorted pair keys into canonical (a,b) pairs
-	// with shared-query counts.
-	pairs := make([][2]int32, 0, len(packed))
-	counts := make([]int32, 0, len(packed))
-	for i := 0; i < len(packed); {
-		j := i
-		for ; j < len(packed) && packed[j] == packed[i]; j++ {
+	pairs := make([][2]int32, 0, total)
+	counts := make([]int32, 0, total)
+	idx := make([]int, len(runs))
+	for {
+		best := uint64(math.MaxUint64)
+		found := false
+		for w := range runs {
+			if i := idx[w]; i < len(runs[w].keys) && (!found || runs[w].keys[i] < best) {
+				best = runs[w].keys[i]
+				found = true
+			}
 		}
-		pairs = append(pairs, [2]int32{int32(packed[i] >> 32), int32(packed[i] & 0xffffffff)})
-		counts = append(counts, int32(j-i))
-		i = j
+		if !found {
+			break
+		}
+		var c int32
+		for w := range runs {
+			if i := idx[w]; i < len(runs[w].keys) && runs[w].keys[i] == best {
+				c += runs[w].counts[i]
+				idx[w] = i + 1
+			}
+		}
+		pairs = append(pairs, [2]int32{int32(best >> 32), int32(best & 0xffffffff)})
+		counts = append(counts, c)
 	}
 
 	// Mean normalized word vectors per entity (Eq. 2 factored form).

@@ -10,7 +10,8 @@ import (
 // diffusionProgram: max-combiner, changed-only sends, vote-to-halt —
 // plus the round-statistics side outputs (per-id edge counts and best
 // incident edge regardless of threshold) that selectLocalMaxima computes
-// during its init scan.
+// during its init scan. One program value lives on the state and is
+// re-pointed at each round's contracted CSR before the engine rebind.
 type clusterDiffusionProgram struct {
 	offsets   []int32
 	nbrs      []int32
@@ -30,7 +31,7 @@ func (p *clusterDiffusionProgram) Combine(acc, m edgeRef) edgeRef {
 	return acc
 }
 
-func (p *clusterDiffusionProgram) Compute(step int, v bsp.VertexID, inbox []edgeRef, send func(bsp.VertexID, edgeRef)) bool {
+func (p *clusterDiffusionProgram) Compute(step int, v bsp.VertexID, inbox []edgeRef, out *bsp.Outbox[edgeRef]) bool {
 	u := int32(v)
 	rl, rh := p.offsets[u], p.offsets[u+1]
 	changed := false
@@ -66,41 +67,46 @@ func (p *clusterDiffusionProgram) Compute(step int, v bsp.VertexID, inbox []edge
 		}
 	}
 	if changed && step < p.rounds {
-		for j := rl; j < rh; j++ {
-			send(bsp.VertexID(p.nbrs[j]), p.know[u])
-		}
+		out.SendMany(p.nbrs[rl:rh], p.know[u])
 		return false
 	}
 	return true
 }
 
 // selectLocalMaximaBSP is selectLocalMaxima routed through the BSP
-// engine: one engine run per clustering round over the current
-// contracted CSR, partitioned into st.shards row ranges. The selection,
-// round edge count and best similarity are byte-identical to the
-// shared-memory scans (max-exchange reaches the same fixed point under
-// any execution order); agg accumulates the engine profile across
-// rounds.
+// engine. One engine serves the whole clustering: the first round builds
+// it, every later round rebinds it to the contracted CSR (the id space
+// grows as merges mint ids), so workers, inbox accumulators and combiner
+// scratch persist across rounds and steady-state rounds allocate no
+// engine state. The selection, round edge count and best similarity are
+// byte-identical to the shared-memory scans (max-exchange reaches the
+// same fixed point under any execution order); agg accumulates the
+// engine profile across rounds, carrying the lifetime reuse counters.
 func (st *state) selectLocalMaximaBSP(rounds int, threshold float64, agg *bsp.Stats) ([]edgeRef, int, float64, error) {
 	n := st.total
 	for len(st.bspKnow) < n {
 		st.bspKnow = append(st.bspKnow, noEdge)
 	}
-	prog := &clusterDiffusionProgram{
-		offsets:   st.offsets[:n+1],
-		nbrs:      st.nbrs,
-		wts:       st.wts,
-		rounds:    rounds,
-		threshold: threshold,
-		know:      st.bspKnow[:n],
-		edgeCnt:   st.edgeCnt[:n],
-		bests:     st.bests[:n],
+	if st.bspProg == nil {
+		st.bspProg = &clusterDiffusionProgram{rounds: rounds, threshold: threshold}
 	}
-	eng, err := bsp.New[edgeRef](n, prog, bsp.Config{Workers: st.shards})
-	if err != nil {
+	prog := st.bspProg
+	prog.offsets = st.offsets[:n+1]
+	prog.nbrs = st.nbrs
+	prog.wts = st.wts
+	prog.know = st.bspKnow[:n]
+	prog.edgeCnt = st.edgeCnt[:n]
+	prog.bests = st.bests[:n]
+	if st.bspEng == nil {
+		eng, err := bsp.New[edgeRef](n, prog, bsp.Config{Workers: st.shards, Chaos: st.bspChaos})
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		st.bspEng = eng
+	} else if err := st.bspEng.Rebind(n, prog); err != nil {
 		return nil, 0, 0, err
 	}
-	stats, err := eng.Run()
+	stats, err := st.bspEng.Run()
 	if err != nil {
 		return nil, 0, 0, err
 	}

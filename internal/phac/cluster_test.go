@@ -368,11 +368,74 @@ func TestDiffuseBSPChaosMatrix(t *testing.T) {
 				}
 			}
 		}
+		// Worker dimension: a plain CSR is partitioned by cfg.Workers, so
+		// this leg varies the engine width independently of the shard leg
+		// above (and workers=1 exercises the pooled single-shard path).
+		for _, workers := range []int{1, 3} {
+			for seed := uint64(1); seed <= 2; seed++ {
+				var chaos *bsp.Chaos
+				if workers > 1 {
+					chaos = &bsp.Chaos{Seed: seed, ShuffleInbox: true, StallBatches: true}
+				}
+				got, err := DiffuseBSP(base, 2, 0.3, bsp.Config{Workers: workers, Chaos: chaos})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(want, got) {
+					t.Fatalf("graph %d workers %d chaos seed %d: result changed", gseed, workers, seed)
+				}
+			}
+		}
+	}
+}
+
+// Repeated single-shard DiffuseBSP calls are served by pooled persistent
+// engines rebound to each call's graph. Pooled reuse must be invisible
+// in the output — every call byte-identical to the first — and visible
+// in the stats: once a pooled engine is picked up again its lifetime
+// RunsServed exceeds 1.
+func TestDiffuseBSPPooledReuse(t *testing.T) {
+	g := randomGraph(50, 120, 7)
+	base := g.Freeze()
+	want, stats, err := DiffuseBSPStats(base, 2, 0.3, bsp.Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxRuns := stats.RunsServed
+	for i := 0; i < 20; i++ {
+		// Alternate graph sizes so reuse exercises the rebind path in
+		// both directions, not just a same-shape rerun.
+		gi := base
+		wanti := want
+		if i%2 == 1 {
+			gi = randomGraph(30, 60, 9).Freeze()
+			if wanti, err = Diffuse(gi, 2, 0.3, 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got, stats, err := DiffuseBSPStats(gi, 2, 0.3, bsp.Config{Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(wanti, got) {
+			t.Fatalf("call %d: pooled engine changed the result", i)
+		}
+		if stats.RunsServed > maxRuns {
+			maxRuns = stats.RunsServed
+		}
+	}
+	// The pool is a sync.Pool, so any single item can be GC-dropped; over
+	// 21 sequential calls at least one reuse must have happened.
+	if maxRuns < 2 {
+		t.Fatalf("no pooled engine was ever reused: max RunsServed = %d", maxRuns)
 	}
 }
 
 // Routing every clustering round's diffusion through the BSP engine must
-// leave the clustering byte-identical, for any partition width.
+// leave the clustering byte-identical, for any partition width and under
+// adversarial delivery — and the whole clustering must be served by ONE
+// persistent engine carried across merge rounds through Rebind, so the
+// aggregated stats record rounds-1 rebinds and a run per round.
 func TestClusterBSPMatches(t *testing.T) {
 	for seed := uint64(1); seed <= 4; seed++ {
 		g := randomGraph(70, 200, seed)
@@ -380,24 +443,43 @@ func TestClusterBSPMatches(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		if want.BSP != nil {
+			t.Fatalf("seed %d: shared-memory run reported BSP stats", seed)
+		}
 		for _, shards := range []int{1, 3} {
-			got, err := Cluster(context.Background(), g, nil, Config{
-				StopThreshold: 0.25, DiffusionRounds: 2, Shards: shards, UseBSP: true,
-			})
-			if err != nil {
-				t.Fatal(err)
-			}
-			if !reflect.DeepEqual(want.Dendrogram, got.Dendrogram) {
-				t.Fatalf("seed %d shards %d: BSP clustering dendrogram differs", seed, shards)
-			}
-			if !reflect.DeepEqual(want.Rounds, got.Rounds) {
-				t.Fatalf("seed %d shards %d: BSP round stats differ: %v vs %v", seed, shards, want.Rounds, got.Rounds)
-			}
-			if got.BSP == nil || got.BSP.Supersteps == 0 {
-				t.Fatalf("seed %d shards %d: BSP stats not aggregated", seed, shards)
-			}
-			if want.BSP != nil {
-				t.Fatalf("seed %d: shared-memory run reported BSP stats", seed)
+			for _, chaos := range []*bsp.Chaos{
+				nil,
+				{Seed: seed, ShuffleInbox: true, StallBatches: true},
+			} {
+				got, err := Cluster(context.Background(), g, nil, Config{
+					StopThreshold: 0.25, DiffusionRounds: 2, Shards: shards,
+					UseBSP: true, BSPChaos: chaos,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(want.Dendrogram, got.Dendrogram) {
+					t.Fatalf("seed %d shards %d chaos %v: BSP clustering dendrogram differs", seed, shards, chaos)
+				}
+				if !reflect.DeepEqual(want.Rounds, got.Rounds) {
+					t.Fatalf("seed %d shards %d chaos %v: BSP round stats differ: %v vs %v",
+						seed, shards, chaos, want.Rounds, got.Rounds)
+				}
+				if got.BSP == nil || got.BSP.Supersteps == 0 {
+					t.Fatalf("seed %d shards %d: BSP stats not aggregated", seed, shards)
+				}
+				rounds := len(got.Rounds)
+				if got.BSP.RunsServed < rounds {
+					t.Fatalf("seed %d shards %d: engine served %d runs over %d rounds — a fresh engine per round",
+						seed, shards, got.BSP.RunsServed, rounds)
+				}
+				if got.BSP.Rebinds < rounds-1 {
+					t.Fatalf("seed %d shards %d: %d rebinds over %d rounds — rounds did not reuse the engine",
+						seed, shards, got.BSP.Rebinds, rounds)
+				}
+				if rounds > 1 && got.BSP.PeakRetainedBytes <= 0 {
+					t.Fatalf("seed %d shards %d: reused engine retained no buffers", seed, shards)
+				}
 			}
 		}
 	}

@@ -341,8 +341,23 @@ func DiffuseBSP(g wgraph.View, rounds int, threshold float64, cfg bsp.Config) ([
 	return sel, err
 }
 
+// pooledDiffusion is a (program, engine) pair kept in bspDiffusePool so
+// repeated single-shard DiffuseBSP calls reuse one persistent engine —
+// inbox accumulators, generation stamps, worklists and the know array
+// survive across calls, re-bound to each call's graph. The pool holds
+// only single-shard engines (no worker goroutines, safe for the GC to
+// drop) built from a default Config, so a pooled engine is
+// interchangeable with a fresh one for every call that qualifies.
+type pooledDiffusion struct {
+	prog diffusionProgram
+	eng  *bsp.Engine[edgeRef]
+}
+
+var bspDiffusePool sync.Pool
+
 // DiffuseBSPStats is DiffuseBSP surfacing the engine's execution profile
-// (supersteps, messages, per-step active counts, combiner hit rate).
+// (supersteps, messages, per-step active counts, combiner hit rate, and
+// the lifetime reuse counters — a pooled engine reports RunsServed > 1).
 func DiffuseBSPStats(g wgraph.View, rounds int, threshold float64, cfg bsp.Config) ([]Edge, *bsp.Stats, error) {
 	if g.NumNodes() == 0 {
 		return nil, nil, fmt.Errorf("phac: empty graph")
@@ -357,22 +372,53 @@ func DiffuseBSPStats(g wgraph.View, rounds int, threshold float64, cfg bsp.Confi
 	if cfg.Plan.NumShards() == 0 {
 		cfg.Plan = sc.Plan()
 	}
-	prog := &diffusionProgram{
-		segs:      sc.Segments(),
-		plan:      sc.Plan(),
-		rounds:    rounds,
-		threshold: threshold,
-		know:      make([]edgeRef, g.NumNodes()),
+	segs := sc.Segments()
+	plan := sc.Plan()
+	bounds := make([]int32, plan.NumShards()+1)
+	for i := 0; i < plan.NumShards(); i++ {
+		bounds[i], bounds[i+1] = plan.Bounds(i)
 	}
-	eng, err := bsp.New[edgeRef](g.NumNodes(), prog, cfg)
-	if err != nil {
+	n := g.NumNodes()
+	poolable := plan.NumShards() == 1 && cfg.Chaos == nil && cfg.MaxSupersteps <= 0
+	var pd *pooledDiffusion
+	if poolable {
+		pd, _ = bspDiffusePool.Get().(*pooledDiffusion)
+	}
+	if pd == nil {
+		pd = &pooledDiffusion{}
+	}
+	prog := &pd.prog
+	prog.segs = segs
+	prog.bounds = bounds
+	prog.rounds = rounds
+	prog.threshold = threshold
+	if cap(prog.know) < n {
+		prog.know = make([]edgeRef, n)
+	} else {
+		prog.know = prog.know[:n] // stale entries: superstep 0 writes every row
+	}
+	var err error
+	if pd.eng == nil {
+		if pd.eng, err = bsp.New[edgeRef](n, prog, cfg); err != nil {
+			return nil, nil, err
+		}
+	} else if err = pd.eng.Rebind(n, prog); err != nil {
+		pd.eng.Close()
 		return nil, nil, err
 	}
-	stats, err := eng.Run()
+	stats, err := pd.eng.Run()
 	if err != nil {
+		pd.eng.Close()
 		return nil, nil, err
 	}
-	return collectSelected(prog.know, threshold), stats, nil
+	sel := collectSelected(prog.know, threshold)
+	if poolable {
+		prog.segs = nil // the pool keeps scratch alive, never the graph
+		bspDiffusePool.Put(pd)
+	} else {
+		pd.eng.Close()
+	}
+	return sel, stats, nil
 }
 
 // diffusionProgram is the vertex-centric formulation over per-shard
@@ -387,7 +433,7 @@ func DiffuseBSPStats(g wgraph.View, rounds int, threshold float64, cfg bsp.Confi
 // engine the sender-side max-fold.
 type diffusionProgram struct {
 	segs      []*shard.Segment
-	plan      shard.Plan
+	bounds    []int32 // plan row bounds, len shards+1 (hand-rolled Find)
 	rounds    int
 	threshold float64
 	know      []edgeRef
@@ -401,9 +447,28 @@ func (p *diffusionProgram) Combine(acc, m edgeRef) edgeRef {
 	return acc
 }
 
-func (p *diffusionProgram) Compute(step int, v bsp.VertexID, inbox []edgeRef, send func(bsp.VertexID, edgeRef)) bool {
+// seg returns the segment owning row u: an inlined branchless-probe
+// binary search over the plan bounds — plan.Find's sort.Search closure
+// was a measurable cost at one lookup per vertex per superstep.
+func (p *diffusionProgram) seg(u int32) *shard.Segment {
+	if len(p.segs) == 1 {
+		return p.segs[0]
+	}
+	b := p.bounds
+	lo, hi := 0, len(b)-1
+	for hi-lo > 1 {
+		if mid := (lo + hi) >> 1; u >= b[mid] {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return p.segs[lo]
+}
+
+func (p *diffusionProgram) Compute(step int, v bsp.VertexID, inbox []edgeRef, out *bsp.Outbox[edgeRef]) bool {
 	u := int32(v)
-	nbrs, wts := p.segs[p.plan.Find(u)].Row(u)
+	nbrs, wts := p.seg(u).Row(u)
 	changed := false
 	if step == 0 {
 		best := noEdge
@@ -428,9 +493,7 @@ func (p *diffusionProgram) Compute(step int, v bsp.VertexID, inbox []edgeRef, se
 		}
 	}
 	if changed && step < p.rounds {
-		for _, nb := range nbrs {
-			send(bsp.VertexID(nb), p.know[u])
-		}
+		out.SendMany(nbrs, p.know[u])
 		return false
 	}
 	return true

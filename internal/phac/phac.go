@@ -118,6 +118,11 @@ type Config struct {
 	// TestClusterBSPMatches); Result.BSP carries the aggregated engine
 	// profile.
 	UseBSP bool
+	// BSPChaos, when non-nil with UseBSP, injects the engine's failure
+	// modes (shuffled delivery, stalled batches) into every clustering
+	// round — exercising the rebind path under chaos. The dendrogram must
+	// stay byte-identical (locked by TestClusterBSPMatches).
+	BSPChaos *bsp.Chaos
 }
 
 // DefaultConfig mirrors the paper: r=2, threshold 0.35.
@@ -222,6 +227,7 @@ func Cluster(ctx context.Context, g wgraph.View, sizes []int, cfg Config) (*Resu
 	}
 
 	st := newState(wgraph.AsCSR(g), sizes, cfg)
+	defer st.release()
 	res := &Result{Dendrogram: &dendrogram.Dendrogram{Leaves: n}}
 	if cfg.UseBSP {
 		res.BSP = &bsp.Stats{}
@@ -285,9 +291,9 @@ type state struct {
 	size       []float64
 	alive      []bool
 	aliveCount int
-	workers int
-	shards  int     // partition-parallel width (cfg.Shards)
-	density float64 // frontier density threshold (cfg.FrontierDensity)
+	workers    int
+	shards     int     // partition-parallel width (cfg.Shards)
+	density    float64 // frontier density threshold (cfg.FrontierDensity)
 	// exStates memoizes the full diffusion cascade across merge rounds:
 	// exStates[0] holds every node's init state (best incident edge) and
 	// exStates[it+1] the state after exchange iteration it. Between
@@ -295,22 +301,24 @@ type state struct {
 	// and the neighborhoods of cross-round-changed values can differ, so
 	// each phase recomputes just that frontier and reuses every other
 	// entry as-is — the sparse-activation structure of late clustering
-	// rounds, byte-identical to the dense recomputation.
+	// rounds, byte-identical to the dense recomputation. Each phase both
+	// consumes and produces an explicit worklist (dirtyList in, chList
+	// through, afList between scatter and recompute), so finding the
+	// frontier costs O(frontier), not an O(alive) stamp scan per phase.
 	exStates  [][]edgeRef
 	haveCache bool     // exStates/edgeCnt/bests hold the previous round
-	chMark    []uint32 // id -> epoch its state last changed cross-round
 	afMark    []uint32 // id -> epoch it was marked for recomputation
 	epoch     uint32   // phase counter (never reset)
 	changed   int64    // parallel-phase change counter (atomic; lives on
 	// the state so closures capturing it never force a per-iteration
 	// heap allocation on the serial zero-alloc path)
-	nodes      []int32   // aliveList scratch
-	edgeCnt    []int64   // id -> round-stat edge count (owned at min id)
-	bests      []edgeRef // id -> best incident edge regardless of threshold
-	selected   []edgeRef // selection output, reused per round
-	mergeTo    []int32   // id -> new id this round, -1 otherwise
-	coef       []float64 // id -> Eq. 4 coefficient this round
-	deg []int32 // degree/cursor scratch for CSR rebuild
+	nodes    []int32   // aliveList scratch
+	edgeCnt  []int64   // id -> round-stat edge count (owned at min id)
+	bests    []edgeRef // id -> best incident edge regardless of threshold
+	selected []edgeRef // selection output, reused per round
+	mergeTo  []int32   // id -> new id this round, -1 otherwise
+	coef     []float64 // id -> Eq. 4 coefficient this round
+	deg      []int32   // degree/cursor scratch for CSR rebuild
 	// dirty stamps ids whose adjacency the current merge round changed:
 	// dirty[id] == dirtyEpoch means dirty. Marks are written inside the
 	// contribution-generation pass (which already walks every merged
@@ -318,13 +326,41 @@ type state struct {
 	// bump replaces the per-round clear.
 	dirty      []uint32
 	dirtyEpoch uint32
-	bspKnow    []edgeRef // per-id know scratch for the UseBSP path
-	perOwner   [][]contrib
-	perOwnerB  [][]contrib // minted-minted tail scratch per owner
-	bounds     []int32       // edge-balanced range scratch (diffusion + rebuild)
-	hp         []int32       // k-way merge heap scratch (owner indices)
-	hpPos      []int32       // k-way merge per-owner cursor scratch
-	newEdges   []wgraph.Edge // aggregated >= threshold edges
+	// dirtyList is the explicit worklist matching the dirty stamps: the
+	// ids stamped with the current dirtyEpoch, deduplicated at stamp time
+	// (CAS winners append into per-worker buckets, concatenated after the
+	// pass), so the memoized diffusion finds its work in O(|dirty|)
+	// instead of scanning every alive row. Under parallel merges the
+	// entry order is scheduling-dependent but the id set is not; every
+	// consumer does per-id independent work, so results stay
+	// byte-identical for any order.
+	dirtyList []int32
+	dirtyBkts [][]int32 // per-worker dirty collection scratch
+	// chList/chNext are the per-phase changed-row worklists: each phase
+	// (init or exchange iteration) appends the rows whose value it
+	// changed to chNext, which becomes chList — the input frontier of the
+	// next iteration's scatter. Duplicate-free by construction (each row
+	// is recomputed once per phase). afList is the scatter output — the
+	// rows the pruned iteration must recompute — deduplicated via the
+	// afMark epoch stamps. The *Bkts slices are per-range collection
+	// scratch for the parallel phases.
+	chList  []int32
+	chNext  []int32
+	chBkts  [][]int32
+	afList  []int32
+	afBkts  [][]int32
+	bspKnow []edgeRef // per-id know scratch for the UseBSP path
+	// bspEng/bspProg persist across merge rounds on the UseBSP path: one
+	// engine per clustering, rebound to each round's contracted CSR.
+	bspEng    *bsp.Engine[edgeRef]
+	bspProg   *clusterDiffusionProgram
+	bspChaos  *bsp.Chaos
+	perOwner  [][]contrib
+	perOwnerB [][]contrib   // minted-minted tail scratch per owner
+	bounds    []int32       // edge-balanced range scratch (diffusion + rebuild)
+	hp        []int32       // k-way merge heap scratch (owner indices)
+	hpPos     []int32       // k-way merge per-owner cursor scratch
+	newEdges  []wgraph.Edge // aggregated >= threshold edges
 }
 
 func newState(c *wgraph.CSR, sizes []int, cfg Config) *state {
@@ -357,8 +393,8 @@ func newState(c *wgraph.CSR, sizes []int, cfg Config) *state {
 		workers:    cfg.Workers,
 		shards:     cfg.Shards,
 		density:    cfg.FrontierDensity,
+		bspChaos:   cfg.BSPChaos,
 		exStates:   make([][]edgeRef, cfg.DiffusionRounds+1),
-		chMark:     make([]uint32, n, 2*n),
 		afMark:     make([]uint32, n, 2*n),
 		edgeCnt:    make([]int64, n, 2*n),
 		bests:      make([]edgeRef, n, 2*n),
@@ -383,6 +419,14 @@ func newState(c *wgraph.CSR, sizes []int, cfg Config) *state {
 		st.mergeTo[i] = -1
 	}
 	return st
+}
+
+// release retires any resources the state holds beyond its own memory —
+// today the persistent BSP engine's shard workers.
+func (st *state) release() {
+	if st.bspEng != nil {
+		st.bspEng.Close()
+	}
 }
 
 // aliveList fills the reusable node scratch with the alive cluster ids.
@@ -423,21 +467,30 @@ func (st *state) selectLocalMaxima(rounds, workers int, threshold float64) ([]ed
 	// Init phase: best incident >= threshold edge per node, plus the
 	// round statistics (edge endpoints counted once, at the smaller id).
 	// Cached entries are reused — only dirty rows (adjacency touched by
-	// the last merge, minted rows included) can differ from last round.
+	// the last merge, minted rows included) can differ from last round,
+	// and the last merge left them in dirtyList, so the phase iterates
+	// the worklist instead of scanning every alive row for stamps.
 	st.epoch++
-	prevEpoch := st.epoch
 	init := st.exStates[0]
 	prevChanged := int64(-1) // unknown frontier: forces dense iterations
 	if st.haveCache {
+		ch := st.chNext[:0]
 		if serial {
-			prevChanged = st.initDirty(nodes, 0, len(nodes), threshold, init)
+			ch, prevChanged = st.initDirtyList(st.dirtyList, threshold, init, ch)
 		} else {
+			st.ensureBkts()
+			st.resetChBkts()
 			st.changed = 0
-			runRanges(bounds, func(lo, hi int) {
-				atomic.AddInt64(&st.changed, st.initDirty(nodes, lo, hi, threshold, init))
+			st.runListChunks(st.dirtyList, func(ci int, part []int32) {
+				b, c := st.initDirtyList(part, threshold, init, st.chBkts[ci][:0])
+				st.chBkts[ci] = b
+				atomic.AddInt64(&st.changed, c)
 			})
+			ch = st.concatChBkts(ch)
 			prevChanged = st.changed
 		}
+		st.chNext = ch
+		st.chList, st.chNext = st.chNext, st.chList
 	} else {
 		if serial {
 			st.initAll(nodes, 0, len(nodes), threshold, init)
@@ -461,34 +514,48 @@ func (st *state) selectLocalMaxima(rounds, workers int, threshold float64) ([]ed
 	// edges, reading level it and writing level it+1 so reads only see
 	// the previous level. A level entry is recomputed when the node is
 	// dirty (its input set changed) or any input value changed cross-
-	// round; everything else provably equals the memoized value.
+	// round; everything else provably equals the memoized value. The
+	// previous phase's changed rows arrive in chList; the scatter walks
+	// that list (plus the dirty list) to build afList, and the pruned
+	// recompute walks afList — no per-phase stamp scans anywhere.
 	for it := 0; it < rounds; it++ {
 		st.epoch++
 		src, dst := st.exStates[it], st.exStates[it+1]
 		dense := prevChanged < 0 || st.density < 0 ||
 			float64(prevChanged) > st.density*float64(len(nodes))
+		ch := st.chNext[:0]
 		st.changed = 0
 		switch {
 		case dense && serial:
-			st.changed = st.denseIter(nodes, 0, len(nodes), src, dst)
+			ch, st.changed = st.denseIter(nodes, 0, len(nodes), src, dst, ch)
 		case dense:
-			runRanges(bounds, func(lo, hi int) {
-				atomic.AddInt64(&st.changed, st.denseIter(nodes, lo, hi, src, dst))
+			st.ensureBkts()
+			st.resetChBkts()
+			runRangesIdx(bounds, func(ci, lo, hi int) {
+				b, c := st.denseIter(nodes, lo, hi, src, dst, st.chBkts[ci][:0])
+				st.chBkts[ci] = b
+				atomic.AddInt64(&st.changed, c)
 			})
+			ch = st.concatChBkts(ch)
 		case serial:
-			st.scatterFrontier(nodes, 0, len(nodes), prevEpoch)
-			st.changed = st.prunedIter(nodes, 0, len(nodes), src, dst)
+			af := st.scatterList(st.chList, st.dirtyList, st.afList[:0])
+			st.afList = af
+			ch, st.changed = st.prunedIterList(af, src, dst, ch)
 		default:
-			pe := prevEpoch
-			runRanges(bounds, func(lo, hi int) {
-				st.scatterFrontierAtomic(nodes, lo, hi, pe)
+			st.ensureBkts()
+			af := st.scatterListAtomic(st.afList[:0])
+			st.afList = af
+			st.resetChBkts()
+			st.runListChunks(af, func(ci int, part []int32) {
+				b, c := st.prunedIterList(part, src, dst, st.chBkts[ci][:0])
+				st.chBkts[ci] = b
+				atomic.AddInt64(&st.changed, c)
 			})
-			runRanges(bounds, func(lo, hi int) {
-				atomic.AddInt64(&st.changed, st.prunedIter(nodes, lo, hi, src, dst))
-			})
+			ch = st.concatChBkts(ch)
 		}
+		st.chNext = ch
+		st.chList, st.chNext = st.chNext, st.chList
 		prevChanged = st.changed
-		prevEpoch = st.epoch
 	}
 	final := st.exStates[rounds]
 
@@ -578,6 +645,24 @@ func runRanges(bounds []int32, fn func(lo, hi int)) {
 	wg.Wait()
 }
 
+// runRangesIdx is runRanges passing each range's index to fn — for
+// phases that collect into per-range buckets.
+func runRangesIdx(bounds []int32, fn func(ci, lo, hi int)) {
+	var wg sync.WaitGroup
+	for i := 0; i+1 < len(bounds); i++ {
+		lo, hi := int(bounds[i]), int(bounds[i+1])
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(ci, lo, hi int) {
+			defer wg.Done()
+			fn(ci, lo, hi)
+		}(i, lo, hi)
+	}
+	wg.Wait()
+}
+
 // initAll is the uncached init phase over nodes[lo:hi]: each node's
 // best incident >= threshold edge into init, plus the per-id round
 // statistics (edge endpoints counted once, at the smaller id). Pure CSR
@@ -611,19 +696,17 @@ func (st *state) initAll(nodes []int32, lo, hi int, threshold float64, init []ed
 	}
 }
 
-// initDirty is the memoized init phase: only dirty rows — whose
-// adjacency the last merge changed — are recomputed; every other cached
-// entry is provably identical to a full recomputation. Rows whose init
-// state actually changed are stamped for the first exchange iteration's
-// frontier, and the change count is returned.
-func (st *state) initDirty(nodes []int32, lo, hi int, threshold float64, init []edgeRef) int64 {
+// initDirtyList is the memoized init phase over a slice of the dirty
+// worklist: only those rows — whose adjacency the last merge changed —
+// are recomputed; every other cached entry is provably identical to a
+// full recomputation. Dead list entries (merged-away ids stamped as
+// neighbors) are skipped. Rows whose init state actually changed append
+// to out (the next iteration's frontier); returns out and the count.
+func (st *state) initDirtyList(list []int32, threshold float64, init []edgeRef, out []int32) ([]int32, int64) {
 	offsets, nbrs, wts := st.offsets, st.nbrs, st.wts
-	epoch := st.epoch
 	var cnt int64
-	dirtyEpoch := st.dirtyEpoch
-	for i := lo; i < hi; i++ {
-		u := nodes[i]
-		if st.dirty[u] != dirtyEpoch {
+	for _, u := range list {
+		if !st.alive[u] {
 			continue
 		}
 		best := noEdge
@@ -649,19 +732,18 @@ func (st *state) initDirty(nodes []int32, lo, hi int, threshold float64, init []
 		st.bests[u] = bestAny
 		if best != init[u] {
 			init[u] = best
-			st.chMark[u] = epoch
+			out = append(out, u)
 			cnt++
 		}
 	}
-	return cnt
+	return out, cnt
 }
 
 // denseIter recomputes level it+1 for every node of nodes[lo:hi] from
-// level it, stamping cross-round changes (new value differs from the
-// memoized one) and returning the change count.
-func (st *state) denseIter(nodes []int32, lo, hi int, src, dst []edgeRef) int64 {
+// level it, appending cross-round changes (new value differs from the
+// memoized one) to out and returning out plus the change count.
+func (st *state) denseIter(nodes []int32, lo, hi int, src, dst []edgeRef, out []int32) ([]int32, int64) {
 	offsets, nbrs := st.offsets, st.nbrs
-	epoch := st.epoch
 	var cnt int64
 	for i := lo; i < hi; i++ {
 		u := nodes[i]
@@ -673,78 +755,185 @@ func (st *state) denseIter(nodes []int32, lo, hi int, src, dst []edgeRef) int64 
 		}
 		if best != dst[u] {
 			dst[u] = best
-			st.chMark[u] = epoch
+			out = append(out, u)
 			cnt++
 		}
 	}
-	return cnt
+	return out, cnt
 }
 
-// scatterFrontier marks for recomputation every node whose input set
-// for the current level can differ from last round: nodes whose own
-// previous-level value changed (plus their neighbors, who read it) and
-// dirty nodes (their neighbor set itself changed).
-func (st *state) scatterFrontier(nodes []int32, lo, hi int, prevEpoch uint32) {
+// scatterList builds the recompute worklist for the current level: every
+// node whose input set can differ from last round — the previous phase's
+// changed rows (ch) and their neighbors, who read them, plus dirty rows
+// (their neighbor set itself changed; dead list entries skipped). The
+// afMark epoch stamps deduplicate; out receives each marked id once.
+func (st *state) scatterList(ch, dirty []int32, out []int32) []int32 {
 	offsets, nbrs := st.offsets, st.nbrs
 	epoch := st.epoch
-	for i := lo; i < hi; i++ {
-		u := nodes[i]
-		if st.chMark[u] == prevEpoch {
-			st.afMark[u] = epoch
-			for j := offsets[u]; j < offsets[u+1]; j++ {
-				st.afMark[nbrs[j]] = epoch
+	af := st.afMark
+	for _, u := range ch {
+		if af[u] != epoch {
+			af[u] = epoch
+			out = append(out, u)
+		}
+		for j := offsets[u]; j < offsets[u+1]; j++ {
+			if v := nbrs[j]; af[v] != epoch {
+				af[v] = epoch
+				out = append(out, v)
 			}
-		} else if st.dirty[u] == st.dirtyEpoch {
-			st.afMark[u] = epoch
 		}
 	}
-}
-
-// scatterFrontierAtomic is scatterFrontier with atomic mark stores:
-// concurrent range workers may mark the same neighbor, and every store
-// carries the same epoch, so the marks stay deterministic.
-func (st *state) scatterFrontierAtomic(nodes []int32, lo, hi int, prevEpoch uint32) {
-	offsets, nbrs := st.offsets, st.nbrs
-	epoch := st.epoch
-	for i := lo; i < hi; i++ {
-		u := nodes[i]
-		if st.chMark[u] == prevEpoch {
-			atomic.StoreUint32(&st.afMark[u], epoch)
-			for j := offsets[u]; j < offsets[u+1]; j++ {
-				atomic.StoreUint32(&st.afMark[nbrs[j]], epoch)
-			}
-		} else if st.dirty[u] == st.dirtyEpoch {
-			atomic.StoreUint32(&st.afMark[u], epoch)
+	for _, u := range dirty {
+		if st.alive[u] && af[u] != epoch {
+			af[u] = epoch
+			out = append(out, u)
 		}
 	}
+	return out
 }
 
-// prunedIter recomputes only the marked nodes of nodes[lo:hi]; every
-// unmarked node keeps its memoized level value, which is provably what
-// the dense recomputation would produce (identical inputs to last
-// round). Cross-round changes are stamped and counted.
-func (st *state) prunedIter(nodes []int32, lo, hi int, src, dst []edgeRef) int64 {
+// scatterListAtomic is scatterList for the parallel path: list chunks
+// race to stamp shared neighbors, the CAS winner appends to its chunk's
+// bucket, and the buckets concatenate into out. The marked id set is
+// deterministic (every worker stamps the same epoch); the order ids land
+// in out is not, which is safe — the pruned recompute's work is per-id
+// independent, so the diffusion result is byte-identical for any order.
+func (st *state) scatterListAtomic(out []int32) []int32 {
 	offsets, nbrs := st.offsets, st.nbrs
 	epoch := st.epoch
+	st.resetAfBkts()
+	st.runListChunks(st.chList, func(ci int, part []int32) {
+		bkt := st.afBkts[ci]
+		for _, u := range part {
+			if casMark32(&st.afMark[u], epoch) {
+				bkt = append(bkt, u)
+			}
+			for j := offsets[u]; j < offsets[u+1]; j++ {
+				if v := nbrs[j]; casMark32(&st.afMark[v], epoch) {
+					bkt = append(bkt, v)
+				}
+			}
+		}
+		st.afBkts[ci] = bkt
+	})
+	out = st.concatAfBkts(out)
+	st.resetAfBkts()
+	st.runListChunks(st.dirtyList, func(ci int, part []int32) {
+		bkt := st.afBkts[ci]
+		for _, u := range part {
+			if st.alive[u] && casMark32(&st.afMark[u], epoch) {
+				bkt = append(bkt, u)
+			}
+		}
+		st.afBkts[ci] = bkt
+	})
+	return st.concatAfBkts(out)
+}
+
+// prunedIterList recomputes exactly the rows of the scatter worklist
+// slice; every row not on the list keeps its memoized level value, which
+// is provably what the dense recomputation would produce (identical
+// inputs to last round). Cross-round changes append to out and are
+// counted.
+func (st *state) prunedIterList(list []int32, src, dst []edgeRef, out []int32) ([]int32, int64) {
+	offsets, nbrs := st.offsets, st.nbrs
 	var cnt int64
-	for i := lo; i < hi; i++ {
-		u := nodes[i]
-		if st.afMark[u] != epoch {
+	for _, u := range list {
+		best := src[u]
+		for j := offsets[u]; j < offsets[u+1]; j++ {
+			if v := nbrs[j]; better(src[v], best) {
+				best = src[v]
+			}
+		}
+		if best != dst[u] {
+			dst[u] = best
+			out = append(out, u)
+			cnt++
+		}
+	}
+	return out, cnt
+}
+
+// casMark32 stamps *p with epoch and reports whether this caller won the
+// stamp — exactly one concurrent marker of the same epoch wins, which
+// keeps worklist entries duplicate-free without a second dedup pass.
+func casMark32(p *uint32, epoch uint32) bool {
+	for {
+		cur := atomic.LoadUint32(p)
+		if cur == epoch {
+			return false
+		}
+		if atomic.CompareAndSwapUint32(p, cur, epoch) {
+			return true
+		}
+	}
+}
+
+// ensureBkts sizes the per-range worklist collection buckets to the
+// partition width. Parallel-only scratch: the serial path never touches
+// it, keeping that path allocation-free.
+func (st *state) ensureBkts() {
+	for len(st.chBkts) < st.shards {
+		st.chBkts = append(st.chBkts, nil)
+	}
+	for len(st.afBkts) < st.shards {
+		st.afBkts = append(st.afBkts, nil)
+	}
+}
+
+func (st *state) resetChBkts() {
+	for i := range st.chBkts {
+		st.chBkts[i] = st.chBkts[i][:0]
+	}
+}
+
+func (st *state) resetAfBkts() {
+	for i := range st.afBkts {
+		st.afBkts[i] = st.afBkts[i][:0]
+	}
+}
+
+// concatChBkts appends every chunk bucket to out in chunk order.
+func (st *state) concatChBkts(out []int32) []int32 {
+	for i := range st.chBkts {
+		out = append(out, st.chBkts[i]...)
+	}
+	return out
+}
+
+func (st *state) concatAfBkts(out []int32) []int32 {
+	for i := range st.afBkts {
+		out = append(out, st.afBkts[i]...)
+	}
+	return out
+}
+
+// runListChunks splits list into up to st.shards contiguous chunks and
+// runs fn(chunkIndex, chunk) concurrently over the non-empty ones.
+// Chunks only partition work; consumers write per-id state and collect
+// into per-chunk buckets, so results do not depend on the split.
+func (st *state) runListChunks(list []int32, fn func(ci int, part []int32)) {
+	k := st.shards
+	if k < 1 {
+		k = 1
+	}
+	if k == 1 || len(list) < 64 {
+		fn(0, list)
+		return
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < k; i++ {
+		lo, hi := i*len(list)/k, (i+1)*len(list)/k
+		if lo == hi {
 			continue
 		}
-		best := src[u]
-		for j := offsets[u]; j < offsets[u+1]; j++ {
-			if v := nbrs[j]; better(src[v], best) {
-				best = src[v]
-			}
-		}
-		if best != dst[u] {
-			dst[u] = best
-			st.chMark[u] = epoch
-			cnt++
-		}
+		wg.Add(1)
+		go func(ci int, part []int32) {
+			defer wg.Done()
+			fn(ci, part)
+		}(i, list[lo:hi])
 	}
-	return cnt
+	wg.Wait()
 }
 
 // diffuseSelectSerial appends the locally-maximal edges (each edge
@@ -806,7 +995,6 @@ func (st *state) mergeSelected(selected []edgeRef, round int, cfg Config, d *den
 	// a merged old cluster to its new id and Eq. 4 coefficient.
 	for len(st.mergeTo) < newTotal {
 		st.mergeTo = append(st.mergeTo, -1)
-		st.chMark = append(st.chMark, 0)
 		st.afMark = append(st.afMark, 0)
 		st.edgeCnt = append(st.edgeCnt, 0)
 		st.bests = append(st.bests, noEdge)
@@ -851,9 +1039,11 @@ func (st *state) mergeSelected(selected []edgeRef, round int, cfg Config, d *den
 	// The pass also stamps the round's dirty rows for the rebuild and the
 	// next round's memoized diffusion: every visited neighbor (the walk
 	// covers both members' whole adjacency) plus the owner's minted row.
-	// Shared neighbors may be stamped by several owners — the stores all
-	// carry the same epoch, so atomic stores keep them deterministic —
-	// and the former serial marking pre-scan over the same rows is gone.
+	// Shared neighbors may be raced for by several owners — the CAS
+	// winner appends the id to its worker's bucket, so the buckets
+	// concatenate into a duplicate-free dirtyList whose id set is
+	// deterministic (order under parallel merges is not, which is safe:
+	// every dirtyList consumer does per-id independent work).
 	offsets, nbrs, wts := st.offsets, st.nbrs, st.wts
 	for len(st.perOwner) < len(selected) {
 		st.perOwner = append(st.perOwner, nil)
@@ -862,19 +1052,32 @@ func (st *state) mergeSelected(selected []edgeRef, round int, cfg Config, d *den
 	for len(st.dirty) < newTotal {
 		st.dirty = append(st.dirty, 0)
 	}
+	nw := st.workers
+	if nw < 1 {
+		nw = 1
+	}
+	for len(st.dirtyBkts) < nw {
+		st.dirtyBkts = append(st.dirtyBkts, nil)
+	}
+	for i := range st.dirtyBkts {
+		st.dirtyBkts[i] = st.dirtyBkts[i][:0]
+	}
 	st.dirtyEpoch++
 	dirtyEpoch := st.dirtyEpoch
-	perOwner, perOwnerB := st.perOwner, st.perOwnerB
-	parallelIdx(len(selected), st.workers, func(i int) {
+	perOwner, perOwnerB, dirtyBkts := st.perOwner, st.perOwnerB, st.dirtyBkts
+	parallelIdxW(len(selected), st.workers, func(wid, i int) {
 		e := selected[i]
 		w := base + int32(i)
 		eu, ev := e.U(), e.V()
 		out := perOwner[i][:0]
 		tail := perOwnerB[i][:0]
+		bkt := dirtyBkts[wid]
 		jU, endU := offsets[eu], offsets[eu+1]
 		jV, endV := offsets[ev], offsets[ev+1]
 		wu, wv := st.coef[eu], st.coef[ev]
-		st.dirty[w] = dirtyEpoch // minted rows are always fresh
+		if casMark32(&st.dirty[w], dirtyEpoch) { // minted rows are always fresh
+			bkt = append(bkt, w)
+		}
 		for jU < endU || jV < endV {
 			var member, nb int32
 			var wm, s float64
@@ -888,7 +1091,9 @@ func (st *state) mergeSelected(selected []edgeRef, round int, cfg Config, d *den
 				member, nb, wm, s = ev, nbrs[jV], wv, wts[jV]
 				jV++
 			}
-			atomic.StoreUint32(&st.dirty[nb], dirtyEpoch)
+			if casMark32(&st.dirty[nb], dirtyEpoch) {
+				bkt = append(bkt, nb)
+			}
 			mappedNb := st.mergeTo[nb]
 			if mappedNb < 0 {
 				oa, ob := canon(member, nb)
@@ -904,7 +1109,13 @@ func (st *state) mergeSelected(selected []edgeRef, round int, cfg Config, d *den
 		slices.SortFunc(tail, cmpContrib)
 		perOwner[i] = append(out, tail...)
 		perOwnerB[i] = tail[:0]
+		dirtyBkts[wid] = bkt
 	})
+	dl := st.dirtyList[:0]
+	for i := range dirtyBkts {
+		dl = append(dl, dirtyBkts[i]...)
+	}
+	st.dirtyList = dl
 
 	// Aggregate via k-way merge with inline group summation, replacing
 	// the former flatten + O(E log E) global re-sort each round. Every
@@ -1246,32 +1457,13 @@ func canon(u, v int32) (int32, int32) {
 	return v, u
 }
 
-// parallelOver runs fn over the node list with the given parallelism.
-func parallelOver(nodes []int32, workers int, fn func(u int32)) {
-	if workers <= 1 || len(nodes) < 64 {
-		for _, u := range nodes {
-			fn(u)
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			for i := w; i < len(nodes); i += workers {
-				fn(nodes[i])
-			}
-		}(w)
-	}
-	wg.Wait()
-}
-
-// parallelIdx runs fn over [0,n) with the given parallelism.
-func parallelIdx(n, workers int, fn func(i int)) {
+// parallelIdxW runs fn over [0,n) with the given parallelism, passing
+// the executing worker's index (0..workers-1; always 0 on the serial
+// path) so callers can collect into per-worker buckets without locks.
+func parallelIdxW(n, workers int, fn func(w, i int)) {
 	if workers <= 1 || n < 16 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			fn(0, i)
 		}
 		return
 	}
@@ -1281,7 +1473,7 @@ func parallelIdx(n, workers int, fn func(i int)) {
 		go func(w int) {
 			defer wg.Done()
 			for i := w; i < n; i += workers {
-				fn(i)
+				fn(w, i)
 			}
 		}(w)
 	}

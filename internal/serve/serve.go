@@ -144,15 +144,20 @@ type StageStat struct {
 // BSPStat is the BSP engine profile in the stats payload, present when
 // clustering diffusion ran on the shard-native BSP engine (core
 // Config.BSP): total supersteps and message counts across rounds, the
-// sender-side combiner hit rate, and the per-superstep active-vertex
-// trajectory (vote-to-halt makes it collapse as regions converge).
+// sender-side combiner hit rate, the per-superstep active-vertex
+// trajectory (vote-to-halt makes it collapse as regions converge), and
+// the engine-reuse counters — runs served, rebinds, and the peak bytes
+// of scratch retained across rounds by the persistent engine.
 type BSPStat struct {
-	Supersteps      int     `json:"supersteps"`
-	Messages        int64   `json:"messages"`
-	Sends           int64   `json:"sends"`
-	CombinerHits    int64   `json:"combinerHits"`
-	CombinerHitRate float64 `json:"combinerHitRate"`
-	ActivePerStep   []int   `json:"activePerStep"`
+	Supersteps        int     `json:"supersteps"`
+	Messages          int64   `json:"messages"`
+	Sends             int64   `json:"sends"`
+	CombinerHits      int64   `json:"combinerHits"`
+	CombinerHitRate   float64 `json:"combinerHitRate"`
+	ActivePerStep     []int   `json:"activePerStep"`
+	RunsServed        int     `json:"runsServed"`
+	Rebinds           int     `json:"rebinds"`
+	PeakRetainedBytes int64   `json:"peakRetainedBytes"`
 }
 
 // Stats is the /api/stats payload.
@@ -298,6 +303,10 @@ func (h *Handler) stats(w http.ResponseWriter, r *http.Request) {
 			CombinerHits:    b.BSPStats.CombinerHits,
 			CombinerHitRate: b.BSPStats.CombinerHitRate(),
 			ActivePerStep:   b.BSPStats.ActivePerStep,
+
+			RunsServed:        b.BSPStats.RunsServed,
+			Rebinds:           b.BSPStats.Rebinds,
+			PeakRetainedBytes: b.BSPStats.PeakRetainedBytes,
 		}
 	}
 	for _, st := range b.StageTimings {

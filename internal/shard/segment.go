@@ -80,9 +80,16 @@ func (s *CSR) initSegments() {
 	bounds := append([]int32(nil), p.bounds...) // one shared immutable copy
 	for i := range s.segs {
 		lo, hi := p.Bounds(i)
-		local := make([]int32, hi-lo+1)
-		for u := lo; u <= hi; u++ {
-			local[u-lo] = offsets[u] - offsets[lo]
+		var local []int32
+		if offsets[lo] == 0 {
+			// Shard 0 (and a single-shard plan in particular): the local
+			// offsets are the base offsets verbatim — alias, don't copy.
+			local = offsets[lo : hi+1]
+		} else {
+			local = make([]int32, hi-lo+1)
+			for u := lo; u <= hi; u++ {
+				local[u-lo] = offsets[u] - offsets[lo]
+			}
 		}
 		seg := &Segment{
 			ShardID: int32(i),
@@ -91,14 +98,17 @@ func (s *CSR) initSegments() {
 			Nbrs:    nbrs[offsets[lo]:offsets[hi]],
 			Wts:     wts[offsets[lo]:offsets[hi]],
 		}
-		var ghosts []int32
-		for _, v := range seg.Nbrs {
-			if v < lo || v >= hi {
-				ghosts = append(ghosts, v)
+		if p.NumShards() > 1 {
+			// A single-shard plan owns every id; no neighbor can be a ghost.
+			var ghosts []int32
+			for _, v := range seg.Nbrs {
+				if v < lo || v >= hi {
+					ghosts = append(ghosts, v)
+				}
 			}
+			slices.Sort(ghosts)
+			seg.Ghosts = slices.Compact(ghosts)
 		}
-		slices.Sort(ghosts)
-		seg.Ghosts = slices.Compact(ghosts)
 		s.segs[i] = seg
 	}
 }
