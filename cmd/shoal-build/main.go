@@ -76,8 +76,8 @@ func main() {
 		if b.BSPStats != nil {
 			fmt.Fprintf(os.Stderr, "bsp: supersteps=%d messages=%d sends=%d combiner-hit-rate=%.3f\n",
 				b.BSPStats.Supersteps, b.BSPStats.Messages, b.BSPStats.Sends, b.BSPStats.CombinerHitRate())
-			fmt.Fprintf(os.Stderr, "bsp: runs-served=%d rebinds=%d peak-retained=%dB\n",
-				b.BSPStats.RunsServed, b.BSPStats.Rebinds, b.BSPStats.PeakRetainedBytes)
+			fmt.Fprintf(os.Stderr, "bsp: runs-served=%d seeded-runs=%d rebinds=%d peak-retained=%dB\n",
+				b.BSPStats.RunsServed, b.BSPStats.SeededRuns, b.BSPStats.Rebinds, b.BSPStats.PeakRetainedBytes)
 		}
 	}
 	f, err := os.Create(*out)

@@ -70,38 +70,53 @@ func TestVsSerialCeiling(t *testing.T) {
 	}
 }
 
-// TestBspVsSharedCeiling pins the BSP-gap assertion: a
-// bsp-diffuse-*-vs-shared entry at or above BspVsSharedCeiling fails
-// outright — even when the old file never recorded the name — while
-// sub-ceiling ratios answer only to the normal relative comparison, a
-// wide runner-side threshold widens the ceiling to 1 + threshold, and
-// the phac-cluster-bsp ratio (whose shared twin memoizes across rounds)
-// is deliberately outside the hard ceiling.
+// TestBspVsSharedCeiling pins the BSP-gap assertions: a
+// bsp-diffuse-*-vs-shared entry at or above BspVsSharedCeiling and a
+// phac-cluster-bsp-vs-shared entry at or above
+// ClusterBspVsSharedCeiling fail outright — even when the old file
+// never recorded the name — while sub-ceiling ratios answer only to
+// the normal relative comparison and a wide runner-side threshold
+// widens every ceiling to 1 + threshold.
 func TestBspVsSharedCeiling(t *testing.T) {
 	var oldRes []Result // ratio names brand new in this trajectory
 	newRes := []Result{
 		{Name: "bsp-diffuse-r2-vs-shared", NsPerOp: 1.25},   // post-PR-6 shape: allowed
 		{Name: "bsp-diffuse-r6-vs-shared", NsPerOp: 1.45},   // at ceiling: gap reopened
 		{Name: "bsp-diffuse-r4-vs-shared", NsPerOp: 2.02},   // the PR-5 gap shape
-		{Name: "phac-cluster-bsp-vs-shared", NsPerOp: 2.52}, // outside the ceiling: relative gate only
+		{Name: "phac-cluster-bsp-vs-shared", NsPerOp: 2.52}, // the pre-memoization shape
 	}
 	got := Regressions(oldRes, newRes, 0.25)
-	if len(got) != 2 {
-		t.Fatalf("Regressions = %v, want the two above-ceiling diffusion ratios", got)
+	if len(got) != 3 {
+		t.Fatalf("Regressions = %v, want the three above-ceiling ratios", got)
 	}
 	for _, line := range got {
+		if strings.Contains(line, "phac-cluster-bsp") {
+			if !strings.Contains(line, "cross-round memoization") {
+				t.Fatalf("cluster ratio reported against the wrong ceiling: %q", line)
+			}
+			continue
+		}
 		if !strings.Contains(line, "fell behind the shared-memory path") {
 			t.Fatalf("unexpected report line %q", line)
 		}
-		if strings.Contains(line, "phac-cluster-bsp") {
-			t.Fatalf("cluster ratio hit the diffusion ceiling: %q", line)
-		}
 	}
-	// Runner-side slack: a 60% threshold widens the ceiling to 1.6, so
-	// only the 2x diffusion shape still fails.
+	// Runner-side slack: a 60% threshold widens both ceilings to 1.6, so
+	// the at-ceiling r6 parity case passes while the 2x diffusion shape
+	// and the 2.5x cluster shape still fail.
 	got = Regressions(oldRes, newRes, 0.6)
-	if len(got) != 1 || !strings.Contains(got[0], "bsp-diffuse-r4") {
-		t.Fatalf("wide-threshold gate = %v, want only the 2x diffusion ratio", got)
+	if len(got) != 2 || !strings.Contains(got[0], "bsp-diffuse-r4") ||
+		!strings.Contains(got[1], "phac-cluster-bsp") {
+		t.Fatalf("wide-threshold gate = %v, want the r4 and cluster ratios", got)
+	}
+	// The post-PR-7 memoized cluster shape sits well under its ceiling;
+	// a ratio at the ceiling fails outright.
+	got = Regressions(nil, []Result{{Name: "phac-cluster-bsp-vs-shared", NsPerOp: 1.26}}, 0.25)
+	if len(got) != 0 {
+		t.Fatalf("memoized cluster shape gated: %v", got)
+	}
+	got = Regressions(nil, []Result{{Name: "phac-cluster-bsp-vs-shared", NsPerOp: 1.60}}, 0.25)
+	if len(got) != 1 || !strings.Contains(got[0], "cross-round memoization") {
+		t.Fatalf("at-ceiling cluster ratio = %v, want one hard-gate entry", got)
 	}
 	// Under the ceiling, the relative trajectory comparison still bites.
 	got = Regressions(

@@ -28,7 +28,11 @@
 //     frontier covers most of a shard the fill skips the worklist sort
 //     and the next compute scans the row range by generation stamp
 //     instead (same ascending visit order, cheaper than sorting).
-//     Superstep 0 visits every row (all vertices start active).
+//     Run's superstep 0 visits every row (all vertices start active);
+//     RunFrom seeds superstep 0 with a caller-supplied frontier instead,
+//     and vote-to-halt reactivation handles the ripple exactly as it
+//     does mid-run — the partial-activation hook for iterated jobs whose
+//     cross-run changes touch few rows.
 //   - Message layout: for combining programs the inbox is a per-row
 //     accumulator — messages fold into acc[row] on arrival and Compute
 //     receives the single folded message — double-buffered across
@@ -162,6 +166,9 @@ type Stats struct {
 	// RunsServed is how many Runs this engine has completed over its
 	// lifetime, counting this one — >1 means the engine was reused.
 	RunsServed int
+	// SeededRuns is how many of those runs were RunFrom (partial
+	// activation) runs.
+	SeededRuns int
 	// Rebinds is how many times Rebind swapped a new topology into this
 	// engine over its lifetime.
 	Rebinds int
@@ -193,6 +200,7 @@ func (s *Stats) Add(o *Stats) {
 	s.CombinerHits += o.CombinerHits
 	s.ActivePerStep = append(s.ActivePerStep, o.ActivePerStep...)
 	s.RunsServed = max(s.RunsServed, o.RunsServed)
+	s.SeededRuns = max(s.SeededRuns, o.SeededRuns)
 	s.Rebinds = max(s.Rebinds, o.Rebinds)
 	s.PeakRetainedBytes = max(s.PeakRetainedBytes, o.PeakRetainedBytes)
 }
@@ -419,6 +427,7 @@ type Engine[M any] struct {
 	initialized bool
 	closed      bool
 	fast        bool // single shard + combiner: fold sends directly
+	seeded      bool // current run was seeded (RunFrom): no full step-0 scan
 	ws          []workerState[M]
 	in, nxt     []inboxBuf[M]
 	cmds        []chan wcmd
@@ -426,6 +435,7 @@ type Engine[M any] struct {
 	gen         uint32 // inbox generation, monotonic across Runs and Rebinds
 
 	runs         int
+	seededRuns   int
 	rebinds      int
 	peakRetained int64
 }
@@ -600,7 +610,7 @@ func (e *Engine[M]) init() {
 		e.done = make(chan struct{}, e.S)
 		for s := 0; s < e.S; s++ {
 			e.cmds[s] = make(chan wcmd, 1)
-			go e.worker(s)
+			go e.worker(s, e.cmds[s])
 		}
 	}
 }
@@ -624,12 +634,15 @@ func (e *Engine[M]) sizeShard(s int) {
 }
 
 // growN re-slices b to length n, allocating only when capacity is short;
-// preserved prefixes keep their (stale, harmless) contents.
+// preserved prefixes keep their (stale, harmless) contents. Growth takes
+// at least 3/2 headroom so iterated jobs whose vertex count creeps up a
+// little every Rebind (phac mints merge ids each round) reallocate
+// O(log n) times per engine lifetime, not once per round.
 func growN[T any](b []T, n int) []T {
 	if cap(b) >= n {
 		return b[:n]
 	}
-	nb := make([]T, n)
+	nb := make([]T, n, max(n, 3*cap(b)/2))
 	copy(nb, b)
 	return nb
 }
@@ -640,10 +653,28 @@ func growN[T any](b []T, n int) []T {
 // — message layout, worklists and combiner scratch included — are
 // allocation-free once capacities have grown.
 func (e *Engine[M]) Run() (*Stats, error) {
+	return e.run(nil, false)
+}
+
+// RunFrom is Run with partial activation: superstep 0 computes only the
+// given vertices (deduplicated; any order) instead of all n, and
+// vote-to-halt reactivation carries the ripple outward exactly as it
+// does mid-run. It is the seeded-run hook for iterated jobs that
+// memoize state across runs — a caller whose cross-run changes touched
+// only `active` rows restarts the cascade from those rows and pays
+// O(frontier), not O(n), per superstep. An empty seed is a zero-
+// superstep no-op. Like Run, steady-state seeded runs are allocation-
+// free once the seed-routing worklists have grown.
+func (e *Engine[M]) RunFrom(active []VertexID) (*Stats, error) {
+	return e.run(active, true)
+}
+
+func (e *Engine[M]) run(seed []VertexID, seeded bool) (*Stats, error) {
 	if e.closed {
 		return nil, errors.New("bsp: engine is closed")
 	}
 	e.init()
+	e.seeded = seeded
 	for s := 0; s < e.S; s++ {
 		ws := &e.ws[s]
 		ws.ob.err, ws.ob.sends, ws.ob.hits = nil, 0, 0
@@ -658,7 +689,32 @@ func (e *Engine[M]) Run() (*Stats, error) {
 			return nil, err
 		}
 	}
-	activeCnt := e.n // superstep 0 computes every vertex
+	activeCnt := e.n // Run's superstep 0 computes every vertex
+	if seeded {
+		// Route the seed into the per-shard active worklists; superstep 0
+		// then runs the ordinary worklist branch (with no inbox) over
+		// exactly these rows. Each shard's list is sorted and deduped so
+		// the compute order stays canonical regardless of seed order.
+		for _, v := range seed {
+			t := int32(v)
+			if uint32(t) >= uint32(e.n) {
+				return nil, fmt.Errorf("bsp: seed vertex %d out of range [0,%d)", v, e.n)
+			}
+			s := 0
+			if e.owner != nil {
+				s = int(e.owner[t])
+			}
+			e.ws[s].actCur = append(e.ws[s].actCur, t)
+		}
+		activeCnt = 0
+		for s := 0; s < e.S; s++ {
+			ws := &e.ws[s]
+			slices.Sort(ws.actCur)
+			ws.actCur = slices.Compact(ws.actCur)
+			activeCnt += len(ws.actCur)
+		}
+		e.seededRuns++
+	}
 	pending := int64(0)
 
 	stats := &Stats{}
@@ -704,6 +760,7 @@ func (e *Engine[M]) Run() (*Stats, error) {
 		e.peakRetained = rb
 	}
 	stats.RunsServed = e.runs
+	stats.SeededRuns = e.seededRuns
 	stats.Rebinds = e.rebinds
 	stats.PeakRetainedBytes = e.peakRetained
 	return stats, nil
@@ -747,9 +804,11 @@ func (e *Engine[M]) phase(c wcmd) {
 
 // worker is the persistent goroutine driving shard s, one phase per
 // command. It is spawned once on the first Run and exits when Close
-// closes the command channel.
-func (e *Engine[M]) worker(s int) {
-	for c := range e.cmds[s] {
+// closes the command channel. The channel is passed in rather than read
+// from e.cmds, which Close nils out — possibly before a worker spawned
+// by a run that never reached a phase gets scheduled at all.
+func (e *Engine[M]) worker(s int, cmds <-chan wcmd) {
+	for c := range cmds {
 		e.runPhase(s, c)
 		e.done <- struct{}{}
 	}
@@ -765,11 +824,12 @@ func (e *Engine[M]) runPhase(s int, c wcmd) {
 
 // computeShard runs the superstep's compute over shard s's eligible rows
 // and hands the resulting per-destination batches to the transport (the
-// fast path folded its sends directly and ships nothing). Superstep 0
-// visits every row; later supersteps visit the sorted merge of the
-// active worklist and the inbox's touched rows — O(frontier) — still in
-// ascending row order, so the shard's emission stream stays in canonical
-// (sender, seq) order by construction.
+// fast path folded its sends directly and ships nothing). An unseeded
+// run's superstep 0 visits every row; a seeded run's superstep 0 and all
+// later supersteps visit the sorted merge of the active worklist and the
+// inbox's touched rows — O(frontier) — still in ascending row order, so
+// the shard's emission stream stays in canonical (sender, seq) order by
+// construction.
 func (e *Engine[M]) computeShard(s, step int) {
 	ws := &e.ws[s]
 	ob := &ws.ob
@@ -793,7 +853,7 @@ func (e *Engine[M]) computeShard(s, step int) {
 	chaos := e.cfg.Chaos
 	nextAct := ws.actNext[:0]
 	folded := ob.comb != nil
-	if step == 0 {
+	if step == 0 && !e.seeded {
 		for v := lo; v < hi; v++ {
 			if halt := e.prog.Compute(step, VertexID(v), nil, ob); !halt {
 				nextAct = append(nextAct, v)

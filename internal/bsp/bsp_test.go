@@ -443,6 +443,28 @@ func TestSteadyStateAllocFree(t *testing.T) {
 			}
 		})
 	}
+	// Seeded (RunFrom) runs share the same contract: once the seed-routing
+	// worklists have grown, a steady-state seeded run allocates no engine
+	// memory beyond the Stats value either.
+	measureSeeded := func(steps int) float64 {
+		prog := &combPulseProg{pulseProg{n: 32, steps: steps}}
+		eng, err := New[int64](32, prog, Config{Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		seed := []VertexID{3, 17, 3, 9} // duplicates on purpose
+		if _, err := eng.RunFrom(seed); err != nil {
+			t.Fatal(err)
+		}
+		return testing.AllocsPerRun(3, func() {
+			if err := eng.Rebind(32, prog); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := eng.RunFrom(seed); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
 	for _, tc := range []struct {
 		name            string
 		combine, rebind bool
@@ -458,6 +480,11 @@ func TestSteadyStateAllocFree(t *testing.T) {
 			t.Errorf("%s: allocations scale with supersteps: %d steps -> %.0f allocs, %d steps -> %.0f allocs",
 				tc.name, 16, short, 256, long)
 		}
+	}
+	short, long := measureSeeded(16), measureSeeded(256)
+	if long > short+8 {
+		t.Errorf("seeded: allocations scale with supersteps: %d steps -> %.0f allocs, %d steps -> %.0f allocs",
+			16, short, 256, long)
 	}
 }
 
@@ -647,4 +674,101 @@ func TestRebindReuseMatchesFresh(t *testing.T) {
 		}
 	}
 	eng.Close()
+}
+
+// RunFrom with every vertex in the seed is Run by another name: the
+// same rows compute at superstep 0, so the trajectory and fixed point
+// must match exactly — the engine-level memoized-vs-fresh equivalence.
+func TestRunFromFullSeedMatchesRun(t *testing.T) {
+	for _, workers := range []int{1, 3} {
+		full, fstats := ringMax(t, 47, workers, nil)
+		p := newMaxProg(47)
+		eng, err := New[int64](47, p, Config{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		seed := make([]VertexID, 47)
+		for i := range seed {
+			seed[i] = VertexID(46 - i) // order must not matter
+		}
+		stats, err := eng.RunFrom(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng.Close()
+		for v := range full.best {
+			if full.best[v] != p.best[v] {
+				t.Fatalf("workers=%d vertex %d: full-seed RunFrom diverged: %d vs %d",
+					workers, v, p.best[v], full.best[v])
+			}
+		}
+		if stats.Supersteps != fstats.Supersteps || stats.Messages != fstats.Messages {
+			t.Fatalf("workers=%d: full-seed trajectory differs: %+v vs %+v", workers, stats, fstats)
+		}
+		if stats.SeededRuns != 1 {
+			t.Fatalf("workers=%d: SeededRuns = %d, want 1", workers, stats.SeededRuns)
+		}
+		if fstats.SeededRuns != 0 {
+			t.Fatalf("workers=%d: unseeded run reported SeededRuns = %d", workers, fstats.SeededRuns)
+		}
+	}
+}
+
+// A partial seed computes only the seeded rows at superstep 0 and lets
+// vote-to-halt reactivation carry the ripple: seeding just the vertex
+// holding the global max still converges the whole ring to it.
+func TestRunFromPartialSeedRipples(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		p := newMaxProg(50)
+		src := 0
+		for v := range p.best {
+			if p.best[v] > p.best[src] {
+				src = v
+			}
+		}
+		eng, err := New[int64](50, p, Config{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		stats, err := eng.RunFrom([]VertexID{VertexID(src), VertexID(src)}) // dup deduped
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng.Close()
+		want := globalMax(p.best)
+		for v, got := range p.best {
+			if got != want {
+				t.Fatalf("workers=%d vertex %d: converged to %d, want %d", workers, v, got, want)
+			}
+		}
+		if stats.ActivePerStep[0] != 1 {
+			t.Fatalf("workers=%d: superstep 0 computed %d rows, want only the seed", workers, stats.ActivePerStep[0])
+		}
+	}
+}
+
+func TestRunFromValidation(t *testing.T) {
+	p := newMaxProg(8)
+	eng, err := New[int64](8, p, Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.RunFrom([]VertexID{8}); err == nil {
+		t.Fatal("RunFrom accepted an out-of-range seed")
+	}
+	if _, err := eng.RunFrom([]VertexID{-1}); err == nil {
+		t.Fatal("RunFrom accepted a negative seed")
+	}
+	// An empty seed is a zero-superstep no-op, not an error.
+	stats, err := eng.RunFrom(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Supersteps != 0 {
+		t.Fatalf("empty-seed run took %d supersteps, want 0", stats.Supersteps)
+	}
+	eng.Close()
+	if _, err := eng.RunFrom([]VertexID{0}); err == nil {
+		t.Fatal("RunFrom accepted a closed engine")
+	}
 }

@@ -1,13 +1,16 @@
 package phac
 
 import (
+	"slices"
+	"sync/atomic"
+
 	"shoal/internal/bsp"
 )
 
 // clusterDiffusionProgram is one clustering round's diffusion+selection
-// as a BSP vertex program over the contracted CSR (dead rows are empty
-// and go quiet after superstep 0). It is the in-round twin of
-// diffusionProgram: max-combiner, changed-only sends, vote-to-halt —
+// as a BSP vertex program over the contracted CSR, memoized across merge
+// rounds like the shared-memory path. It is the in-round twin of
+// diffusionProgram — max-combiner, changed-only sends, vote-to-halt —
 // plus the round-statistics side outputs (per-id edge counts and best
 // incident edge regardless of threshold) that selectLocalMaxima computes
 // during its init scan. One program value lives on the state and is
@@ -18,9 +21,39 @@ type clusterDiffusionProgram struct {
 	wts       []float64
 	rounds    int
 	threshold float64
-	know      []edgeRef
-	edgeCnt   []int64
-	bests     []edgeRef
+	// lvl aliases st.exStates: lvl[0] is the init state (best incident
+	// >= threshold edge) and lvl[s] the state after exchange iteration
+	// s, one level per superstep. Compute at superstep s pulls its
+	// inputs from lvl[s-1] — frozen for the whole superstep, since
+	// writes go to lvl[s] only — and messages carry no authoritative
+	// state, just changed-value pings that reactivate the neighborhood.
+	// Pulling keeps the memoized levels correct across rounds: a
+	// cross-round decrease (a dominating edge retired by a merge) can
+	// never be expressed as a max-folded message, but a recompute over
+	// the current adjacency reads right past it.
+	lvl     [][]edgeRef
+	edgeCnt []int64
+	bests   []edgeRef
+	// Dirty rows (adjacency touched by the last merge) decline to halt
+	// until the final superstep: their input SET changed, so every
+	// level must be recomputed even where no input value changed yet.
+	dirty      []uint32
+	dirtyEpoch uint32
+	// chRows collects the rows whose final-level value changed this run,
+	// claimed via atomic cursor (order is scheduling-dependent, the id
+	// set is not; the consumer sorts). It is the selection worklist: a
+	// locally-maximal pair between alive rows always has an endpoint
+	// whose final know changed this round, because an unchanged mutual
+	// pair would have been selected — and retired — last round.
+	chRows []int32
+	chN    atomic.Int64
+	// bcRows collects the rows whose best incident edge (bests) changed
+	// at superstep 0, same claiming scheme as chRows. The global-best
+	// heap pushes only these rows: an unchanged row's existing heap
+	// entry is still its current value, so re-pushing it would only pile
+	// duplicate entries onto the hot top of the heap.
+	bcRows []int32
+	bcN    atomic.Int64
 }
 
 // Combine is the sender-side max-fold (bsp.Combiner).
@@ -31,10 +64,10 @@ func (p *clusterDiffusionProgram) Combine(acc, m edgeRef) edgeRef {
 	return acc
 }
 
-func (p *clusterDiffusionProgram) Compute(step int, v bsp.VertexID, inbox []edgeRef, out *bsp.Outbox[edgeRef]) bool {
+func (p *clusterDiffusionProgram) Compute(step int, v bsp.VertexID, _ []edgeRef, out *bsp.Outbox[edgeRef]) bool {
 	u := int32(v)
 	rl, rh := p.offsets[u], p.offsets[u+1]
-	changed := false
+	var next edgeRef
 	if step == 0 {
 		best, bestAny := noEdge, noEdge
 		edges := int64(0)
@@ -54,49 +87,151 @@ func (p *clusterDiffusionProgram) Compute(step int, v bsp.VertexID, inbox []edge
 				best = cand
 			}
 		}
-		p.know[u] = best
 		p.edgeCnt[u] = edges
-		p.bests[u] = bestAny
-		changed = best != noEdge
+		if bestAny != p.bests[u] {
+			p.bests[u] = bestAny
+			p.bcRows[p.bcN.Add(1)-1] = u
+		}
+		next = best
 	} else {
-		for _, m := range inbox {
-			if better(m, p.know[u]) {
-				p.know[u] = m
-				changed = true
+		src := p.lvl[step-1]
+		best := src[u]
+		for j := rl; j < rh; j++ {
+			if nb := p.nbrs[j]; better(src[nb], best) {
+				best = src[nb]
 			}
 		}
+		next = best
 	}
-	if changed && step < p.rounds {
-		out.SendMany(p.nbrs[rl:rh], p.know[u])
+	cur := p.lvl[step]
+	changed := next != cur[u]
+	if changed {
+		cur[u] = next
+	}
+	if step >= p.rounds {
+		if changed {
+			p.chRows[p.chN.Add(1)-1] = u
+		}
+		return true
+	}
+	if changed {
+		out.SendMany(p.nbrs[rl:rh], next)
 		return false
 	}
-	return true
+	return p.dirty[u] != p.dirtyEpoch
+}
+
+// bspBest is a lazy-deletion heap entry for the running global-best
+// tracker: bests[u] as of the last superstep 0 that computed row u. An
+// entry goes stale when u dies or bests[u] moves on; every recomputed
+// row is re-pushed, so the current value of every alive row is always
+// present and bspHeapBest pops stale tops until one surfaces.
+type bspBest struct {
+	e edgeRef
+	u int32
+}
+
+// bspHeapPush pushes row u's current best incident edge.
+func (st *state) bspHeapPush(u int32) {
+	h := append(st.bspHeap, bspBest{st.bests[u], u})
+	for i := len(h) - 1; i > 0; {
+		p := (i - 1) / 2
+		if !better(h[i].e, h[p].e) {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+	st.bspHeap = h
+}
+
+// bspHeapBest returns the best incident edge over all alive rows,
+// popping stale entries off the top. Deterministic even with duplicate
+// values: `better` is a total order, so the maximum value is unique.
+func (st *state) bspHeapBest() edgeRef {
+	h := st.bspHeap
+	for len(h) > 0 {
+		top := h[0]
+		if st.alive[top.u] && st.bests[top.u] == top.e {
+			st.bspHeap = h
+			return top.e
+		}
+		n := len(h) - 1
+		h[0] = h[n]
+		h = h[:n]
+		for i := 0; ; {
+			l, r, m := 2*i+1, 2*i+2, i
+			if l < n && better(h[l].e, h[m].e) {
+				m = l
+			}
+			if r < n && better(h[r].e, h[m].e) {
+				m = r
+			}
+			if m == i {
+				break
+			}
+			h[i], h[m] = h[m], h[i]
+			i = m
+		}
+	}
+	st.bspHeap = h
+	return noEdge
 }
 
 // selectLocalMaximaBSP is selectLocalMaxima routed through the BSP
-// engine. One engine serves the whole clustering: the first round builds
-// it, every later round rebinds it to the contracted CSR (the id space
-// grows as merges mint ids), so workers, inbox accumulators and combiner
-// scratch persist across rounds and steady-state rounds allocate no
-// engine state. The selection, round edge count and best similarity are
-// byte-identical to the shared-memory scans (max-exchange reaches the
-// same fixed point under any execution order); agg accumulates the
-// engine profile across rounds, carrying the lifetime reuse counters.
+// engine, memoized across merge rounds like the shared path. One engine
+// serves the whole clustering: the first round builds it and runs a full
+// (all-rows) superstep 0; every later round rebinds it to the contracted
+// CSR and seeds superstep 0 with the last merge's alive dirty rows
+// (RunFrom), with changed-only pings carrying the ripple outward — so a
+// late round costs O(frontier) per superstep, the engine twin of the
+// shared path's dirtyList/chList worklists. Round statistics are
+// maintained incrementally: a merge retires a known set of rows, so the
+// running edge total subtracts exactly the retired and re-seeded rows,
+// and the global best comes from a lazy-deletion heap instead of an
+// O(alive) rescan. Selection walks the run's changed-rows worklist (an
+// unchanged mutual pair would have been selected and retired last
+// round), with the shared path's density-gated dense fallback. Every
+// output stays byte-identical to the shared-memory scans (max-exchange
+// over frozen levels reaches the same fixed point under any execution
+// order); agg accumulates the engine profile across rounds, carrying the
+// lifetime reuse counters.
+//
+// The changed-rows selection contract assumes strict select → merge
+// alternation with a constant rounds/threshold, which is how Cluster
+// drives it: every selected pair is retired before the next selection.
 func (st *state) selectLocalMaximaBSP(rounds int, threshold float64, agg *bsp.Stats) ([]edgeRef, int, float64, error) {
 	n := st.total
-	for len(st.bspKnow) < n {
-		st.bspKnow = append(st.bspKnow, noEdge)
+	// Diffusion before any merge must see an all-clean dirty map (fresh
+	// zero stamps never equal a positive dirtyEpoch).
+	for len(st.dirty) < n {
+		st.dirty = append(st.dirty, 0)
 	}
 	if st.bspProg == nil {
-		st.bspProg = &clusterDiffusionProgram{rounds: rounds, threshold: threshold}
+		st.bspProg = &clusterDiffusionProgram{}
 	}
 	prog := st.bspProg
+	// Config is re-read on every call, not just at program creation, so
+	// a future per-round rounds/threshold change cannot silently reuse
+	// the first round's values.
+	prog.rounds, prog.threshold = rounds, threshold
 	prog.offsets = st.offsets[:n+1]
-	prog.nbrs = st.nbrs
-	prog.wts = st.wts
-	prog.know = st.bspKnow[:n]
+	prog.nbrs, prog.wts = st.nbrs, st.wts
+	prog.lvl = st.exStates
 	prog.edgeCnt = st.edgeCnt[:n]
 	prog.bests = st.bests[:n]
+	prog.dirty = st.dirty[:n]
+	prog.dirtyEpoch = st.dirtyEpoch
+	if cap(prog.chRows) < n {
+		// Like the level arrays, capacity 2n outlasts every mint.
+		prog.chRows = make([]int32, n, 2*n)
+		prog.bcRows = make([]int32, n, 2*n)
+	} else {
+		prog.chRows = prog.chRows[:n]
+		prog.bcRows = prog.bcRows[:n]
+	}
+	prog.chN.Store(0)
+	prog.bcN.Store(0)
 	if st.bspEng == nil {
 		eng, err := bsp.New[edgeRef](n, prog, bsp.Config{Workers: st.shards, Chaos: st.bspChaos})
 		if err != nil {
@@ -106,32 +241,121 @@ func (st *state) selectLocalMaximaBSP(rounds int, threshold float64, agg *bsp.St
 	} else if err := st.bspEng.Rebind(n, prog); err != nil {
 		return nil, 0, 0, err
 	}
-	stats, err := st.bspEng.Run()
+
+	seeded := st.haveCache
+	var stats *bsp.Stats
+	var err error
+	if seeded {
+		// The last merge retired st.selected's endpoints, and the run is
+		// about to recompute every seeded row's statistics: drop both
+		// groups from the running edge total now, re-add the seeded rows
+		// with their fresh counts after the run. Each edge is owned by
+		// its smaller endpoint, and a clean alive row's adjacency — hence
+		// its count — is unchanged by construction, so the total stays
+		// exact without any O(alive) rescan.
+		for _, e := range st.selected {
+			st.bspActiveEdges -= st.edgeCnt[e.U()] + st.edgeCnt[e.V()]
+		}
+		seed := st.bspSeed[:0]
+		for _, u := range st.dirtyList {
+			if st.alive[u] { // dirtyList also names retired old neighbors
+				st.bspActiveEdges -= st.edgeCnt[u]
+				seed = append(seed, bsp.VertexID(u))
+			}
+		}
+		st.bspSeed = seed
+		stats, err = st.bspEng.RunFrom(seed)
+	} else {
+		st.bspActiveEdges = 0
+		st.bspHeap = st.bspHeap[:0]
+		stats, err = st.bspEng.Run()
+	}
 	if err != nil {
 		return nil, 0, 0, err
 	}
+	st.haveCache = true
 	agg.Add(stats)
 
-	var activeEdges int64
-	globalBest := noEdge
-	for _, u := range st.aliveList() {
-		activeEdges += st.edgeCnt[u]
-		if better(st.bests[u], globalBest) {
-			globalBest = st.bests[u]
+	// Superstep 0 recomputed edgeCnt for exactly the seeded rows (or
+	// every row on the first round): fold them back in, and push the
+	// rows whose best incident edge moved onto the global-best heap.
+	if seeded {
+		for _, v := range st.bspSeed {
+			st.bspActiveEdges += st.edgeCnt[v]
+		}
+		for _, u := range prog.bcRows[:prog.bcN.Load()] {
+			st.bspHeapPush(u)
+		}
+	} else {
+		// Unseeded runs start from an empty heap (the bcRows delta is
+		// relative to whatever bests held before), so every alive row
+		// with an incident edge is (re)pushed.
+		for u := int32(0); int(u) < n; u++ {
+			st.bspActiveEdges += st.edgeCnt[u]
+			if st.alive[u] && st.bests[u] != noEdge {
+				st.bspHeapPush(u)
+			}
 		}
 	}
-	// Selection in ascending u order: keys come out canonically sorted
-	// without the sort the shared-memory path needs.
+	activeEdges := st.bspActiveEdges
+	globalBest := st.bspHeapBest()
+
+	// Selection: an edge whose both endpoints know it is locally maximal.
+	chN := int(prog.chN.Load())
+	know := st.exStates[rounds]
 	selected := st.selected[:0]
-	know := prog.know
-	for u := int32(0); int(u) < n; u++ {
-		e := know[u]
-		if e.U() != u || e.sim < threshold {
-			continue
+	// Dense fallback mirrors the shared path's density gate; the first
+	// (unseeded) round has no changed-rows contract yet and scans densely.
+	dense := !seeded || st.density < 0 ||
+		float64(chN) > st.density*float64(st.aliveCount)
+	if dense {
+		for u := int32(0); int(u) < n; u++ {
+			// Dead rows keep their stale fixed point (a retired pair
+			// still mutually knows its merged edge): skip them.
+			if !st.alive[u] {
+				continue
+			}
+			e := know[u]
+			if e.U() != u || e.sim < threshold {
+				continue
+			}
+			if know[e.V()] == e {
+				selected = append(selected, e)
+			}
 		}
-		if know[e.V()] == e {
-			selected = append(selected, e)
+	} else {
+		ch := prog.chRows[:chN]
+		st.epoch++
+		mark := st.afMark
+		for _, w := range ch {
+			mark[w] = st.epoch
 		}
+		for _, w := range ch {
+			e := know[w]
+			if e.sim < threshold {
+				continue
+			}
+			u, v := e.U(), e.V()
+			// Emit at the smaller endpoint, or at the larger one when
+			// the smaller endpoint didn't change this round — never both.
+			if w != u && (w != v || mark[u] == st.epoch) {
+				continue
+			}
+			if know[u] == e && know[v] == e {
+				selected = append(selected, e)
+			}
+		}
+		slices.SortFunc(selected, func(a, b edgeRef) int {
+			// Keys are unique (node-disjoint matching), so this is the
+			// canonical (u,v) order.
+			switch {
+			case a.key < b.key:
+				return -1
+			case a.key > b.key:
+				return 1
+			}
+			return 0
+		})
 	}
 	st.selected = selected
 	return selected, int(activeEdges), globalBest.sim, nil

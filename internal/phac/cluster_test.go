@@ -480,6 +480,37 @@ func TestClusterBSPMatches(t *testing.T) {
 				if rounds > 1 && got.BSP.PeakRetainedBytes <= 0 {
 					t.Fatalf("seed %d shards %d: reused engine retained no buffers", seed, shards)
 				}
+				// Cross-round memoization: every run after the first is
+				// seeded from the merge's dirty rows, the first superstep
+				// is the only all-rows one, and the whole trajectory
+				// computes strictly less than the recompute-everything
+				// model (each run visiting every alive row for all
+				// DiffusionRounds+1 supersteps).
+				if got.BSP.SeededRuns != got.BSP.RunsServed-1 {
+					t.Fatalf("seed %d shards %d: SeededRuns = %d over %d runs — every round after the first must seed",
+						seed, shards, got.BSP.SeededRuns, got.BSP.RunsServed)
+				}
+				if got.BSP.ActivePerStep[0] != 70 {
+					t.Fatalf("seed %d shards %d: first superstep computed %d rows, want all 70",
+						seed, shards, got.BSP.ActivePerStep[0])
+				}
+				if rounds >= 2 {
+					var computed int64
+					for _, a := range got.BSP.ActivePerStep {
+						computed += int64(a)
+					}
+					const per = 3 // DiffusionRounds+1 supersteps per run
+					var naive int64
+					for _, r := range got.Rounds {
+						naive += int64(r.ActiveClusters) * per
+					}
+					last := got.Rounds[rounds-1]
+					naive += int64(last.ActiveClusters-last.Selected) * per // final, non-merging run
+					if computed >= naive {
+						t.Fatalf("seed %d shards %d: %d rows computed >= %d of the all-rows model — trajectory did not shrink after round 1",
+							seed, shards, computed, naive)
+					}
+				}
 			}
 		}
 	}

@@ -349,7 +349,14 @@ type state struct {
 	chBkts  [][]int32
 	afList  []int32
 	afBkts  [][]int32
-	bspKnow []edgeRef // per-id know scratch for the UseBSP path
+	// The UseBSP path's cross-round memoization scratch: bspSeed is the
+	// alive dirty rows handed to RunFrom as the superstep-0 frontier,
+	// bspActiveEdges the running Σ edgeCnt over alive rows (adjusted
+	// only for retired and re-seeded rows each round), and bspHeap the
+	// lazy-deletion heap behind the incremental global-best tracker.
+	bspSeed        []bsp.VertexID
+	bspHeap        []bspBest
+	bspActiveEdges int64
 	// bspEng/bspProg persist across merge rounds on the UseBSP path: one
 	// engine per clustering, rebound to each round's contracted CSR.
 	bspEng    *bsp.Engine[edgeRef]

@@ -146,8 +146,9 @@ type StageStat struct {
 // Config.BSP): total supersteps and message counts across rounds, the
 // sender-side combiner hit rate, the per-superstep active-vertex
 // trajectory (vote-to-halt makes it collapse as regions converge), and
-// the engine-reuse counters — runs served, rebinds, and the peak bytes
-// of scratch retained across rounds by the persistent engine.
+// the engine-reuse counters — runs served, seeded partial-activation
+// runs, rebinds, and the peak bytes of scratch retained across rounds
+// by the persistent engine.
 type BSPStat struct {
 	Supersteps        int     `json:"supersteps"`
 	Messages          int64   `json:"messages"`
@@ -156,6 +157,7 @@ type BSPStat struct {
 	CombinerHitRate   float64 `json:"combinerHitRate"`
 	ActivePerStep     []int   `json:"activePerStep"`
 	RunsServed        int     `json:"runsServed"`
+	SeededRuns        int     `json:"seededRuns"`
 	Rebinds           int     `json:"rebinds"`
 	PeakRetainedBytes int64   `json:"peakRetainedBytes"`
 }
@@ -305,6 +307,7 @@ func (h *Handler) stats(w http.ResponseWriter, r *http.Request) {
 			ActivePerStep:   b.BSPStats.ActivePerStep,
 
 			RunsServed:        b.BSPStats.RunsServed,
+			SeededRuns:        b.BSPStats.SeededRuns,
 			Rebinds:           b.BSPStats.Rebinds,
 			PeakRetainedBytes: b.BSPStats.PeakRetainedBytes,
 		}
