@@ -415,6 +415,26 @@ func BenchmarkServeSearch(b *testing.B) {
 	}
 }
 
+// BenchmarkServeStats measures the /api/stats path, which now folds the
+// per-route latency digests into the build facts on every request.
+func BenchmarkServeStats(b *testing.B) {
+	w := getWorld(b)
+	b.ReportAllocs()
+	h, err := serve.NewHandler(w.build)
+	if err != nil {
+		b.Fatal(err)
+	}
+	req := httptest.NewRequest("GET", "/api/stats", nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != 200 {
+			b.Fatalf("status %d", rec.Code)
+		}
+	}
+}
+
 // BenchmarkDailyRebuild measures one day's full sliding-window rebuild
 // (§3's production refresh).
 func BenchmarkDailyRebuild(b *testing.B) {

@@ -5,6 +5,7 @@
 //
 //	shoal-build -corpus corpus.json.gz -out taxonomy.gob
 //	shoal-build -corpus corpus.json.gz -alpha 0.7 -stop 0.12 -r 2 -v
+//	shoal-build -corpus corpus.json.gz -trace build-trace.json
 package main
 
 import (
@@ -12,11 +13,13 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 
 	"shoal/internal/core"
+	"shoal/internal/obs"
 	"shoal/internal/store"
 )
 
@@ -36,9 +39,20 @@ func main() {
 		shards     = flag.Int("shards", 0, "row-range shards of the graph substrate (0: GOMAXPROCS); output is identical for any value")
 		frontier   = flag.Float64("frontier", 0, "frontier density of pruned diffusion (0: default 0.25, negative: dense); output is identical for any value")
 		bspMode    = flag.Bool("bsp", false, "route clustering diffusion through the shard-native BSP engine; output is identical, engine stats are reported")
-		verbose    = flag.Bool("v", false, "print stage timings and statistics")
+		tracePath  = flag.String("trace", "", "write the build's execution trace as Chrome trace-event JSON (open in chrome://tracing or Perfetto)")
+		pprofAddr  = flag.String("pprof", "", "side listener address exposing net/http/pprof during the build (e.g. localhost:6060; empty disables)")
+		verbose    = flag.Bool("v", false, "print stage timings, resolved configuration and statistics")
 	)
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		go func() {
+			log.Printf("pprof listening on %s (try /debug/pprof/)", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, obs.PprofMux()); err != nil {
+				log.Printf("pprof listener failed: %v", err)
+			}
+		}()
+	}
 
 	// Ctrl-C / SIGTERM cancels the in-flight stages instead of killing the
 	// process mid-write.
@@ -70,6 +84,8 @@ func main() {
 		log.Fatal(err)
 	}
 	if *verbose {
+		fmt.Fprintf(os.Stderr, "config: shards=%d workers=%d frontier-density=%g bsp=%v\n",
+			b.Shards, b.Workers, b.FrontierDensity, b.BSPEnabled)
 		for _, st := range b.StageTimings {
 			fmt.Fprintf(os.Stderr, "%-22s start=%-12v elapsed=%v\n", st.Stage, st.Start, st.Elapsed)
 		}
@@ -79,6 +95,19 @@ func main() {
 			fmt.Fprintf(os.Stderr, "bsp: runs-served=%d seeded-runs=%d rebinds=%d peak-retained=%dB\n",
 				b.BSPStats.RunsServed, b.BSPStats.SeededRuns, b.BSPStats.Rebinds, b.BSPStats.PeakRetainedBytes)
 		}
+	}
+	if *tracePath != "" {
+		tf, err := os.Create(*tracePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := b.Trace.WriteChrome(tf); err != nil {
+			log.Fatal(err)
+		}
+		if err := tf.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "trace: %d spans -> %s\n", b.Trace.SpanCount(), *tracePath)
 	}
 	f, err := os.Create(*out)
 	if err != nil {

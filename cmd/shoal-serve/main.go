@@ -10,7 +10,9 @@
 //
 // Endpoints: /api/search?q=..., /api/topics/{id},
 // /api/topics/{id}/items[?category=N], /api/categories/{id}/related,
-// /api/stats (includes per-stage timings and the swap count).
+// /api/stats (stage timings, swap count, per-route latency digests),
+// /api/trace (the serving build's Chrome trace-event JSON), and
+// /metrics (Prometheus text, including runtime health gauges).
 //
 // With -refresh the server mirrors the production operation mode: the
 // sliding-window pipeline rebuilds in the background and each finished
@@ -25,13 +27,13 @@ import (
 	"fmt"
 	"log"
 	"net/http"
-	"net/http/pprof"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"shoal/internal/core"
 	"shoal/internal/model"
+	"shoal/internal/obs"
 	"shoal/internal/serve"
 	"shoal/internal/store"
 	"shoal/internal/synth"
@@ -54,15 +56,9 @@ func main() {
 	// address, so production traffic never routes near the profiler and
 	// the port can stay firewalled.
 	if *pprofAddr != "" {
-		mux := http.NewServeMux()
-		mux.HandleFunc("/debug/pprof/", pprof.Index)
-		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		go func() {
 			log.Printf("pprof listening on %s (try /debug/pprof/)", *pprofAddr)
-			if err := http.ListenAndServe(*pprofAddr, mux); err != nil {
+			if err := http.ListenAndServe(*pprofAddr, obs.PprofMux()); err != nil {
 				log.Printf("pprof listener failed: %v", err)
 			}
 		}()
@@ -117,6 +113,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	// Runtime health gauges (heap, GC pauses, goroutines) land in the
+	// handler's registry, so /metrics serves them next to the request
+	// telemetry.
+	go obs.NewRuntimeSampler(h.Registry()).Run(ctx, 5*time.Second)
 	if *refresh > 0 {
 		go refreshLoop(ctx, pipe, h, *refresh, corpus.Clicks)
 	}

@@ -17,6 +17,9 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
 	"os"
 	"sort"
 	"strings"
@@ -29,6 +32,7 @@ import (
 	"shoal/internal/hac"
 	"shoal/internal/modularity"
 	"shoal/internal/phac"
+	"shoal/internal/serve"
 	"shoal/internal/shard"
 	"shoal/internal/textutil"
 	"shoal/internal/wgraph"
@@ -147,6 +151,30 @@ func Run() ([]Result, error) {
 			return err
 		}),
 	}
+	// Serving hot path through the full instrumented handler (middleware,
+	// per-route histograms, status-class counters) versus the same mux
+	// with the instrumentation bypassed. The derived obs-overhead-vs-bare
+	// ratio below is what the gate watches: request telemetry must stay
+	// under ObsOverheadCeiling on the search path.
+	handler, err := serve.NewHandler(b)
+	if err != nil {
+		return nil, err
+	}
+	bareMux := handler.Bare()
+	searchTarget := "/api/search?q=" + url.QueryEscape(b.Corpus.Queries[0].Text) + "&k=10"
+	sink := nopWriter{h: make(http.Header)}
+	benches["serve-search"] = record(func() error {
+		handler.ServeHTTP(&sink, httptest.NewRequest("GET", searchTarget, nil))
+		return nil
+	})
+	benches["serve-search-bare"] = record(func() error {
+		bareMux.ServeHTTP(&sink, httptest.NewRequest("GET", searchTarget, nil))
+		return nil
+	})
+	benches["serve-stats"] = record(func() error {
+		handler.ServeHTTP(&sink, httptest.NewRequest("GET", "/api/stats", nil))
+		return nil
+	})
 	// Segment wire format: encode + decode every shard of a 4-way
 	// partition (the multi-host placement cost per shard hand-off).
 	segSrc := shard.Partition(base, 4)
@@ -240,9 +268,31 @@ func Run() ([]Result, error) {
 			}
 		}
 	}
+	// obs-overhead-vs-bare: instrumented search serving time over the same
+	// handler with the middleware bypassed (dimensionless, lower is
+	// better; 1.0 means the telemetry is free). Hard-gated at
+	// ObsOverheadCeiling so the request instrumentation can never quietly
+	// grow past its <10% budget on the search hot path.
+	if inst, ok := byName["serve-search"]; ok {
+		if bare, ok := byName["serve-search-bare"]; ok && bare.NsPerOp > 0 {
+			out = append(out, Result{
+				Name:    "obs-overhead-vs-bare",
+				NsPerOp: inst.NsPerOp / bare.NsPerOp,
+			})
+		}
+	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out, nil
 }
+
+// nopWriter is the serving benchmarks' response sink: headers land in a
+// reused map, bodies are counted and dropped. It keeps the benchmark on
+// the handler + instrumentation cost instead of response buffering.
+type nopWriter struct{ h http.Header }
+
+func (w *nopWriter) Header() http.Header         { return w.h }
+func (w *nopWriter) Write(p []byte) (int, error) { return len(p), nil }
+func (w *nopWriter) WriteHeader(int)             {}
 
 // WriteFile runs the suite and writes the results as indented JSON.
 func WriteFile(path string) error {
@@ -308,15 +358,26 @@ const BspVsSharedCeiling = 1.45
 // to 1 + threshold on wide-tolerance gates, like the other ceilings.
 const ClusterBspVsSharedCeiling = 1.6
 
+// ObsOverheadCeiling is the hard ceiling for the obs-overhead-vs-bare
+// derived ratio: instrumented search serving time over the bare-mux
+// time. At or above it the request telemetry (middleware, per-route
+// histogram, status-class counters) costs 10%+ of the search hot path,
+// which the gate fails outright — the observability layer's contract is
+// that measuring the serving tier never becomes a tax worth turning
+// off. Widens to 1 + threshold on wide-tolerance gates, like the other
+// ceilings.
+const ObsOverheadCeiling = 1.10
+
 // Regressions compares two result sets and reports every benchmark name
 // present in both whose ns/op grew by more than threshold (a fraction:
 // 0.25 means "fail past +25%"). Benchmarks only in one set are ignored —
 // the gate constrains the shared trajectory, it does not force every PR
 // to keep the same suite — except the derived ratios in the new set:
 // *-vs-serial additionally fails outright above VsSerialCeiling,
-// bsp-diffuse-*-vs-shared above BspVsSharedCeiling, and
-// phac-cluster-bsp-vs-shared above ClusterBspVsSharedCeiling. The
-// report is sorted by name.
+// bsp-diffuse-*-vs-shared above BspVsSharedCeiling,
+// phac-cluster-bsp-vs-shared above ClusterBspVsSharedCeiling, and
+// obs-overhead-vs-bare above ObsOverheadCeiling. The report is sorted
+// by name.
 func Regressions(oldRes, newRes []Result, threshold float64) []string {
 	prev := make(map[string]Result, len(oldRes))
 	for _, r := range oldRes {
@@ -334,6 +395,10 @@ func Regressions(oldRes, newRes []Result, threshold float64) []string {
 	if 1+threshold > clusterCeiling {
 		clusterCeiling = 1 + threshold
 	}
+	obsCeiling := ObsOverheadCeiling
+	if 1+threshold > obsCeiling {
+		obsCeiling = 1 + threshold
+	}
 	var out []string
 	for _, n := range newRes {
 		if strings.HasSuffix(n.Name, "-vs-serial") && n.NsPerOp >= ceiling {
@@ -349,6 +414,11 @@ func Regressions(oldRes, newRes []Result, threshold float64) []string {
 		if n.Name == "phac-cluster-bsp-vs-shared" && n.NsPerOp >= clusterCeiling {
 			out = append(out, fmt.Sprintf("%s: ratio %.2f >= %.2f — BSP clustering lost its cross-round memoization win",
 				n.Name, n.NsPerOp, clusterCeiling))
+			continue
+		}
+		if n.Name == "obs-overhead-vs-bare" && n.NsPerOp >= obsCeiling {
+			out = append(out, fmt.Sprintf("%s: ratio %.2f >= %.2f — request instrumentation blew its search hot-path budget",
+				n.Name, n.NsPerOp, obsCeiling))
 			continue
 		}
 		o, ok := prev[n.Name]

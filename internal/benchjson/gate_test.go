@@ -127,6 +127,42 @@ func TestBspVsSharedCeiling(t *testing.T) {
 	}
 }
 
+// TestObsOverheadCeiling pins the observability budget: an
+// obs-overhead-vs-bare entry at or above ObsOverheadCeiling fails
+// outright — even when the old file never recorded the name — while a
+// sub-ceiling ratio answers only to the normal relative comparison and
+// a wide runner-side threshold widens the ceiling to 1 + threshold.
+func TestObsOverheadCeiling(t *testing.T) {
+	var oldRes []Result // ratio brand new in this trajectory
+	got := Regressions(oldRes, []Result{{Name: "obs-overhead-vs-bare", NsPerOp: 1.03}}, 0.25)
+	if len(got) != 0 {
+		t.Fatalf("near-free instrumentation gated: %v", got)
+	}
+	got = Regressions(oldRes, []Result{{Name: "obs-overhead-vs-bare", NsPerOp: 1.10}}, 0.05)
+	if len(got) != 1 || !strings.Contains(got[0], "hot-path budget") {
+		t.Fatalf("at-ceiling overhead = %v, want one hard-gate entry", got)
+	}
+	// Runner-side slack: a 50% threshold widens the ceiling to 1.5, so a
+	// noisy 1.2 passes while a middleware gone quadratic still fails.
+	got = Regressions(oldRes, []Result{
+		{Name: "obs-overhead-vs-bare", NsPerOp: 1.2},
+	}, 0.5)
+	if len(got) != 0 {
+		t.Fatalf("wide-threshold gate = %v, want none", got)
+	}
+	got = Regressions(oldRes, []Result{{Name: "obs-overhead-vs-bare", NsPerOp: 1.62}}, 0.5)
+	if len(got) != 1 || !strings.Contains(got[0], "hot-path budget") {
+		t.Fatalf("wide-threshold blown budget = %v, want one hard-gate entry", got)
+	}
+	// Under the ceiling, the relative trajectory comparison still bites.
+	got = Regressions(
+		[]Result{{Name: "obs-overhead-vs-bare", NsPerOp: 1.00}},
+		[]Result{{Name: "obs-overhead-vs-bare", NsPerOp: 1.08}}, 0.05)
+	if len(got) != 1 || !strings.Contains(got[0], "ns/op") {
+		t.Fatalf("relative gate on sub-ceiling ratio = %v, want one trajectory entry", got)
+	}
+}
+
 // The committed-trajectory comparison itself (BENCH_3.json vs
 // BENCH_4.json at 25%) lives in CI as the dedicated bench-gate step
 // (`shoal-bench -benchgate`), so it is deliberately not duplicated

@@ -79,6 +79,7 @@ import (
 	"slices"
 	"unsafe"
 
+	"shoal/internal/obs"
 	"shoal/internal/shard"
 )
 
@@ -438,6 +439,11 @@ type Engine[M any] struct {
 	seededRuns   int
 	rebinds      int
 	peakRetained int64
+
+	// span, when set, parents one child span per Run/RunFrom carrying the
+	// run's superstep and message totals — how BSP runs hang beneath each
+	// clustering merge round in the build trace.
+	span *obs.Span
 }
 
 // wcmd drives a persistent shard worker through one phase.
@@ -669,7 +675,32 @@ func (e *Engine[M]) RunFrom(active []VertexID) (*Stats, error) {
 	return e.run(active, true)
 }
 
+// SetSpan installs the trace span under which subsequent Runs record
+// themselves; nil detaches. Callers re-point it per merge round.
+func (e *Engine[M]) SetSpan(s *obs.Span) { e.span = s }
+
+// run wraps runSteps with the engine's per-run trace span when one is
+// installed; without one it adds nothing to the steady-state path.
 func (e *Engine[M]) run(seed []VertexID, seeded bool) (*Stats, error) {
+	if e.span == nil {
+		return e.runSteps(seed, seeded)
+	}
+	name := "bsp-run"
+	if seeded {
+		name = "bsp-run-seeded"
+	}
+	rs := e.span.Child(name)
+	stats, err := e.runSteps(seed, seeded)
+	if stats != nil {
+		rs.SetAttr("supersteps", stats.Supersteps)
+		rs.SetAttr("messages", stats.Messages)
+		rs.SetAttr("sends", stats.Sends)
+	}
+	rs.End()
+	return stats, err
+}
+
+func (e *Engine[M]) runSteps(seed []VertexID, seeded bool) (*Stats, error) {
 	if e.closed {
 		return nil, errors.New("bsp: engine is closed")
 	}

@@ -6,6 +6,8 @@ import (
 	"slices"
 	"sort"
 	"time"
+
+	"shoal/internal/obs"
 )
 
 // Stage is one node of the build graph: a named unit of pipeline work with
@@ -157,11 +159,15 @@ func (e *Engine) Execute(ctx context.Context, b *Build, maxConcurrent int) ([]St
 		running++
 		go func() {
 			st := e.stages[i]
+			// One trace span per stage; downstream packages hang their
+			// own spans (merge rounds, BSP runs) off it via the context.
+			sp := b.Trace.StartSpan(st.Name())
 			s := time.Now()
 			err := ctx.Err()
 			if err == nil {
-				err = st.Run(ctx, b)
+				err = st.Run(obs.ContextWithSpan(ctx, sp), b)
 			}
+			sp.End()
 			done <- outcome{idx: i, err: err, start: s, end: time.Now()}
 		}()
 	}

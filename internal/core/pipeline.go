@@ -23,6 +23,7 @@ import (
 	"shoal/internal/describe"
 	"shoal/internal/entitygraph"
 	"shoal/internal/model"
+	"shoal/internal/obs"
 	"shoal/internal/phac"
 	"shoal/internal/shard"
 	"shoal/internal/taxonomy"
@@ -98,8 +99,16 @@ type Build struct {
 	// Shards is the shard count the graph substrate was actually built
 	// with (Graph.NumShards() — per-stage overrides and tiny-graph
 	// clamping included), recorded by the entity-graph stage.
-	Shards     int
-	Embeddings *word2vec.Model
+	Shards int
+	// Workers is the resolved clustering worker count (HAC.Workers
+	// after defaulting), FrontierDensity the resolved frontier-pruning
+	// density gate, and BSPEnabled whether clustering diffusion ran on
+	// the BSP engine — the build configuration that explains the
+	// numbers next to it in /api/stats and shoal-build -v.
+	Workers         int
+	FrontierDensity float64
+	BSPEnabled      bool
+	Embeddings      *word2vec.Model
 	Dendrogram *dendrogram.Dendrogram
 	Rounds     []phac.RoundStat
 	// BSPStats is the aggregated BSP engine profile across clustering
@@ -115,6 +124,12 @@ type Build struct {
 	// StageTimings records wall time per pipeline stage, in stage
 	// declaration order.
 	StageTimings []StageTiming
+	// Trace is the build's hierarchical execution trace: one span per
+	// pipeline stage, one per clustering merge round beneath the
+	// parallel-hac stage, one per BSP engine run beneath each round.
+	// Exported as Chrome trace-event JSON by shoal-build -trace and
+	// GET /api/trace.
+	Trace *obs.Trace
 }
 
 // StageTiming is one stage's wall-clock cost. Start is the offset from
@@ -169,7 +184,20 @@ func run(ctx context.Context, corpus *model.Corpus, clicks *bipartite.Graph, cfg
 	if cfg.BSP {
 		cfg.HAC.UseBSP = true
 	}
-	b := &Build{Corpus: corpus, Clicks: clicks}
+	if cfg.HAC.Workers <= 0 {
+		cfg.HAC.Workers = runtime.GOMAXPROCS(0)
+	}
+	density := cfg.HAC.FrontierDensity
+	if density == 0 {
+		density = phac.DefaultFrontierDensity
+	}
+	b := &Build{
+		Corpus: corpus, Clicks: clicks,
+		Workers:         cfg.HAC.Workers,
+		FrontierDensity: density,
+		BSPEnabled:      cfg.HAC.UseBSP,
+		Trace:           obs.NewTrace("shoal-build"),
+	}
 	eng, err := NewEngine(pipelineStages(cfg, clicks != nil)...)
 	if err != nil {
 		return nil, err

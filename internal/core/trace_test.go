@@ -1,0 +1,106 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestBuildTraceCoverage locks the build-trace contract: every executed
+// stage opens exactly one root span, clustering merge rounds nest under
+// the parallel-hac stage, and the whole tree exports as parseable
+// Chrome trace-event JSON.
+func TestBuildTraceCoverage(t *testing.T) {
+	corpus := smallCorpus(t)
+	b, err := Run(corpus, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Trace == nil {
+		t.Fatal("build carries no trace")
+	}
+
+	var buf bytes.Buffer
+	if err := b.Trace.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var f struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatalf("chrome JSON does not parse: %v", err)
+	}
+
+	spans := map[string]map[string]any{}
+	for _, ev := range f.TraceEvents {
+		spans[ev.Name] = ev.Args
+	}
+	for _, st := range b.StageTimings {
+		if _, ok := spans[st.Stage]; !ok {
+			t.Errorf("stage %q has no trace span", st.Stage)
+		}
+	}
+	round0, ok := spans["round-0"]
+	if !ok {
+		t.Fatal("no merge-round span under the clustering stage")
+	}
+	if round0["parent"] != "parallel-hac" {
+		t.Fatalf("round-0 parent = %v, want parallel-hac", round0["parent"])
+	}
+	for _, key := range []string{"aliveRows", "activeEdges", "selected", "frontierSize"} {
+		if _, ok := round0[key]; !ok {
+			t.Errorf("round-0 span missing attribute %q", key)
+		}
+	}
+}
+
+// TestBuildTraceBSPRuns pins the third trace level: with clustering on
+// the BSP engine, each merge round records its engine runs beneath it.
+func TestBuildTraceBSPRuns(t *testing.T) {
+	corpus := smallCorpus(t)
+	cfg := testConfig()
+	cfg.BSP = true
+	b, err := Run(corpus, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := b.Trace.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var f struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatal(err)
+	}
+	runs := 0
+	for _, ev := range f.TraceEvents {
+		if ev.Name != "bsp-run" && ev.Name != "bsp-run-seeded" {
+			continue
+		}
+		runs++
+		if _, ok := ev.Args["supersteps"]; !ok {
+			t.Fatalf("bsp run span missing supersteps: %+v", ev.Args)
+		}
+	}
+	if b.BSPStats == nil {
+		t.Fatal("BSP build carries no engine stats")
+	}
+	if runs != b.BSPStats.RunsServed {
+		t.Fatalf("trace records %d bsp runs, engine served %d", runs, b.BSPStats.RunsServed)
+	}
+
+	// The resolved configuration travels on the build for /api/stats.
+	if !b.BSPEnabled || b.Workers <= 0 || b.FrontierDensity <= 0 {
+		t.Fatalf("resolved config not recorded: workers=%d density=%f bsp=%v",
+			b.Workers, b.FrontierDensity, b.BSPEnabled)
+	}
+}

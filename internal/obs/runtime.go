@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"context"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"time"
+)
+
+// RuntimeSampler feeds Go runtime health gauges — heap, GC pauses,
+// goroutines — into a registry. Sampling calls runtime.ReadMemStats
+// (a brief stop-the-world), so it is meant for a ticker at seconds
+// granularity, not a per-request path.
+type RuntimeSampler struct {
+	heapAlloc   *Gauge
+	heapSys     *Gauge
+	heapObjects *Gauge
+	goroutines  *Gauge
+	gcPauseNs   *Gauge
+	gcCycles    *Gauge
+}
+
+// NewRuntimeSampler registers the runtime gauge family in reg.
+func NewRuntimeSampler(reg *Registry) *RuntimeSampler {
+	return &RuntimeSampler{
+		heapAlloc:   reg.Gauge("shoal_runtime_heap_alloc_bytes", "", "bytes of allocated heap objects"),
+		heapSys:     reg.Gauge("shoal_runtime_heap_sys_bytes", "", "heap memory obtained from the OS"),
+		heapObjects: reg.Gauge("shoal_runtime_heap_objects", "", "number of allocated heap objects"),
+		goroutines:  reg.Gauge("shoal_runtime_goroutines", "", "number of live goroutines"),
+		gcPauseNs:   reg.Gauge("shoal_runtime_gc_pause_total_ns", "", "cumulative GC stop-the-world pause"),
+		gcCycles:    reg.Gauge("shoal_runtime_gc_cycles", "", "completed GC cycles"),
+	}
+}
+
+// Sample reads the runtime once and updates every gauge.
+func (s *RuntimeSampler) Sample() {
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	s.heapAlloc.Set(int64(m.HeapAlloc))
+	s.heapSys.Set(int64(m.HeapSys))
+	s.heapObjects.Set(int64(m.HeapObjects))
+	s.goroutines.Set(int64(runtime.NumGoroutine()))
+	s.gcPauseNs.Set(int64(m.PauseTotalNs))
+	s.gcCycles.Set(int64(m.NumGC))
+}
+
+// Run samples immediately and then on every tick until ctx is done.
+// Call it in its own goroutine.
+func (s *RuntimeSampler) Run(ctx context.Context, every time.Duration) {
+	s.Sample()
+	ticker := time.NewTicker(every)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			s.Sample()
+		}
+	}
+}
+
+// PprofMux returns a mux with the standard net/http/pprof handlers
+// mounted under /debug/pprof/ — the shared profiling surface for
+// shoal-serve's side listener and shoal-build's -pprof flag, kept off
+// the serving mux so production traffic never routes near the profiler.
+func PprofMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

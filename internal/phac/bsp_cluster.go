@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"shoal/internal/bsp"
+	"shoal/internal/obs"
 )
 
 // clusterDiffusionProgram is one clustering round's diffusion+selection
@@ -200,7 +201,7 @@ func (st *state) bspHeapBest() edgeRef {
 // The changed-rows selection contract assumes strict select → merge
 // alternation with a constant rounds/threshold, which is how Cluster
 // drives it: every selected pair is retired before the next selection.
-func (st *state) selectLocalMaximaBSP(rounds int, threshold float64, agg *bsp.Stats) ([]edgeRef, int, float64, error) {
+func (st *state) selectLocalMaximaBSP(rounds int, threshold float64, agg *bsp.Stats, span *obs.Span) ([]edgeRef, int, float64, error) {
 	n := st.total
 	// Diffusion before any merge must see an all-clean dirty map (fresh
 	// zero stamps never equal a positive dirtyEpoch).
@@ -241,6 +242,9 @@ func (st *state) selectLocalMaximaBSP(rounds int, threshold float64, agg *bsp.St
 	} else if err := st.bspEng.Rebind(n, prog); err != nil {
 		return nil, 0, 0, err
 	}
+	// Hang this round's engine run(s) beneath the round span (nil when
+	// the build is untraced — the engine then skips span work entirely).
+	st.bspEng.SetSpan(span)
 
 	seeded := st.haveCache
 	var stats *bsp.Stats

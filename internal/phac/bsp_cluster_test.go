@@ -28,7 +28,7 @@ func TestClusterBSPMemoizedMatchesCold(t *testing.T) {
 		dM := &dendrogram.Dendrogram{Leaves: 60}
 		dC := &dendrogram.Dendrogram{Leaves: 60}
 		for round := 0; round < 100; round++ {
-			selM, edgesM, bestM, err := mem.selectLocalMaximaBSP(rounds, threshold, &aggM)
+			selM, edgesM, bestM, err := mem.selectLocalMaximaBSP(rounds, threshold, &aggM, nil)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -40,7 +40,7 @@ func TestClusterBSPMemoizedMatchesCold(t *testing.T) {
 					lvl[i] = noEdge
 				}
 			}
-			selC, edgesC, bestC, err := cold.selectLocalMaximaBSP(rounds, threshold, &aggC)
+			selC, edgesC, bestC, err := cold.selectLocalMaximaBSP(rounds, threshold, &aggC, nil)
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -17,11 +17,13 @@ type Edge struct {
 	Sim  float64
 }
 
-// defaultFrontierDensity is the changed-node fraction of the scanned set
+// DefaultFrontierDensity is the changed-node fraction of the scanned set
 // above which an exchange iteration recomputes every node (dense)
 // instead of only the frontier. Below it, the scatter+span-copy overhead
 // of pruning is provably cheaper than the skipped neighbor scans.
-const defaultFrontierDensity = 0.25
+// Exported so callers reporting the resolved configuration (core.Build,
+// /api/stats) can name the default without duplicating the constant.
+const DefaultFrontierDensity = 0.25
 
 // Diffuse runs one diffusion+selection pass over a static graph and
 // returns the locally-maximal matching, sorted by (U,V). This is the
@@ -129,7 +131,7 @@ func exchangeRows(offsets, nbrs []int32, know, next []edgeRef, bounds []int32, r
 		return know
 	}
 	if density == 0 {
-		density = defaultFrontierDensity
+		density = DefaultFrontierDensity
 	}
 	n := int(bounds[len(bounds)-1])
 	chMark := make([]uint32, n)

@@ -35,11 +35,13 @@ import (
 	"math"
 	"runtime"
 	"slices"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
 	"shoal/internal/bsp"
 	"shoal/internal/dendrogram"
+	"shoal/internal/obs"
 	"shoal/internal/wgraph"
 )
 
@@ -144,7 +146,7 @@ func (c *Config) validate() error {
 		c.Shards = c.Workers
 	}
 	if c.FrontierDensity == 0 {
-		c.FrontierDensity = defaultFrontierDensity
+		c.FrontierDensity = DefaultFrontierDensity
 	}
 	if c.Linkage < LinkageSqrtSize || c.Linkage > LinkageSizeProportional {
 		return fmt.Errorf("phac: unknown linkage %d", c.Linkage)
@@ -233,6 +235,10 @@ func Cluster(ctx context.Context, g wgraph.View, sizes []int, cfg Config) (*Resu
 		res.BSP = &bsp.Stats{}
 	}
 
+	// One child span per merge round when the caller's context carries a
+	// build-trace span; psp == nil composes through the nil-safe span
+	// methods, so the untraced path runs untouched.
+	psp := obs.SpanFromContext(ctx)
 	for round := 0; ; round++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -240,13 +246,18 @@ func Cluster(ctx context.Context, g wgraph.View, sizes []int, cfg Config) (*Resu
 		if cfg.MaxRounds > 0 && round >= cfg.MaxRounds {
 			break
 		}
+		var rsp *obs.Span
+		if psp != nil {
+			rsp = psp.Child("round-" + strconv.Itoa(round))
+		}
 		var selected []edgeRef
 		var activeEdges int
 		var bestSim float64
 		if cfg.UseBSP {
 			var err error
-			selected, activeEdges, bestSim, err = st.selectLocalMaximaBSP(cfg.DiffusionRounds, cfg.StopThreshold, res.BSP)
+			selected, activeEdges, bestSim, err = st.selectLocalMaximaBSP(cfg.DiffusionRounds, cfg.StopThreshold, res.BSP, rsp)
 			if err != nil {
+				rsp.End()
 				return nil, err
 			}
 		} else {
@@ -256,11 +267,17 @@ func Cluster(ctx context.Context, g wgraph.View, sizes []int, cfg Config) (*Resu
 			Round: round, ActiveClusters: st.aliveCount,
 			ActiveEdges: activeEdges, BestSim: bestSim, Selected: len(selected),
 		}
+		rsp.SetAttr("aliveRows", stat.ActiveClusters)
+		rsp.SetAttr("activeEdges", stat.ActiveEdges)
+		rsp.SetAttr("selected", stat.Selected)
+		rsp.SetAttr("bestSim", stat.BestSim)
 		if activeEdges == 0 || bestSim < cfg.StopThreshold {
+			rsp.End()
 			break
 		}
 		res.Rounds = append(res.Rounds, stat)
 		if len(selected) == 0 {
+			rsp.End()
 			// Cannot happen while an edge >= threshold exists (the
 			// global max is always mutual), but guard against it so a
 			// bug cannot loop forever.
@@ -268,6 +285,10 @@ func Cluster(ctx context.Context, g wgraph.View, sizes []int, cfg Config) (*Resu
 		}
 
 		st.mergeSelected(selected, round, cfg, res.Dendrogram)
+		// The merge just stamped next round's dirty worklist — the frontier
+		// the memoized diffusion will start from.
+		rsp.SetAttr("frontierSize", len(st.dirtyList))
+		rsp.End()
 	}
 	return res, nil
 }
@@ -382,7 +403,7 @@ func newState(c *wgraph.CSR, sizes []int, cfg Config) *state {
 		cfg.Shards = 1
 	}
 	if cfg.FrontierDensity == 0 {
-		cfg.FrontierDensity = defaultFrontierDensity
+		cfg.FrontierDensity = DefaultFrontierDensity
 	}
 	st := &state{
 		total:   n,

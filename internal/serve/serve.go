@@ -7,12 +7,18 @@
 //	GET /api/topics/{id}                   scenario B: topic + sub-topics
 //	GET /api/topics/{id}/items?category=3  scenario C: topic → category → items
 //	GET /api/categories/{id}/related       scenario D: category correlations
-//	GET /api/stats                         build statistics + stage timings
+//	GET /api/stats                         build statistics + stage timings + serving telemetry
+//	GET /api/trace                         build execution trace (Chrome trace-event JSON)
+//	GET /metrics                           Prometheus text exposition
 //
 // The handler holds the current build behind an atomic pointer: Swap
 // publishes a fresh build (e.g. a daily sliding-window rebuild) with zero
 // downtime. Each request loads one consistent snapshot at entry, so a swap
 // mid-request cannot mix two builds in one response.
+//
+// Every request passes through the obs middleware: per-route latency
+// histograms, status-class counters, an in-flight gauge and the swap
+// generation observed at completion, all allocation-free per request.
 package serve
 
 import (
@@ -27,6 +33,7 @@ import (
 	"shoal/internal/catcorr"
 	"shoal/internal/core"
 	"shoal/internal/model"
+	"shoal/internal/obs"
 	"shoal/internal/taxonomy"
 )
 
@@ -37,6 +44,12 @@ type Handler struct {
 	// count; request handlers never take it.
 	swapMu sync.Mutex
 	mux    *http.ServeMux
+	// wrapped is the instrumented mux ServeHTTP dispatches to; reg and
+	// metrics are the observability surface behind /metrics and the
+	// "http" section of /api/stats.
+	wrapped http.Handler
+	reg     *obs.Registry
+	metrics *obs.HTTPMetrics
 }
 
 // snapshot pairs a build with the swap count that published it, so one
@@ -52,13 +65,22 @@ func NewHandler(b *core.Build) (*Handler, error) {
 	if err := checkBuild(b); err != nil {
 		return nil, err
 	}
-	h := &Handler{mux: http.NewServeMux()}
+	h := &Handler{mux: http.NewServeMux(), reg: obs.NewRegistry()}
 	h.cur.Store(&snapshot{build: b})
-	h.mux.HandleFunc("GET /api/search", h.search)
-	h.mux.HandleFunc("GET /api/topics/{id}", h.topic)
-	h.mux.HandleFunc("GET /api/topics/{id}/items", h.topicItems)
-	h.mux.HandleFunc("GET /api/categories/{id}/related", h.related)
-	h.mux.HandleFunc("GET /api/stats", h.stats)
+	m := obs.NewHTTPMetrics(h.reg)
+	m.Generation = h.Swaps
+	h.metrics = m
+	h.mux.HandleFunc("GET /api/search", m.Route("/api/search", h.search))
+	h.mux.HandleFunc("GET /api/topics/{id}", m.Route("/api/topics/{id}", h.topic))
+	h.mux.HandleFunc("GET /api/topics/{id}/items", m.Route("/api/topics/{id}/items", h.topicItems))
+	h.mux.HandleFunc("GET /api/categories/{id}/related", m.Route("/api/categories/{id}/related", h.related))
+	h.mux.HandleFunc("GET /api/stats", m.Route("/api/stats", h.stats))
+	h.mux.HandleFunc("GET /api/trace", m.Route("/api/trace", h.trace))
+	metricsHandler := h.reg.Handler()
+	h.mux.HandleFunc("GET /metrics", m.Route("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		metricsHandler.ServeHTTP(w, r)
+	}))
+	h.wrapped = m.WrapMux(h.mux)
 	return h, nil
 }
 
@@ -92,8 +114,20 @@ func (h *Handler) Current() *core.Build { return h.cur.Load().build }
 // Swaps returns how many times a new build has been published.
 func (h *Handler) Swaps() int64 { return h.cur.Load().swaps }
 
-// ServeHTTP implements http.Handler.
-func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) { h.mux.ServeHTTP(w, r) }
+// Registry exposes the handler's metrics registry so the process can
+// register more instruments (shoal-serve's runtime sampler) into the
+// same /metrics surface.
+func (h *Handler) Registry() *obs.Registry { return h.reg }
+
+// ServeHTTP implements http.Handler; every request passes through the
+// obs middleware.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) { h.wrapped.ServeHTTP(w, r) }
+
+// Bare returns the uninstrumented mux — identical routing with the
+// middleware layer skipped. It exists for the obs-overhead benchmark
+// (instrumented vs. bare request cost); production callers want
+// ServeHTTP.
+func (h *Handler) Bare() http.Handler { return h.mux }
 
 // TopicSummary is the wire form of a topic reference.
 type TopicSummary struct {
@@ -172,11 +206,20 @@ type Stats struct {
 	RootTopics   int `json:"rootTopics"`
 	Correlations int `json:"correlations"`
 	// Shards is the row-range shard count the build's graph substrate
-	// was partitioned into (core.Config.Shards).
-	Shards int         `json:"shards"`
-	Swaps  int64       `json:"swaps"`
-	BSP    *BSPStat    `json:"bsp,omitempty"`
-	Stages []StageStat `json:"stages"`
+	// was partitioned into (core.Config.Shards); Workers the resolved
+	// clustering worker count and FrontierDensity the resolved
+	// frontier-pruning gate — the build configuration that explains the
+	// stage timings next to it.
+	Shards          int     `json:"shards"`
+	Workers         int     `json:"workers"`
+	FrontierDensity float64 `json:"frontierDensity"`
+	Swaps           int64   `json:"swaps"`
+	// BSP reports whether clustering diffusion ran on the BSP engine;
+	// the engine profile itself is BSPStats.
+	BSP      bool            `json:"bsp"`
+	BSPStats *BSPStat        `json:"bspStats,omitempty"`
+	Stages   []StageStat     `json:"stages"`
+	HTTP     obs.HTTPSummary `json:"http"`
 }
 
 func (h *Handler) search(w http.ResponseWriter, r *http.Request) {
@@ -285,20 +328,24 @@ func (h *Handler) stats(w http.ResponseWriter, r *http.Request) {
 	snap := h.cur.Load()
 	b := snap.build
 	out := Stats{
-		Items:      len(b.Corpus.Items),
-		Queries:    len(b.Corpus.Queries),
-		Categories: len(b.Corpus.Categories),
-		Entities:   len(b.Entities.Entities),
-		Topics:     len(b.Taxonomy.Topics),
-		RootTopics: len(b.Taxonomy.Roots()),
-		Shards:     b.Shards,
-		Swaps:      snap.swaps,
+		Items:           len(b.Corpus.Items),
+		Queries:         len(b.Corpus.Queries),
+		Categories:      len(b.Corpus.Categories),
+		Entities:        len(b.Entities.Entities),
+		Topics:          len(b.Taxonomy.Topics),
+		RootTopics:      len(b.Taxonomy.Roots()),
+		Shards:          b.Shards,
+		Workers:         b.Workers,
+		FrontierDensity: b.FrontierDensity,
+		Swaps:           snap.swaps,
+		BSP:             b.BSPEnabled,
+		HTTP:            h.metrics.Summary(),
 	}
 	if b.Correlations != nil {
 		out.Correlations = len(b.Correlations.Pairs())
 	}
 	if b.BSPStats != nil {
-		out.BSP = &BSPStat{
+		out.BSPStats = &BSPStat{
 			Supersteps:      b.BSPStats.Supersteps,
 			Messages:        b.BSPStats.Messages,
 			Sends:           b.BSPStats.Sends,
@@ -320,6 +367,19 @@ func (h *Handler) stats(w http.ResponseWriter, r *http.Request) {
 		})
 	}
 	writeJSON(w, out)
+}
+
+// trace serves the current build's execution trace as Chrome trace-event
+// JSON (load it in chrome://tracing or Perfetto). Swaps change which
+// build's trace is served, like every other endpoint.
+func (h *Handler) trace(w http.ResponseWriter, r *http.Request) {
+	b := h.cur.Load().build
+	if b.Trace == nil {
+		httpError(w, http.StatusNotFound, "build has no trace")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = b.Trace.WriteChrome(w)
 }
 
 func topicFromPath(w http.ResponseWriter, r *http.Request, b *core.Build) (*taxonomy.Topic, bool) {

@@ -377,8 +377,11 @@ func TestStatsBSPSection(t *testing.T) {
 	if code := getJSON(t, srv.URL+"/api/stats", &stats); code != http.StatusOK {
 		t.Fatalf("status = %d", code)
 	}
-	if stats.BSP != nil {
-		t.Fatalf("shared-memory build surfaced BSP stats: %+v", stats.BSP)
+	if stats.BSP {
+		t.Fatal("shared-memory build reported bsp enabled")
+	}
+	if stats.BSPStats != nil {
+		t.Fatalf("shared-memory build surfaced BSP stats: %+v", stats.BSPStats)
 	}
 
 	cfg := core.DefaultConfig()
@@ -402,13 +405,16 @@ func TestStatsBSPSection(t *testing.T) {
 	if code := getJSON(t, bsrv.URL+"/api/stats", &stats); code != http.StatusOK {
 		t.Fatalf("status = %d", code)
 	}
-	if stats.BSP == nil {
+	if !stats.BSP {
+		t.Fatal("BSP build did not report bsp enabled")
+	}
+	if stats.BSPStats == nil {
 		t.Fatal("BSP build did not surface engine stats")
 	}
-	if stats.BSP.Supersteps <= 0 || stats.BSP.Sends <= 0 || len(stats.BSP.ActivePerStep) == 0 {
-		t.Fatalf("implausible BSP stats: %+v", stats.BSP)
+	if stats.BSPStats.Supersteps <= 0 || stats.BSPStats.Sends <= 0 || len(stats.BSPStats.ActivePerStep) == 0 {
+		t.Fatalf("implausible BSP stats: %+v", stats.BSPStats)
 	}
-	if stats.BSP.CombinerHitRate < 0 || stats.BSP.CombinerHitRate > 1 {
-		t.Fatalf("combiner hit rate out of range: %+v", stats.BSP)
+	if stats.BSPStats.CombinerHitRate < 0 || stats.BSPStats.CombinerHitRate > 1 {
+		t.Fatalf("combiner hit rate out of range: %+v", stats.BSPStats)
 	}
 }
