@@ -6,6 +6,7 @@
 //	shoal-build -corpus corpus.json.gz -out taxonomy.gob
 //	shoal-build -corpus corpus.json.gz -alpha 0.7 -stop 0.12 -r 2 -v
 //	shoal-build -corpus corpus.json.gz -trace build-trace.json
+//	shoal-build -corpus corpus.json.gz -incremental -v    # day-by-day delta rebuilds
 package main
 
 import (
@@ -17,8 +18,10 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"shoal/internal/core"
+	"shoal/internal/model"
 	"shoal/internal/obs"
 	"shoal/internal/store"
 )
@@ -39,6 +42,7 @@ func main() {
 		shards     = flag.Int("shards", 0, "row-range shards of the graph substrate (0: GOMAXPROCS); output is identical for any value")
 		frontier   = flag.Float64("frontier", 0, "frontier density of pruned diffusion (0: default 0.25, negative: dense); output is identical for any value")
 		bspMode    = flag.Bool("bsp", false, "route clustering diffusion through the shard-native BSP engine; output is identical, engine stats are reported")
+		increment  = flag.Bool("incremental", false, "replay the corpus click log day by day through the sliding-window pipeline, rebuilding each day with the delta-driven path; the final day's taxonomy is saved (per-day delta stats with -v)")
 		tracePath  = flag.String("trace", "", "write the build's execution trace as Chrome trace-event JSON (open in chrome://tracing or Perfetto)")
 		pprofAddr  = flag.String("pprof", "", "side listener address exposing net/http/pprof during the build (e.g. localhost:6060; empty disables)")
 		verbose    = flag.Bool("v", false, "print stage timings, resolved configuration and statistics")
@@ -79,7 +83,13 @@ func main() {
 		cfg.Taxonomy.Levels = []float64{*stop, 0.3, 0.5}
 	}
 
-	b, err := core.RunContext(ctx, corpus, cfg)
+	var b *core.Build
+	if *increment {
+		cfg.Incremental = true
+		b, err = buildIncremental(ctx, corpus, cfg, *verbose)
+	} else {
+		b, err = core.RunContext(ctx, corpus, cfg)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -123,4 +133,51 @@ func main() {
 	fmt.Printf("taxonomy: topics=%d roots=%d entities=%d correlations=%d -> %s\n",
 		len(b.Taxonomy.Topics), len(b.Taxonomy.Roots()),
 		len(b.Entities.Entities), len(b.Correlations.Pairs()), *out)
+}
+
+// buildIncremental replays the corpus click log day by day through the
+// sliding-window pipeline: every day is ingested and rebuilt with the
+// delta-driven path, so each rebuild recomputes only what that day's
+// slide changed. Returns the final day's build — byte-identical to a
+// from-scratch build over the final window.
+func buildIncremental(ctx context.Context, corpus *model.Corpus, cfg core.Config, verbose bool) (*core.Build, error) {
+	var maxDay int32
+	for _, ev := range corpus.Clicks {
+		if ev.Day > maxDay {
+			maxDay = ev.Day
+		}
+	}
+	byDay := make([][]model.ClickEvent, maxDay+1)
+	for _, ev := range corpus.Clicks {
+		byDay[ev.Day] = append(byDay[ev.Day], ev)
+	}
+
+	pipe, err := core.NewDailyPipeline(corpus, cfg)
+	if err != nil {
+		return nil, err
+	}
+	var b *core.Build
+	for day, events := range byDay {
+		if err := pipe.IngestDay(events); err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		b, err = pipe.RebuildContext(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if verbose {
+			line := fmt.Sprintf("day %-3d rebuilt in %-10v topics=%d", day,
+				time.Since(start).Round(time.Millisecond), len(b.Taxonomy.Topics))
+			if d := b.Delta; d != nil {
+				line += fmt.Sprintf(" dirty-items=%d dirty-rows=%d changed-edges=%d seeded-rows=%d dense-fallback=%v",
+					d.DirtyItems, d.DirtyRows, d.ChangedEdges, d.SeededRows, d.DenseFallback)
+			}
+			fmt.Fprintln(os.Stderr, line)
+		}
+	}
+	if b == nil {
+		return nil, fmt.Errorf("corpus has no click events to replay")
+	}
+	return b, nil
 }

@@ -7,6 +7,7 @@
 //	shoal-serve -addr :8080                       # curated mini corpus
 //	shoal-serve -addr :8080 -corpus corpus.json.gz
 //	shoal-serve -addr :8080 -refresh 24h          # daily rebuild + hot swap
+//	shoal-serve -addr :8080 -refresh 24h -incremental  # delta-driven rebuilds
 //
 // Endpoints: /api/search?q=..., /api/topics/{id},
 // /api/topics/{id}/items[?category=N], /api/categories/{id}/related,
@@ -50,6 +51,7 @@ func main() {
 	shards := flag.Int("shards", 0, "row-range shards of the graph substrate (0: GOMAXPROCS); reported in /api/stats")
 	frontier := flag.Float64("frontier", 0, "frontier density of pruned diffusion (0: default 0.25, negative: dense); output is identical for any value")
 	bspMode := flag.Bool("bsp", false, "route clustering diffusion through the shard-native BSP engine; output is identical, engine stats land in /api/stats")
+	incremental := flag.Bool("incremental", false, "delta-driven rebuilds: each refresh recomputes only what the window slide changed (byte-identical output; delta stats land in /api/stats)")
 	flag.Parse()
 
 	// Profiling stays off the serving listener: a dedicated mux on a side
@@ -78,6 +80,7 @@ func main() {
 	cfg.Shards = *shards
 	cfg.HAC.FrontierDensity = *frontier
 	cfg.BSP = *bspMode
+	cfg.Incremental = *incremental
 	if *corpusPath != "" {
 		var err error
 		corpus, err = store.LoadCorpus(*corpusPath)
@@ -192,5 +195,9 @@ func refreshLoop(ctx context.Context, pipe *core.DailyPipeline, h *serve.Handler
 		log.Printf("refresh: swapped build #%d in %v (topics=%d stability=%.3f)",
 			h.Swaps(), time.Since(start).Round(time.Millisecond),
 			len(b.Taxonomy.Topics), stability)
+		if d := b.Delta; d != nil {
+			log.Printf("refresh: delta dirty-items=%d dirty-rows=%d changed-edges=%d seeded-rows=%d dense-fallback=%v",
+				d.DirtyItems, d.DirtyRows, d.ChangedEdges, d.SeededRows, d.DenseFallback)
+		}
 	}
 }

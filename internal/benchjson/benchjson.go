@@ -175,6 +175,33 @@ func Run() ([]Result, error) {
 		handler.ServeHTTP(&sink, httptest.NewRequest("GET", "/api/stats", nil))
 		return nil
 	})
+	// One-day window slide, rebuilt both ways from identical precomputed
+	// inputs: daily-rebuild runs the from-scratch graph construction +
+	// cold clustering the pre-incremental pipeline paid every day;
+	// incremental-rebuild sort-merges the slide's dirty rows into the
+	// retained CSR and warm-starts clustering from the previous build's
+	// diffusion memo. The derived incremental-vs-full ratio below is what
+	// the gate watches (IncrementalVsFullCeiling).
+	sw, err := buildSlideWorld(b, sizes)
+	if err != nil {
+		return nil, err
+	}
+	benches["daily-rebuild"] = record(func() error {
+		res, err := entitygraph.Build(ctx, b.Entities, sw.window, b.Embeddings, sw.gcfg)
+		if err != nil {
+			return err
+		}
+		_, err = phac.Cluster(ctx, res.Graph, sizes, sw.hcfg)
+		return err
+	})
+	benches["incremental-rebuild"] = record(func() error {
+		res, _, d, err := entitygraph.BuildIncremental(ctx, b.Entities, sw.window, b.Embeddings, sw.gcfg, sw.st, sw.dirty)
+		if err != nil {
+			return err
+		}
+		_, _, err = phac.ClusterWarm(ctx, res.Graph, sizes, sw.hcfg, sw.memo, d.DirtyRows)
+		return err
+	})
 	// Segment wire format: encode + decode every shard of a 4-way
 	// partition (the multi-host placement cost per shard hand-off).
 	segSrc := shard.Partition(base, 4)
@@ -266,6 +293,18 @@ func Run() ([]Result, error) {
 					NsPerOp: bb.NsPerOp / sh.NsPerOp,
 				})
 			}
+		}
+	}
+	// incremental-vs-full: delta-driven slide rebuild time over the
+	// from-scratch rebuild of the same window (dimensionless, lower is
+	// better; 1.0 means incrementality saves nothing). Hard-gated at
+	// IncrementalVsFullCeiling so the delta path must keep a real margin.
+	if inc, ok := byName["incremental-rebuild"]; ok {
+		if fullB, ok := byName["daily-rebuild"]; ok && fullB.NsPerOp > 0 {
+			out = append(out, Result{
+				Name:    "incremental-vs-full",
+				NsPerOp: inc.NsPerOp / fullB.NsPerOp,
+			})
 		}
 	}
 	// obs-overhead-vs-bare: instrumented search serving time over the same
@@ -368,6 +407,18 @@ const ClusterBspVsSharedCeiling = 1.6
 // ceilings.
 const ObsOverheadCeiling = 1.10
 
+// IncrementalVsFullCeiling is the hard ceiling for the derived
+// incremental-vs-full ratio: delta-driven slide rebuild time over a
+// from-scratch rebuild of the same window. At or above it the
+// incremental path has lost its reason to exist — the sort-merge CSR
+// patch plus the warm-started clustering must beat recomputing
+// yesterday's taxonomy by a real margin, not round-off. Unlike the
+// >1 ceilings above, this one does NOT widen with the gate's relative
+// threshold: the ratio's whole budget sits below 1.0, so adding the
+// threshold on top would let the win silently evaporate on
+// wide-tolerance runners.
+const IncrementalVsFullCeiling = 0.7
+
 // Regressions compares two result sets and reports every benchmark name
 // present in both whose ns/op grew by more than threshold (a fraction:
 // 0.25 means "fail past +25%"). Benchmarks only in one set are ignored —
@@ -375,9 +426,10 @@ const ObsOverheadCeiling = 1.10
 // to keep the same suite — except the derived ratios in the new set:
 // *-vs-serial additionally fails outright above VsSerialCeiling,
 // bsp-diffuse-*-vs-shared above BspVsSharedCeiling,
-// phac-cluster-bsp-vs-shared above ClusterBspVsSharedCeiling, and
-// obs-overhead-vs-bare above ObsOverheadCeiling. The report is sorted
-// by name.
+// phac-cluster-bsp-vs-shared above ClusterBspVsSharedCeiling,
+// obs-overhead-vs-bare above ObsOverheadCeiling, and
+// incremental-vs-full above IncrementalVsFullCeiling (which never
+// widens). The report is sorted by name.
 func Regressions(oldRes, newRes []Result, threshold float64) []string {
 	prev := make(map[string]Result, len(oldRes))
 	for _, r := range oldRes {
@@ -419,6 +471,11 @@ func Regressions(oldRes, newRes []Result, threshold float64) []string {
 		if n.Name == "obs-overhead-vs-bare" && n.NsPerOp >= obsCeiling {
 			out = append(out, fmt.Sprintf("%s: ratio %.2f >= %.2f — request instrumentation blew its search hot-path budget",
 				n.Name, n.NsPerOp, obsCeiling))
+			continue
+		}
+		if n.Name == "incremental-vs-full" && n.NsPerOp >= IncrementalVsFullCeiling {
+			out = append(out, fmt.Sprintf("%s: ratio %.2f >= %.2f — the delta-driven rebuild lost its margin over recomputing from scratch",
+				n.Name, n.NsPerOp, IncrementalVsFullCeiling))
 			continue
 		}
 		o, ok := prev[n.Name]

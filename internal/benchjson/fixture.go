@@ -111,6 +111,77 @@ func deriveWorld(b *core.Build) (*bipartite.Graph, []int, error) {
 	return clicks, sizes, nil
 }
 
+// slideWorld is the precomputed input of the daily-rebuild /
+// incremental-rebuild pair: one one-day slide of a seven-day window,
+// with the pre-slide entity-graph state and clustering memo already
+// captured. Both benchmarks rebuild the SAME post-slide window from the
+// same inputs — one from scratch, one delta-driven — so their ratio
+// (incremental-vs-full) isolates what the delta path saves.
+type slideWorld struct {
+	window *bipartite.Graph // the post-slide window
+	dirty  []model.ItemID   // items the slide changed
+	st     *entitygraph.IncState
+	memo   *phac.Memo
+	gcfg   entitygraph.Config
+	hcfg   phac.Config
+}
+
+// buildSlideWorld replays the fixture corpus's clicks as a
+// production-shaped stream: recurring head demand plus a small rotating
+// tail (the shape examples/daily streams, at lower churn so the dirty
+// neighborhood stays well under the patch density gate at this corpus
+// scale). It fills a seven-day window, captures the incremental state,
+// then slides one day.
+func buildSlideWorld(b *core.Build, sizes []int) (*slideWorld, error) {
+	const days, tail = 8, 400
+	byDay := make([][]model.ClickEvent, days)
+	for i, ev := range b.Corpus.Clicks {
+		if i%tail == 0 { // churning tail: one day each
+			ev.Day = int32(i/tail) % days
+			byDay[ev.Day] = append(byDay[ev.Day], ev)
+			continue
+		}
+		for d := int32(0); d < days; d++ { // recurring head
+			ev.Day = d
+			byDay[d] = append(byDay[d], ev)
+		}
+	}
+	sw := &slideWorld{
+		window: bipartite.New(days - 1),
+		gcfg:   fixedWorldConfig().Graph,
+		hcfg:   phac.Config{StopThreshold: 0.12, DiffusionRounds: 2},
+	}
+	ctx := context.Background()
+	for d := 0; d < days-1; d++ {
+		if err := sw.window.AddAll(byDay[d]); err != nil {
+			return nil, err
+		}
+	}
+	sw.window.TakeChangedItems() // first build is always cold
+	resA, stA, err := entitygraph.BuildWithState(ctx, b.Entities, sw.window, b.Embeddings, sw.gcfg)
+	if err != nil {
+		return nil, err
+	}
+	_, memo, err := phac.ClusterWarm(ctx, resA.Graph, sizes, sw.hcfg, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	sw.st, sw.memo = stA, memo
+	if err := sw.window.AddAll(byDay[days-1]); err != nil {
+		return nil, err
+	}
+	sw.dirty = sw.window.TakeChangedItems()
+	// The pair's contract is that the delta path actually runs: a slide
+	// dense enough to trip the patch gate would make both benchmarks
+	// measure the same full build and the ratio meaningless.
+	if _, _, d, err := entitygraph.BuildIncremental(ctx, b.Entities, sw.window, b.Embeddings, sw.gcfg, sw.st, sw.dirty); err != nil {
+		return nil, err
+	} else if d.DenseFallback {
+		return nil, fmt.Errorf("benchjson: slide fixture tripped the dense fallback (dirty items %d)", d.DirtyItems)
+	}
+	return sw, nil
+}
+
 // fixtureFile is the gob wire form of the fixture: the corpus and every
 // expensive pipeline product the benchmarks read. The graph ships as its
 // canonical edge list and is rebuilt with shard.FromEdges — byte-

@@ -163,6 +163,39 @@ func TestObsOverheadCeiling(t *testing.T) {
 	}
 }
 
+// TestIncrementalVsFullCeiling pins the delta-rebuild margin: an
+// incremental-vs-full entry at or above IncrementalVsFullCeiling fails
+// outright — even when the old file never recorded the name — and,
+// unlike every other ceiling, this one does NOT widen with the gate's
+// relative threshold: the ratio's whole budget sits below 1.0, so the
+// 0.7 line holds even on wide-tolerance runner-side gates.
+func TestIncrementalVsFullCeiling(t *testing.T) {
+	var oldRes []Result // ratio brand new in this trajectory
+	got := Regressions(oldRes, []Result{{Name: "incremental-vs-full", NsPerOp: 0.56}}, 0.25)
+	if len(got) != 0 {
+		t.Fatalf("reference-shape margin gated: %v", got)
+	}
+	got = Regressions(oldRes, []Result{{Name: "incremental-vs-full", NsPerOp: 0.70}}, 0.25)
+	if len(got) != 1 || !strings.Contains(got[0], "lost its margin") {
+		t.Fatalf("at-ceiling ratio = %v, want one hard-gate entry", got)
+	}
+	// The runner-side 50% threshold widens the >1 ceilings to 1.5 —
+	// but not this one: 0.70 still fails at any tolerance.
+	got = Regressions(oldRes, []Result{{Name: "incremental-vs-full", NsPerOp: 0.70}}, 0.5)
+	if len(got) != 1 || !strings.Contains(got[0], "lost its margin") {
+		t.Fatalf("wide-threshold at-ceiling ratio = %v, want one hard-gate entry", got)
+	}
+	// Under the ceiling, the relative trajectory comparison still bites:
+	// a margin eroding from 0.50 to 0.68 is a regression even though
+	// both sides beat the hard line.
+	got = Regressions(
+		[]Result{{Name: "incremental-vs-full", NsPerOp: 0.50}},
+		[]Result{{Name: "incremental-vs-full", NsPerOp: 0.68}}, 0.25)
+	if len(got) != 1 || !strings.Contains(got[0], "ns/op") {
+		t.Fatalf("relative gate on sub-ceiling ratio = %v, want one trajectory entry", got)
+	}
+}
+
 // The committed-trajectory comparison itself (BENCH_3.json vs
 // BENCH_4.json at 25%) lives in CI as the dedicated bench-gate step
 // (`shoal-bench -benchgate`), so it is deliberately not duplicated

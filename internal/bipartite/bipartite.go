@@ -28,6 +28,19 @@ type Graph struct {
 	queryItems map[model.QueryID]map[model.ItemID]int32
 	itemQuery  map[model.ItemID]map[model.QueryID]int32
 	dirty      bool
+
+	// changed accumulates items whose query-set MEMBERSHIP changed since
+	// the last TakeChangedItems drain: an (item, query) pair count crossed
+	// zero in either direction, from ingestion or eviction. Count-only
+	// changes (a pair going 3 -> 5 clicks) do not alter QuerySet and are
+	// deliberately not tracked — nothing downstream of the click graph
+	// reads raw counts.
+	changed map[model.ItemID]struct{}
+
+	// droppedStale counts clicks discarded because they arrived for a day
+	// already evicted from the window (late-arriving data). Diagnostic
+	// only: it never affects aggregate state.
+	droppedStale int64
 }
 
 // New creates a click graph retaining the most recent windowDays days.
@@ -39,6 +52,7 @@ func New(windowDays int) *Graph {
 		byDay:      make(map[int32][]model.ClickEvent),
 		queryItems: make(map[model.QueryID]map[model.ItemID]int32),
 		itemQuery:  make(map[model.ItemID]map[model.QueryID]int32),
+		changed:    make(map[model.ItemID]struct{}),
 	}
 }
 
@@ -51,7 +65,10 @@ func (g *Graph) Add(ev model.ClickEvent) error {
 		return fmt.Errorf("bipartite: negative day %d", ev.Day)
 	}
 	if g.windowDays > 0 && g.maxDay >= 0 && ev.Day <= g.maxDay-g.windowDays {
-		// Click older than the window: ignore.
+		// Click older than the window: late-arriving data for a day
+		// already evicted. Dropping it is correct (replaying it would
+		// resurrect an expired day) but operators need to see it happen.
+		g.droppedStale++
 		return nil
 	}
 	g.byDay[ev.Day] = append(g.byDay[ev.Day], ev)
@@ -63,12 +80,51 @@ func (g *Graph) Add(ev model.ClickEvent) error {
 	return nil
 }
 
-// AddAll ingests a batch of events.
+// AddAll ingests a batch of events with a single eviction pass at the end,
+// instead of re-running the evict scan on every per-event max-day bump.
+// The batch is validated up front, so on error no event has been applied
+// (stricter than the old per-event loop, which applied a prefix). Events
+// older than the window implied by the batch's own newest day are dropped
+// before application; the final aggregate state is identical to sequential
+// Add calls (eviction removes whole days either way), though droppedStale
+// may count transiently-applied-then-evicted events that a sequential
+// replay would have silently aged out instead.
 func (g *Graph) AddAll(evs []model.ClickEvent) error {
-	for _, ev := range evs {
-		if err := g.Add(ev); err != nil {
-			return err
+	batchMax := int32(-1)
+	for i := range evs {
+		ev := &evs[i]
+		if ev.Count <= 0 {
+			return fmt.Errorf("bipartite: non-positive click count %d", ev.Count)
 		}
+		if ev.Day < 0 {
+			return fmt.Errorf("bipartite: negative day %d", ev.Day)
+		}
+		if ev.Day > batchMax {
+			batchMax = ev.Day
+		}
+	}
+	if len(evs) == 0 {
+		return nil
+	}
+	effMax := g.maxDay
+	if batchMax > effMax {
+		effMax = batchMax
+	}
+	cutoff := int32(-1)
+	if g.windowDays > 0 && effMax >= 0 {
+		cutoff = effMax - g.windowDays
+	}
+	for _, ev := range evs {
+		if g.windowDays > 0 && ev.Day <= cutoff {
+			g.droppedStale++
+			continue
+		}
+		g.byDay[ev.Day] = append(g.byDay[ev.Day], ev)
+		g.apply(ev, +1)
+	}
+	if batchMax > g.maxDay {
+		g.maxDay = batchMax
+		g.evict()
 	}
 	return nil
 }
@@ -91,12 +147,53 @@ func (g *Graph) apply(ev model.ClickEvent, sign int32) {
 		iq = make(map[model.QueryID]int32)
 		g.itemQuery[ev.Item] = iq
 	}
+	before := len(iq)
 	iq[ev.Query] += sign * ev.Count
 	if iq[ev.Query] <= 0 {
 		delete(iq, ev.Query)
 		if len(iq) == 0 {
 			delete(g.itemQuery, ev.Item)
 		}
+	}
+	if len(iq) != before {
+		// The item's query set gained or lost a member: its downstream
+		// similarity rows may change.
+		g.changed[ev.Item] = struct{}{}
+	}
+}
+
+// TakeChangedItems drains and returns the set of items whose query sets
+// changed membership since the previous drain (or since New), sorted.
+// Callers use it to scope incremental rebuilds; a freshly drained graph
+// accumulates from empty again.
+func (g *Graph) TakeChangedItems() []model.ItemID {
+	if len(g.changed) == 0 {
+		return nil
+	}
+	out := make([]model.ItemID, 0, len(g.changed))
+	for it := range g.changed {
+		out = append(out, it)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	g.changed = make(map[model.ItemID]struct{})
+	return out
+}
+
+// WindowStats is a point-in-time summary of the sliding window.
+type WindowStats struct {
+	Queries      int   // queries with at least one in-window click
+	Items        int   // items with at least one in-window click
+	MaxDay       int32 // newest day seen, -1 if empty
+	DroppedStale int64 // late clicks discarded for already-evicted days
+}
+
+// Stats returns the current window summary.
+func (g *Graph) Stats() WindowStats {
+	return WindowStats{
+		Queries:      len(g.queryItems),
+		Items:        len(g.itemQuery),
+		MaxDay:       g.maxDay,
+		DroppedStale: g.droppedStale,
 	}
 }
 

@@ -20,6 +20,10 @@ type DailyPipeline struct {
 	clicks *bipartite.Graph
 	days   int
 	last   *Build
+	// cache is the cross-build state of the incremental rebuild path
+	// (Config.Incremental): corpus-static artifacts plus the previous
+	// build's entity-graph state and clustering diffusion memo.
+	cache rebuildCache
 }
 
 // NewDailyPipeline prepares a pipeline over a static catalog (the corpus's
@@ -35,9 +39,10 @@ func NewDailyPipeline(corpus *model.Corpus, cfg Config) (*DailyPipeline, error) 
 	}, nil
 }
 
-// IngestDay feeds one day's click events into the sliding window. Events
-// must carry non-decreasing Day values across calls (the window evicts by
-// the newest day seen).
+// IngestDay feeds one day's click events into the sliding window via
+// the batched fast path (one eviction pass per call). Events must carry
+// non-decreasing Day values across calls (the window evicts by the
+// newest day seen); a rejected batch leaves the window untouched.
 func (p *DailyPipeline) IngestDay(events []model.ClickEvent) error {
 	for _, ev := range events {
 		if int(ev.Query) < 0 || int(ev.Query) >= len(p.corpus.Queries) {
@@ -46,9 +51,9 @@ func (p *DailyPipeline) IngestDay(events []model.ClickEvent) error {
 		if int(ev.Item) < 0 || int(ev.Item) >= len(p.corpus.Items) {
 			return fmt.Errorf("core: click references unknown item %d", ev.Item)
 		}
-		if err := p.clicks.Add(ev); err != nil {
-			return fmt.Errorf("core: %w", err)
-		}
+	}
+	if err := p.clicks.AddAll(events); err != nil {
+		return fmt.Errorf("core: %w", err)
 	}
 	p.days++
 	return nil
@@ -62,6 +67,12 @@ func (p *DailyPipeline) WindowStats() (queries, items int, maxDay int32) {
 	return p.clicks.Queries(), p.clicks.Items(), p.clicks.MaxDay()
 }
 
+// Window reports the full window statistics, including the count of
+// stale (already-evicted-day) events dropped at ingestion.
+func (p *DailyPipeline) Window() bipartite.WindowStats {
+	return p.clicks.Stats()
+}
+
 // Rebuild runs the full pipeline over the current window and remembers the
 // result for Stability comparisons.
 func (p *DailyPipeline) Rebuild() (*Build, error) {
@@ -69,10 +80,28 @@ func (p *DailyPipeline) Rebuild() (*Build, error) {
 }
 
 // RebuildContext is Rebuild with cancellation: a canceled ctx aborts the
-// in-flight build without touching the last published one.
+// in-flight build without touching the last published one. With
+// Config.Incremental set it runs the delta-driven path: the window's
+// changed items are drained and only their downstream effects — entity
+// graph rows, clustering diffusion, and everything the taxonomy stages
+// derive from them — are recomputed, byte-identical to a from-scratch
+// rebuild.
 func (p *DailyPipeline) RebuildContext(ctx context.Context) (*Build, error) {
-	b, err := RunWithClicksContext(ctx, p.corpus, p.clicks, p.cfg)
+	if !p.cfg.Incremental {
+		b, err := RunWithClicksContext(ctx, p.corpus, p.clicks, p.cfg)
+		if err != nil {
+			return nil, err
+		}
+		p.last = b
+		return b, nil
+	}
+	dirty := p.clicks.TakeChangedItems()
+	b, err := runIncremental(ctx, p.corpus, p.clicks, p.cfg, &p.cache, dirty)
 	if err != nil {
+		// The drained delta is lost with the failed build: the cached
+		// graph state and memo no longer describe any window the next
+		// rebuild could diff against, so cold-start it.
+		p.cache.invalidate()
 		return nil, err
 	}
 	p.last = b

@@ -8,6 +8,14 @@
 // click-graph and entity formation — run concurrently, while every
 // read-after-write relation is an explicit edge, so the concurrent
 // schedule produces output identical to the sequential one.
+//
+// DailyPipeline maintains the production sliding-window operation, and
+// Config.Incremental (shoal-build/shoal-serve -incremental) switches its
+// rebuilds to the delta-driven path: the window's changed items are
+// drained each rebuild, the entity graph is patched rather than rebuilt,
+// clustering warm-starts from the previous build's diffusion memo, and
+// Build.Delta reports what was actually recomputed — with output
+// byte-identical to a from-scratch rebuild of the same window.
 package core
 
 import (
@@ -59,6 +67,19 @@ type Config struct {
 	BSP      bool
 	Word2Vec word2vec.Config
 	Graph    entitygraph.Config
+	// Incremental makes DailyPipeline.Rebuild reuse the previous build:
+	// the entity graph is patched from the window's changed items
+	// (entitygraph.BuildIncremental) and clustering warm-starts from the
+	// previous build's diffusion memo (phac.ClusterWarm), recomputing
+	// only what the slide touched. Output is byte-identical to a
+	// from-scratch rebuild at every step (locked by the determinism
+	// suite in incremental_test.go) — modulo embeddings, which are
+	// trained once and reused; with TrainEmbeddings and Workers > 1 the
+	// Hogwild trainer itself is not reproducible, so neither is the
+	// from-scratch baseline. Per-rebuild savings are reported in
+	// Build.Delta and /api/stats. Only DailyPipeline consults this knob;
+	// one-shot Run ignores it.
+	Incremental bool
 	// HAC also carries the frontier-pruned diffusion knob
 	// (HAC.FrontierDensity, surfaced as shoal-build/-serve -frontier):
 	// clustering recomputes only changed diffusion frontiers when the
@@ -116,7 +137,10 @@ type Build struct {
 	// otherwise. Carries the persistent-engine reuse counters
 	// (RunsServed, Rebinds, PeakRetainedBytes) alongside the message
 	// totals. Reported by /api/stats.
-	BSPStats     *bsp.Stats
+	BSPStats *bsp.Stats
+	// Delta summarizes what an incremental rebuild actually recomputed;
+	// nil on from-scratch builds. Reported by /api/stats.
+	Delta        *DeltaStats
 	Taxonomy     *taxonomy.Taxonomy
 	Descriptions []describe.Description
 	Correlations *catcorr.Graph
@@ -170,23 +194,7 @@ func run(ctx context.Context, corpus *model.Corpus, clicks *bipartite.Graph, cfg
 	if err := corpus.Validate(); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	// Resolve the shard knob once so every stage (and /api/stats) sees
-	// the same partition width.
-	if cfg.Shards <= 0 {
-		cfg.Shards = runtime.GOMAXPROCS(0)
-	}
-	if cfg.Graph.Shards <= 0 {
-		cfg.Graph.Shards = cfg.Shards
-	}
-	if cfg.HAC.Shards <= 0 {
-		cfg.HAC.Shards = cfg.Shards
-	}
-	if cfg.BSP {
-		cfg.HAC.UseBSP = true
-	}
-	if cfg.HAC.Workers <= 0 {
-		cfg.HAC.Workers = runtime.GOMAXPROCS(0)
-	}
+	cfg = resolveConfig(cfg)
 	density := cfg.HAC.FrontierDensity
 	if density == 0 {
 		density = phac.DefaultFrontierDensity
@@ -212,6 +220,29 @@ func run(ctx context.Context, corpus *model.Corpus, clicks *bipartite.Graph, cfg
 	}
 	b.StageTimings = timings
 	return b, nil
+}
+
+// resolveConfig resolves the defaulted knobs once so every stage (and
+// /api/stats) sees the same widths — shared by the from-scratch and
+// incremental drivers, which must resolve identically for the cross-
+// build caches to stay compatible.
+func resolveConfig(cfg Config) Config {
+	if cfg.Shards <= 0 {
+		cfg.Shards = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Graph.Shards <= 0 {
+		cfg.Graph.Shards = cfg.Shards
+	}
+	if cfg.HAC.Shards <= 0 {
+		cfg.HAC.Shards = cfg.Shards
+	}
+	if cfg.BSP {
+		cfg.HAC.UseBSP = true
+	}
+	if cfg.HAC.Workers <= 0 {
+		cfg.HAC.Workers = runtime.GOMAXPROCS(0)
+	}
+	return cfg
 }
 
 // pipelineStages declares the SHOAL build graph. Dependency edges encode
@@ -279,6 +310,16 @@ func pipelineStages(cfg Config, externalClicks bool) []Stage {
 			b.BSPStats = res.BSP
 			return nil
 		}),
+	)
+	return append(stages, downstreamStages(cfg)...)
+}
+
+// downstreamStages declares the post-clustering half of the build graph
+// — taxonomy assembly onward — shared verbatim by the from-scratch and
+// incremental drivers (both publish their dendrogram under the
+// "parallel-hac" stage name these depend on).
+func downstreamStages(cfg Config) []Stage {
+	return []Stage{
 		StageFunc("taxonomy", []string{"parallel-hac"}, func(ctx context.Context, b *Build) error {
 			tx, err := taxonomy.Build(ctx, b.Dendrogram, b.Entities, b.Corpus, cfg.Taxonomy)
 			b.Taxonomy = tx
@@ -305,8 +346,7 @@ func pipelineStages(cfg Config, externalClicks bool) []Stage {
 			b.Searcher = s
 			return err
 		}),
-	)
-	return stages
+	}
 }
 
 // SearchDocs builds the per-topic search documents exactly as the

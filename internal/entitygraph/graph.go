@@ -96,14 +96,23 @@ type Result struct {
 // Cancellation is checked between construction phases and inside the
 // scoring workers.
 func Build(ctx context.Context, es *EntitySet, clicks *bipartite.Graph, emb *word2vec.Model, cfg Config) (*Result, error) {
+	res, _, err := BuildWithState(ctx, es, clicks, emb, cfg)
+	return res, err
+}
+
+// BuildWithState is Build, additionally returning the retained
+// intermediate state (candidate pairs, scores, TopK side bits, query→
+// entity index) that BuildIncremental patches on the next window slide.
+// The state aliases the build's own arrays, so capturing it is free.
+func BuildWithState(ctx context.Context, es *EntitySet, clicks *bipartite.Graph, emb *word2vec.Model, cfg Config) (*Result, *IncState, error) {
 	if err := cfg.validate(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if es == nil || len(es.Entities) == 0 {
-		return nil, fmt.Errorf("entitygraph: empty entity set")
+		return nil, nil, fmt.Errorf("entitygraph: empty entity set")
 	}
 	n := len(es.Entities)
 
@@ -145,7 +154,7 @@ func Build(ctx context.Context, es *EntitySet, clicks *bipartite.Graph, emb *wor
 	qStart = append(qStart, int32(len(assoc)))
 
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	// Candidate pairs via shared queries, with fanout cap. Pairs are
 	// generated as packed uint64 keys and counted inside each worker: a
@@ -211,7 +220,7 @@ func Build(ctx context.Context, es *EntitySet, clicks *bipartite.Graph, emb *wor
 		wg.Wait()
 	}
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	// Merge the sorted per-worker runs, summing counts of equal keys.
 	// Workers partition queries, not pairs, so the same pair can appear
@@ -271,41 +280,21 @@ func Build(ctx context.Context, es *EntitySet, clicks *bipartite.Graph, emb *wor
 						return
 					}
 				}
-				u, v := pairs[i][0], pairs[i][1]
-				ic := float64(counts[i])
-				union := float64(len(querySets[u])+len(querySets[v])) - ic
-				sq := 0.0
-				if union > 0 {
-					sq = ic / union
-				}
-				s := cfg.Alpha * sq
-				if emb != nil && means[u] != nil && means[v] != nil {
-					sc := 0.5 + 0.5*dot(means[u], means[v])
-					s += (1 - cfg.Alpha) * sc
-				} else {
-					// No content signal: renormalize so a pure
-					// query match can still reach 1.0.
-					if cfg.Alpha > 0 {
-						s = sq
-					}
-				}
-				sims[i] = s
+				sims[i] = scorePair(querySets, means, emb != nil, cfg.Alpha,
+					pairs[i][0], pairs[i][1], counts[i])
 			}
 		}(w)
 	}
 	wg.Wait()
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 
 	// Filter + TopK sparsification. An edge survives TopK if it ranks in
 	// the top K of *either* endpoint (keeping it in only-one direction
-	// would break symmetry).
-	type scored struct {
-		other int32
-		sim   float64
-		idx   int
-	}
+	// would break symmetry). The per-side survival bits are kept (not just
+	// the union) so the incremental path can re-rank one endpoint without
+	// recomputing the other's verdict.
 	perNode := make([][]scored, n)
 	for i, p := range pairs {
 		if sims[i] < cfg.MinSimilarity {
@@ -314,38 +303,73 @@ func Build(ctx context.Context, es *EntitySet, clicks *bipartite.Graph, emb *wor
 		perNode[p[0]] = append(perNode[p[0]], scored{other: p[1], sim: sims[i], idx: i})
 		perNode[p[1]] = append(perNode[p[1]], scored{other: p[0], sim: sims[i], idx: i})
 	}
-	keep := make([]bool, len(pairs))
+	topU := make([]bool, len(pairs))
+	topV := make([]bool, len(pairs))
 	for u := range perNode {
-		lst := perNode[u]
-		sort.Slice(lst, func(a, b int) bool {
-			if lst[a].sim != lst[b].sim {
-				return lst[a].sim > lst[b].sim
-			}
-			return lst[a].other < lst[b].other
-		})
-		limit := len(lst)
-		if cfg.TopK > 0 && cfg.TopK < limit {
-			limit = cfg.TopK
-		}
-		for i := 0; i < limit; i++ {
-			keep[lst[i].idx] = true
-		}
+		rankNode(perNode[u], int32(u), pairs, topU, topV, cfg.TopK)
 	}
 	// Emit sharded CSR directly: pairs are already canonical and sorted,
 	// so the kept subset is a valid FromEdges input, and the row-range
 	// shards are counted and filled concurrently.
 	kept := make([]wgraph.Edge, 0, len(pairs))
 	for i, p := range pairs {
-		if keep[i] {
+		if topU[i] || topV[i] {
 			kept = append(kept, wgraph.Edge{U: p[0], V: p[1], W: sims[i]})
 		}
 	}
 	g, err := shard.FromEdges(n, kept, cfg.Shards)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 
-	return &Result{Set: es, Graph: g, QuerySets: querySets}, nil
+	st := &IncState{
+		cfg:       cfg,
+		n:         n,
+		hasEmb:    emb != nil,
+		querySets: querySets,
+		assoc:     assoc,
+		pairs:     pairs,
+		counts:    counts,
+		sims:      sims,
+		topU:      topU,
+		topV:      topV,
+		means:     means,
+		graph:     g,
+	}
+	return &Result{Set: es, Graph: g, QuerySets: querySets}, st, nil
+}
+
+// scored is one incident candidate edge in a node's TopK ranking.
+type scored struct {
+	other int32
+	sim   float64
+	idx   int
+}
+
+// rankNode sorts node u's incident candidates (sim desc, then other asc —
+// a total order, so the outcome is unique) and stamps the side bit of the
+// pairs ranking in the top K. The list must already be filtered by
+// MinSimilarity. Both the full build and the incremental re-rank go
+// through here, so their verdicts cannot drift.
+func rankNode(lst []scored, u int32, pairs [][2]int32, topU, topV []bool, k int) {
+	sort.Slice(lst, func(a, b int) bool {
+		if lst[a].sim != lst[b].sim {
+			return lst[a].sim > lst[b].sim
+		}
+		return lst[a].other < lst[b].other
+	})
+	limit := len(lst)
+	if k > 0 && k < limit {
+		limit = k
+	}
+	for i := 0; i < limit; i++ {
+		idx := lst[i].idx
+		if pairs[idx][0] == u {
+			topU[idx] = true
+		} else {
+			topV[idx] = true
+		}
+	}
 }
 
 // meanNormVector returns the mean of the L2-normalized embeddings of the
@@ -382,6 +406,30 @@ func meanNormVector(emb *word2vec.Model, tokens []string) []float32 {
 		out[i] = float32(x / float64(known))
 	}
 	return out
+}
+
+// scorePair computes the Eq. 3 blended similarity of one candidate pair
+// from its shared-query count and the endpoint query-set sizes. Both the
+// full build and the incremental rescore call it, so the float expression
+// — and therefore every emitted bit — is shared between the two paths.
+// With no content signal (no embeddings, or an endpoint with no known
+// tokens) the score renormalizes to pure Sq so a query match can still
+// reach 1.0.
+func scorePair(querySets [][]model.QueryID, means [][]float32, hasEmb bool, alpha float64, u, v, count int32) float64 {
+	ic := float64(count)
+	union := float64(len(querySets[u])+len(querySets[v])) - ic
+	sq := 0.0
+	if union > 0 {
+		sq = ic / union
+	}
+	s := alpha * sq
+	if hasEmb && means[u] != nil && means[v] != nil {
+		sc := 0.5 + 0.5*dot(means[u], means[v])
+		s += (1 - alpha) * sc
+	} else if alpha > 0 {
+		s = sq
+	}
+	return s
 }
 
 func dot(a, b []float32) float64 {

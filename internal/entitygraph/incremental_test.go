@@ -1,0 +1,216 @@
+package entitygraph
+
+import (
+	"context"
+	"testing"
+
+	"shoal/internal/bipartite"
+	"shoal/internal/model"
+	"shoal/internal/synth"
+	"shoal/internal/textutil"
+	"shoal/internal/word2vec"
+)
+
+// slideDays spreads the corpus clicks over `days` synthetic days with a
+// production-shaped delta profile: most click pairs recur every day (the
+// stable window mass — their counts shift on a slide but their membership
+// does not), while a rotating tail of events exists on a single day each,
+// so each slide perturbs a small set of items in both directions (the
+// newly ingested day and the evicted one).
+func slideDays(c *model.Corpus, days int32) [][]model.ClickEvent {
+	out := make([][]model.ClickEvent, days)
+	for d := int32(0); d < days; d++ {
+		for i, ev := range c.Clicks {
+			if i%7 == 0 && int32(i/7)%days != d {
+				continue // rotating tail event, lives on one day only
+			}
+			ev.Day = d
+			out[d] = append(out[d], ev)
+		}
+	}
+	return out
+}
+
+// requireSameGraph asserts two sharded CSRs are byte-identical: arrays,
+// cached floats and shard plan.
+func requireSameGraph(t *testing.T, tag string, a, b *Result) {
+	t.Helper()
+	ao, an, aw := a.Graph.BaseCSR().Adj()
+	bo, bn, bw := b.Graph.BaseCSR().Adj()
+	if len(ao) != len(bo) || len(an) != len(bn) {
+		t.Fatalf("%s: shape differs: %d/%d rows, %d/%d entries", tag, len(ao), len(bo), len(an), len(bn))
+	}
+	for i := range ao {
+		if ao[i] != bo[i] {
+			t.Fatalf("%s: offsets[%d] = %d vs %d", tag, i, ao[i], bo[i])
+		}
+	}
+	for i := range an {
+		if an[i] != bn[i] || aw[i] != bw[i] {
+			t.Fatalf("%s: entry %d = (%d,%v) vs (%d,%v)", tag, i, an[i], aw[i], bn[i], bw[i])
+		}
+	}
+	if a.Graph.TotalWeight() != b.Graph.TotalWeight() {
+		t.Fatalf("%s: total weight %v vs %v", tag, a.Graph.TotalWeight(), b.Graph.TotalWeight())
+	}
+	n := a.Graph.NumNodes()
+	for u := 0; u < n; u++ {
+		if a.Graph.WeightedDegree(int32(u)) != b.Graph.WeightedDegree(int32(u)) {
+			t.Fatalf("%s: wdeg[%d] = %v vs %v", tag, u,
+				a.Graph.WeightedDegree(int32(u)), b.Graph.WeightedDegree(int32(u)))
+		}
+	}
+	ap, bp := a.Graph.Plan(), b.Graph.Plan()
+	if ap.NumShards() != bp.NumShards() {
+		t.Fatalf("%s: shard counts %d vs %d", tag, ap.NumShards(), bp.NumShards())
+	}
+	for i := 0; i < ap.NumShards(); i++ {
+		alo, ahi := ap.Bounds(i)
+		blo, bhi := bp.Bounds(i)
+		if alo != blo || ahi != bhi {
+			t.Fatalf("%s: shard %d bounds [%d,%d) vs [%d,%d)", tag, i, alo, ahi, blo, bhi)
+		}
+	}
+	if len(a.QuerySets) != len(b.QuerySets) {
+		t.Fatalf("%s: query-set counts differ", tag)
+	}
+	for e := range a.QuerySets {
+		qa, qb := a.QuerySets[e], b.QuerySets[e]
+		if len(qa) != len(qb) {
+			t.Fatalf("%s: entity %d query set size %d vs %d", tag, e, len(qa), len(qb))
+		}
+		for i := range qa {
+			if qa[i] != qb[i] {
+				t.Fatalf("%s: entity %d query set differs at %d", tag, e, i)
+			}
+		}
+	}
+}
+
+// TestIncrementalMatchesFullOverSlide is the package-level half of the
+// tentpole invariant: sliding a multi-day window incrementally yields, at
+// every step, a graph byte-identical to a from-scratch build over the
+// same window — with and without embeddings, across worker/shard counts.
+func TestIncrementalMatchesFullOverSlide(t *testing.T) {
+	ctx := context.Background()
+	c := synth.Curated()
+	es, err := BuildEntities(ctx, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	days := slideDays(c, 10)
+	const window = 4
+
+	var sentences [][]string
+	for _, it := range c.Items {
+		sentences = append(sentences, textutil.Tokenize(it.Title))
+	}
+	w2vCfg := word2vec.DefaultConfig()
+	w2vCfg.MinCount = 1
+	w2vCfg.Workers = 1
+	w2vCfg.Epochs = 2
+	emb, err := word2vec.Train(ctx, sentences, w2vCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, tc := range []struct {
+		name    string
+		emb     *word2vec.Model
+		workers int
+		shards  int
+	}{
+		{"noemb-w1-s1", nil, 1, 1},
+		{"noemb-w4-s3", nil, 4, 3},
+		{"emb-w2-s2", emb, 2, 2},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			cfg.MinSimilarity = 0.15
+			cfg.Workers = tc.workers
+			cfg.Shards = tc.shards
+
+			inc := bipartite.New(window)
+			if err := inc.AddAll(days[0]); err != nil {
+				t.Fatal(err)
+			}
+			inc.TakeChangedItems()
+			_, st, err := BuildWithState(ctx, es, inc, tc.emb, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			sawPatch, sawEdgeChange := false, false
+			for d := 1; d < len(days); d++ {
+				if err := inc.AddAll(days[d]); err != nil {
+					t.Fatal(err)
+				}
+				dirty := inc.TakeChangedItems()
+				resInc, nst, delta, err := BuildIncremental(ctx, es, inc, tc.emb, cfg, st, dirty)
+				if err != nil {
+					t.Fatal(err)
+				}
+				st = nst
+				if !delta.DenseFallback {
+					sawPatch = true
+					if delta.ChangedEdges > 0 {
+						sawEdgeChange = true
+					}
+				}
+
+				fullClicks := bipartite.New(window)
+				for fd := 0; fd <= d; fd++ {
+					if err := fullClicks.AddAll(days[fd]); err != nil {
+						t.Fatal(err)
+					}
+				}
+				resFull, err := Build(ctx, es, fullClicks, tc.emb, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				requireSameGraph(t, tc.name+"/day", resInc, resFull)
+			}
+			if !sawPatch {
+				t.Fatal("every slide fell back to the dense path; the patch path was never exercised")
+			}
+			if !sawEdgeChange {
+				t.Fatal("no slide patched a kept edge; the CSR patch path was never exercised")
+			}
+		})
+	}
+}
+
+func TestIncrementalUnusableStateFallsBack(t *testing.T) {
+	ctx := context.Background()
+	c := synth.Curated()
+	es, err := BuildEntities(ctx, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clicks := bipartite.New(0)
+	if err := clicks.AddAll(c.Clicks); err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	res, st, delta, err := BuildIncremental(ctx, es, clicks, nil, cfg, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !delta.DenseFallback {
+		t.Fatal("nil state must force the dense fallback")
+	}
+	if res == nil || st == nil || res.Graph.NumEdges() == 0 {
+		t.Fatal("fallback did not produce a usable build")
+	}
+
+	// Changed graph semantics also invalidate the state.
+	cfg2 := cfg
+	cfg2.MinSimilarity = cfg.MinSimilarity / 2
+	_, _, delta2, err := BuildIncremental(ctx, es, clicks, nil, cfg2, st, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !delta2.DenseFallback {
+		t.Fatal("semantic config change must force the dense fallback")
+	}
+}

@@ -1,0 +1,109 @@
+package phac
+
+import (
+	"context"
+
+	"shoal/internal/wgraph"
+)
+
+// Memo is the cross-build diffusion cache behind incremental daily
+// rebuilds: a snapshot of round 0's fully-diffused state — every node's
+// per-level best-known edge, per-row edge count and best incident edge —
+// taken over the original (pre-merge) graph. A later clustering over a
+// graph that differs from the snapshot's only in a known set of rows
+// seeds its round 0 from the memo and recomputes just those rows plus
+// the ripple of value changes: the cross-round exStates memoization
+// lifted one level up, across builds. A Memo is immutable once returned
+// and safe to retain after the clustering that produced it ends.
+type Memo struct {
+	n         int
+	rounds    int
+	threshold float64
+	levels    [][]edgeRef
+	edgeCnt   []int64
+	bests     []edgeRef
+}
+
+// Compatible reports whether the memo can seed a clustering of an
+// n-node graph under cfg: same node count, diffusion rounds and stop
+// threshold — the three inputs the snapshotted values depend on beyond
+// the graph itself (adjacency drift is what dirtyRows declares). UseBSP
+// is deliberately not part of the key: both execution paths produce
+// byte-identical diffusion state, so a memo captured by either warms
+// the other.
+func (m *Memo) Compatible(n int, cfg Config) bool {
+	return m != nil && m.n == n && m.rounds == cfg.DiffusionRounds &&
+		m.threshold == cfg.StopThreshold
+}
+
+// ClusterWarm is Cluster with cross-build memoization: prev — captured
+// by an earlier ClusterWarm over a graph differing from g only in
+// dirtyRows' adjacency — seeds round 0's diffusion so only the dirty
+// rows and the neighborhoods their value changes reach are recomputed,
+// and the returned Memo snapshots this build for the next one. An
+// incompatible or nil prev runs the ordinary cold start (still
+// capturing a Memo). The Result is byte-identical to Cluster's for
+// every seed, locked by TestClusterWarmMatchesCold.
+func ClusterWarm(ctx context.Context, g wgraph.View, sizes []int, cfg Config, prev *Memo, dirtyRows []int32) (*Result, *Memo, error) {
+	return cluster(ctx, g, sizes, cfg, prev, dirtyRows, true)
+}
+
+// captureMemo deep-copies the first n rows of the diffusion cascade.
+// Called right after round 0's diffusion+selection, before any merge
+// mints ids or overwrites levels, so the snapshot describes the
+// original graph — including on a warm build, where rows the seed left
+// untouched hold exactly what a cold round 0 would have computed.
+func (st *state) captureMemo(cfg Config) *Memo {
+	n := st.total
+	m := &Memo{
+		n: n, rounds: cfg.DiffusionRounds, threshold: cfg.StopThreshold,
+		levels:  make([][]edgeRef, len(st.exStates)),
+		edgeCnt: append([]int64(nil), st.edgeCnt[:n]...),
+		bests:   append([]edgeRef(nil), st.bests[:n]...),
+	}
+	for it := range st.exStates {
+		m.levels[it] = append([]edgeRef(nil), st.exStates[it][:n]...)
+	}
+	return m
+}
+
+// seedFromMemo installs a compatible previous-build snapshot as the
+// "last round" the memoized diffusion continues from: levels, edge
+// counts and best-incident edges for every row, with dirtyRows as the
+// explicit worklist — exactly the state a merge round leaves behind, so
+// round 0 runs the existing dirty-list init and frontier-pruned
+// exchange iterations unchanged. On the BSP path it additionally
+// reconstructs the running aggregates RunFrom maintains incrementally —
+// the edge total and the global-best heap — and forces the first
+// selection dense: the sparse changed-rows contract ("an unchanged
+// mutual pair was selected and retired last round") holds within one
+// clustering but not across builds, where the previous build's merged
+// pairs are alive again with unchanged final levels.
+func (st *state) seedFromMemo(m *Memo, dirtyRows []int32, useBSP bool) {
+	n := st.total
+	for it := range st.exStates {
+		copy(st.exStates[it][:n], m.levels[it])
+	}
+	copy(st.edgeCnt[:n], m.edgeCnt)
+	copy(st.bests[:n], m.bests)
+	st.haveCache = true
+	for len(st.dirty) < n {
+		st.dirty = append(st.dirty, 0)
+	}
+	st.dirtyList = append(st.dirtyList[:0], dirtyRows...)
+	for _, u := range dirtyRows {
+		st.dirty[u] = st.dirtyEpoch
+	}
+	if !useBSP {
+		return
+	}
+	st.forceDense = true
+	var total int64
+	for u := int32(0); int(u) < n; u++ {
+		total += st.edgeCnt[u]
+		if st.bests[u] != noEdge {
+			st.bspHeapPush(u)
+		}
+	}
+	st.bspActiveEdges = total
+}

@@ -1,0 +1,196 @@
+package phac
+
+import (
+	"context"
+	"math/rand/v2"
+	"reflect"
+	"slices"
+	"testing"
+
+	"shoal/internal/wgraph"
+)
+
+// perturbGraph returns a copy of g with a handful of edges reweighted,
+// removed and added, plus the sorted list of every row whose adjacency
+// it touched — the dirtyRows contract ClusterWarm expects.
+func perturbGraph(g *wgraph.Graph, n int, seed uint64) (*wgraph.Graph, []int32) {
+	rng := rand.New(rand.NewPCG(seed, 101))
+	type key struct{ u, v int32 }
+	em := map[key]float64{}
+	for _, e := range g.Edges() {
+		em[key{e.U, e.V}] = e.W
+	}
+	edges := g.Edges()
+	dirty := map[int32]bool{}
+	touch := func(u, v int32) { dirty[u], dirty[v] = true, true }
+	for i := 0; i < 3; i++ {
+		e := edges[rng.IntN(len(edges))]
+		em[key{e.U, e.V}] = 0.05 + 0.9*rng.Float64()
+		touch(e.U, e.V)
+	}
+	for i := 0; i < 2; i++ {
+		e := edges[rng.IntN(len(edges))]
+		if _, ok := em[key{e.U, e.V}]; ok {
+			delete(em, key{e.U, e.V})
+			touch(e.U, e.V)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		u, v := int32(rng.IntN(n)), int32(rng.IntN(n))
+		if u == v {
+			continue
+		}
+		if v < u {
+			u, v = v, u
+		}
+		em[key{u, v}] = 0.05 + 0.9*rng.Float64()
+		touch(u, v)
+	}
+	ng := wgraph.New(n)
+	for k, w := range em {
+		_ = ng.SetEdge(k.u, k.v, w)
+	}
+	out := make([]int32, 0, len(dirty))
+	for u := range dirty {
+		out = append(out, u)
+	}
+	slices.Sort(out)
+	return ng, out
+}
+
+// TestClusterWarmMatchesCold locks the cross-build memo contract: a
+// warm clustering seeded from the previous build's Memo with the
+// perturbed rows declared dirty is byte-identical — dendrogram and
+// per-round statistics — to a cold Cluster over the same graph, across
+// the shared-memory and BSP paths, chained over several perturbations.
+func TestClusterWarmMatchesCold(t *testing.T) {
+	ctx := context.Background()
+	const n = 90
+	for seed := uint64(1); seed <= 4; seed++ {
+		for _, tc := range []struct {
+			name    string
+			useBSP  bool
+			workers int
+		}{
+			{"shared-w1", false, 1},
+			{"shared-w3", false, 3},
+			{"bsp-w1", true, 1},
+			{"bsp-w3", true, 3},
+		} {
+			cfg := Config{
+				StopThreshold: 0.3, DiffusionRounds: 2,
+				Workers: tc.workers, Shards: tc.workers, UseBSP: tc.useBSP,
+			}
+			g := randomGraph(n, 220, seed)
+			warm, memo, err := ClusterWarm(ctx, g, nil, cfg, nil, nil)
+			if err != nil {
+				t.Fatalf("seed %d %s: cold capture: %v", seed, tc.name, err)
+			}
+			cold, err := Cluster(ctx, g, nil, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(warm.Dendrogram, cold.Dendrogram) {
+				t.Fatalf("seed %d %s: capturing run diverged from Cluster", seed, tc.name)
+			}
+			if memo == nil || !memo.Compatible(n, cfg) {
+				t.Fatalf("seed %d %s: cold run did not capture a usable memo", seed, tc.name)
+			}
+			for step := uint64(0); step < 3; step++ {
+				ng, dirty := perturbGraph(g, n, seed*31+step)
+				warm, nextMemo, err := ClusterWarm(ctx, ng, nil, cfg, memo, dirty)
+				if err != nil {
+					t.Fatalf("seed %d %s step %d: warm: %v", seed, tc.name, step, err)
+				}
+				cold, err := Cluster(ctx, ng, nil, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(warm.Dendrogram, cold.Dendrogram) {
+					t.Fatalf("seed %d %s step %d: warm dendrogram diverged from cold", seed, tc.name, step)
+				}
+				if !reflect.DeepEqual(warm.Rounds, cold.Rounds) {
+					t.Fatalf("seed %d %s step %d: warm round stats diverged: %+v vs %+v",
+						seed, tc.name, step, warm.Rounds, cold.Rounds)
+				}
+				g, memo = ng, nextMemo
+			}
+		}
+	}
+}
+
+// TestClusterWarmMemoCrossesExecutionPaths: UseBSP is not part of the
+// memo key — a memo captured by the shared-memory path must warm the
+// BSP path and vice versa, still byte-identical to cold.
+func TestClusterWarmMemoCrossesExecutionPaths(t *testing.T) {
+	ctx := context.Background()
+	const n = 80
+	g := randomGraph(n, 180, 7)
+	shared := Config{StopThreshold: 0.3, DiffusionRounds: 2, Workers: 2, Shards: 2}
+	bspCfg := shared
+	bspCfg.UseBSP = true
+
+	_, memoShared, err := ClusterWarm(ctx, g, nil, shared, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, memoBSP, err := ClusterWarm(ctx, g, nil, bspCfg, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ng, dirty := perturbGraph(g, n, 99)
+	cold, err := Cluster(ctx, ng, nil, shared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmBSP, _, err := ClusterWarm(ctx, ng, nil, bspCfg, memoShared, dirty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(warmBSP.Dendrogram, cold.Dendrogram) {
+		t.Fatal("shared-captured memo diverged on the BSP path")
+	}
+	warmShared, _, err := ClusterWarm(ctx, ng, nil, shared, memoBSP, dirty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(warmShared.Dendrogram, cold.Dendrogram) {
+		t.Fatal("BSP-captured memo diverged on the shared path")
+	}
+}
+
+// TestClusterWarmIncompatibleMemo: a stale memo (wrong size or changed
+// clustering parameters) must be ignored, not misapplied.
+func TestClusterWarmIncompatibleMemo(t *testing.T) {
+	ctx := context.Background()
+	cfg := Config{StopThreshold: 0.3, DiffusionRounds: 2, Workers: 2}
+	g := randomGraph(60, 120, 3)
+	_, memo, err := ClusterWarm(ctx, g, nil, cfg, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if (*Memo)(nil).Compatible(60, cfg) {
+		t.Fatal("nil memo must be incompatible")
+	}
+	cfg2 := cfg
+	cfg2.StopThreshold = 0.25
+	if memo.Compatible(60, cfg2) {
+		t.Fatal("changed threshold must invalidate the memo")
+	}
+	cold, err := Cluster(ctx, g, nil, cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, _, err := ClusterWarm(ctx, g, nil, cfg2, memo, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(warm.Dendrogram, cold.Dendrogram) {
+		t.Fatal("incompatible memo changed the clustering result")
+	}
+
+	// Out-of-range dirty rows with a compatible memo are a caller bug.
+	if _, _, err := ClusterWarm(ctx, g, nil, cfg, memo, []int32{999}); err == nil {
+		t.Fatal("out-of-range dirty row must error")
+	}
+}

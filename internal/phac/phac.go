@@ -217,19 +217,38 @@ func better(a, b edgeRef) bool {
 // identical for a mutable graph and its frozen CSR.
 // Cancellation is checked between clustering rounds.
 func Cluster(ctx context.Context, g wgraph.View, sizes []int, cfg Config) (*Result, error) {
+	res, _, err := cluster(ctx, g, sizes, cfg, nil, nil, false)
+	return res, err
+}
+
+// cluster is the shared driver behind Cluster and ClusterWarm: a
+// compatible prev Memo seeds round 0's diffusion (dirtyRows naming the
+// rows whose adjacency changed since the build that captured it), and
+// capture snapshots a new Memo right after round 0's diffusion for the
+// next build.
+func cluster(ctx context.Context, g wgraph.View, sizes []int, cfg Config, prev *Memo, dirtyRows []int32, capture bool) (*Result, *Memo, error) {
 	n := g.NumNodes()
 	if n == 0 {
-		return nil, fmt.Errorf("phac: empty graph")
+		return nil, nil, fmt.Errorf("phac: empty graph")
 	}
 	if err := cfg.validate(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if sizes != nil && len(sizes) != n {
-		return nil, fmt.Errorf("phac: sizes length %d != nodes %d", len(sizes), n)
+		return nil, nil, fmt.Errorf("phac: sizes length %d != nodes %d", len(sizes), n)
 	}
 
 	st := newState(wgraph.AsCSR(g), sizes, cfg)
 	defer st.release()
+	if prev.Compatible(n, cfg) {
+		for _, u := range dirtyRows {
+			if u < 0 || int(u) >= n {
+				return nil, nil, fmt.Errorf("phac: dirty row %d out of range [0,%d)", u, n)
+			}
+		}
+		st.seedFromMemo(prev, dirtyRows, cfg.UseBSP)
+	}
+	var memo *Memo
 	res := &Result{Dendrogram: &dendrogram.Dendrogram{Leaves: n}}
 	if cfg.UseBSP {
 		res.BSP = &bsp.Stats{}
@@ -241,7 +260,7 @@ func Cluster(ctx context.Context, g wgraph.View, sizes []int, cfg Config) (*Resu
 	psp := obs.SpanFromContext(ctx)
 	for round := 0; ; round++ {
 		if err := ctx.Err(); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		if cfg.MaxRounds > 0 && round >= cfg.MaxRounds {
 			break
@@ -258,10 +277,16 @@ func Cluster(ctx context.Context, g wgraph.View, sizes []int, cfg Config) (*Resu
 			selected, activeEdges, bestSim, err = st.selectLocalMaximaBSP(cfg.DiffusionRounds, cfg.StopThreshold, res.BSP, rsp)
 			if err != nil {
 				rsp.End()
-				return nil, err
+				return nil, nil, err
 			}
 		} else {
 			selected, activeEdges, bestSim = st.selectLocalMaxima(cfg.DiffusionRounds, cfg.Workers, cfg.StopThreshold)
+		}
+		if capture && round == 0 {
+			// Round 0's diffusion just ran over the original graph; the
+			// merge below would overwrite levels and mint ids, so this is
+			// the one point the cross-build snapshot can be taken.
+			memo = st.captureMemo(cfg)
 		}
 		stat := RoundStat{
 			Round: round, ActiveClusters: st.aliveCount,
@@ -281,7 +306,7 @@ func Cluster(ctx context.Context, g wgraph.View, sizes []int, cfg Config) (*Resu
 			// Cannot happen while an edge >= threshold exists (the
 			// global max is always mutual), but guard against it so a
 			// bug cannot loop forever.
-			return nil, fmt.Errorf("phac: round %d selected no edges with best sim %f", round, bestSim)
+			return nil, nil, fmt.Errorf("phac: round %d selected no edges with best sim %f", round, bestSim)
 		}
 
 		st.mergeSelected(selected, round, cfg, res.Dendrogram)
@@ -290,7 +315,7 @@ func Cluster(ctx context.Context, g wgraph.View, sizes []int, cfg Config) (*Resu
 		rsp.SetAttr("frontierSize", len(st.dirtyList))
 		rsp.End()
 	}
-	return res, nil
+	return res, memo, nil
 }
 
 // state is the mutable clustering state. Cluster ids grow past n as merges
@@ -327,7 +352,13 @@ type state struct {
 	// through, afList between scatter and recompute), so finding the
 	// frontier costs O(frontier), not an O(alive) stamp scan per phase.
 	exStates  [][]edgeRef
-	haveCache bool     // exStates/edgeCnt/bests hold the previous round
+	haveCache bool // exStates/edgeCnt/bests hold the previous round
+	// forceDense makes the next BSP selection scan every alive row once,
+	// then clears itself: a cross-build warm start (seedFromMemo) seeds
+	// valid levels but no changed-rows contract — the previous build's
+	// selected pairs are alive again with unchanged finals, which the
+	// sparse chRows walk would never visit.
+	forceDense bool
 	afMark    []uint32 // id -> epoch it was marked for recomputation
 	epoch     uint32   // phase counter (never reset)
 	changed   int64    // parallel-phase change counter (atomic; lives on

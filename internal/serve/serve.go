@@ -8,6 +8,9 @@
 //	GET /api/topics/{id}/items?category=3  scenario C: topic → category → items
 //	GET /api/categories/{id}/related       scenario D: category correlations
 //	GET /api/stats                         build statistics + stage timings + serving telemetry
+//	                                       (+ a delta section for incremental rebuilds:
+//	                                       dirty items/rows, seeded rows, dense fallback,
+//	                                       dropped stale events)
 //	GET /api/trace                         build execution trace (Chrome trace-event JSON)
 //	GET /metrics                           Prometheus text exposition
 //
@@ -50,13 +53,22 @@ type Handler struct {
 	wrapped http.Handler
 	reg     *obs.Registry
 	metrics *obs.HTTPMetrics
+	// droppedStale mirrors the published build's window counter of
+	// stale (already-evicted-day) click events dropped at ingestion —
+	// the clicks the delta tracker refuses to double-count. Updated on
+	// every publish, exported via /metrics.
+	droppedStale *obs.Gauge
 }
 
 // snapshot pairs a build with the swap count that published it, so one
 // atomic load yields a fully consistent /api/stats payload.
+// droppedStale is captured from the build's click window at publish
+// time: the window keeps ingesting after the build is published, so
+// request handlers must not read it live.
 type snapshot struct {
-	build *core.Build
-	swaps int64
+	build        *core.Build
+	swaps        int64
+	droppedStale int64
 }
 
 // NewHandler wraps a completed build. The build must not be mutated after
@@ -66,7 +78,9 @@ func NewHandler(b *core.Build) (*Handler, error) {
 		return nil, err
 	}
 	h := &Handler{mux: http.NewServeMux(), reg: obs.NewRegistry()}
-	h.cur.Store(&snapshot{build: b})
+	h.droppedStale = h.reg.Gauge("shoal_window_dropped_stale_events", "",
+		"stale click events (already-evicted days) dropped at window ingestion, as of the published build")
+	h.cur.Store(h.newSnapshot(b, 0))
 	m := obs.NewHTTPMetrics(h.reg)
 	m.Generation = h.Swaps
 	h.metrics = m
@@ -104,8 +118,20 @@ func (h *Handler) Swap(b *core.Build) error {
 	}
 	h.swapMu.Lock()
 	defer h.swapMu.Unlock()
-	h.cur.Store(&snapshot{build: b, swaps: h.cur.Load().swaps + 1})
+	h.cur.Store(h.newSnapshot(b, h.cur.Load().swaps+1))
 	return nil
+}
+
+// newSnapshot captures the publish-time window state alongside the
+// build and refreshes the gauges derived from it. Publishers call this
+// before the window resumes ingesting, so the read is race-free.
+func (h *Handler) newSnapshot(b *core.Build, swaps int64) *snapshot {
+	s := &snapshot{build: b, swaps: swaps}
+	if b.Clicks != nil {
+		s.droppedStale = b.Clicks.Stats().DroppedStale
+	}
+	h.droppedStale.Set(s.droppedStale)
+	return s
 }
 
 // Current returns the build snapshot requests are being served from.
@@ -196,6 +222,22 @@ type BSPStat struct {
 	PeakRetainedBytes int64   `json:"peakRetainedBytes"`
 }
 
+// DeltaStat is the incremental-rebuild section of the stats payload,
+// present when the published build came from the delta-driven daily
+// path (core Config.Incremental): how much of the window changed and
+// how much of the pipeline was actually recomputed.
+type DeltaStat struct {
+	DirtyItems    int  `json:"dirtyItems"`
+	DirtyEntities int  `json:"dirtyEntities"`
+	ChangedEdges  int  `json:"changedEdges"`
+	DirtyRows     int  `json:"dirtyRows"`
+	SeededRows    int  `json:"seededRows"`
+	DenseFallback bool `json:"denseFallback"`
+	// DroppedStale is the window's cumulative count of stale
+	// (already-evicted-day) events dropped at ingestion.
+	DroppedStale int64 `json:"droppedStale"`
+}
+
 // Stats is the /api/stats payload.
 type Stats struct {
 	Items        int `json:"items"`
@@ -216,10 +258,12 @@ type Stats struct {
 	Swaps           int64   `json:"swaps"`
 	// BSP reports whether clustering diffusion ran on the BSP engine;
 	// the engine profile itself is BSPStats.
-	BSP      bool            `json:"bsp"`
-	BSPStats *BSPStat        `json:"bspStats,omitempty"`
-	Stages   []StageStat     `json:"stages"`
-	HTTP     obs.HTTPSummary `json:"http"`
+	BSP      bool     `json:"bsp"`
+	BSPStats *BSPStat `json:"bspStats,omitempty"`
+	// Delta is present when the build came from an incremental rebuild.
+	Delta  *DeltaStat      `json:"delta,omitempty"`
+	Stages []StageStat     `json:"stages"`
+	HTTP   obs.HTTPSummary `json:"http"`
 }
 
 func (h *Handler) search(w http.ResponseWriter, r *http.Request) {
@@ -343,6 +387,17 @@ func (h *Handler) stats(w http.ResponseWriter, r *http.Request) {
 	}
 	if b.Correlations != nil {
 		out.Correlations = len(b.Correlations.Pairs())
+	}
+	if b.Delta != nil {
+		out.Delta = &DeltaStat{
+			DirtyItems:    b.Delta.DirtyItems,
+			DirtyEntities: b.Delta.DirtyEntities,
+			ChangedEdges:  b.Delta.ChangedEdges,
+			DirtyRows:     b.Delta.DirtyRows,
+			SeededRows:    b.Delta.SeededRows,
+			DenseFallback: b.Delta.DenseFallback,
+		}
+		out.Delta.DroppedStale = snap.droppedStale
 	}
 	if b.BSPStats != nil {
 		out.BSPStats = &BSPStat{

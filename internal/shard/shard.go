@@ -288,6 +288,21 @@ func fromEdges(n int, edges []wgraph.Edge, shards, workers int) (*CSR, error) {
 	return WithPlan(base, planOffsets(offsets, shards)), nil
 }
 
+// CSRFromParts adopts prebuilt CSR arrays (wgraph.FromParts' contract:
+// offsets/nbrs/wts/wdeg fully formed, total the canonical blocked weight
+// sum) and wraps them in an edge-balanced plan identical to the one
+// FromEdges would have produced for the same arrays. This is the patch
+// path used by incremental rebuilds: a delta merge that materializes the
+// next frozen CSR directly — untouched row spans copied wholesale from
+// the previous build — lands here instead of re-running FromEdges.
+func CSRFromParts(offsets, nbrs []int32, wts, wdeg []float64, total float64, shards int) (*CSR, error) {
+	base, err := wgraph.FromParts(offsets, nbrs, wts, wdeg, total)
+	if err != nil {
+		return nil, fmt.Errorf("shard: %w", err)
+	}
+	return WithPlan(base, planOffsets(offsets, shards)), nil
+}
+
 // fillSerial is the one-worker construction. It beats the interleaved
 // serial wgraph.FromEdges fill on one core by exploiting the U-sorted
 // input: edges are scanned as U runs, so the count pass stores each U

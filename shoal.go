@@ -90,6 +90,9 @@ type (
 	DailyPipeline = core.DailyPipeline
 	// DailyBuild is the output of one DailyPipeline rebuild.
 	DailyBuild = core.Build
+	// DeltaStats summarizes what an incremental rebuild recomputed
+	// (Config.Incremental); nil on from-scratch builds.
+	DeltaStats = core.DeltaStats
 )
 
 // NoTopic marks items not placed under any topic.
