@@ -170,8 +170,11 @@ func buildIncremental(ctx context.Context, corpus *model.Corpus, cfg core.Config
 			line := fmt.Sprintf("day %-3d rebuilt in %-10v topics=%d", day,
 				time.Since(start).Round(time.Millisecond), len(b.Taxonomy.Topics))
 			if d := b.Delta; d != nil {
-				line += fmt.Sprintf(" dirty-items=%d dirty-rows=%d changed-edges=%d seeded-rows=%d dense-fallback=%v",
-					d.DirtyItems, d.DirtyRows, d.ChangedEdges, d.SeededRows, d.DenseFallback)
+				line += fmt.Sprintf(" dirty-items=%d dirty-rows=%d changed-edges=%d seeded-rows=%d replayed-rounds=%d replayed-merges=%d dense-fallback=%v",
+					d.DirtyItems, d.DirtyRows, d.ChangedEdges, d.SeededRows, d.ReplayedRounds, d.ReplayedMerges, d.DenseFallback)
+				if d.ClusterCold != "" {
+					line += " cluster-cold=" + d.ClusterCold
+				}
 			}
 			fmt.Fprintln(os.Stderr, line)
 		}

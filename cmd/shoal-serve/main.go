@@ -196,8 +196,12 @@ func refreshLoop(ctx context.Context, pipe *core.DailyPipeline, h *serve.Handler
 			h.Swaps(), time.Since(start).Round(time.Millisecond),
 			len(b.Taxonomy.Topics), stability)
 		if d := b.Delta; d != nil {
-			log.Printf("refresh: delta dirty-items=%d dirty-rows=%d changed-edges=%d seeded-rows=%d dense-fallback=%v",
-				d.DirtyItems, d.DirtyRows, d.ChangedEdges, d.SeededRows, d.DenseFallback)
+			coldNote := ""
+			if d.ClusterCold != "" {
+				coldNote = " cluster-cold=" + d.ClusterCold
+			}
+			log.Printf("refresh: delta dirty-items=%d dirty-rows=%d changed-edges=%d seeded-rows=%d replayed-rounds=%d replayed-merges=%d dense-fallback=%v%s",
+				d.DirtyItems, d.DirtyRows, d.ChangedEdges, d.SeededRows, d.ReplayedRounds, d.ReplayedMerges, d.DenseFallback, coldNote)
 		}
 	}
 }

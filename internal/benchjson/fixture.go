@@ -124,6 +124,12 @@ type slideWorld struct {
 	memo   *phac.Memo
 	gcfg   entitygraph.Config
 	hcfg   phac.Config
+	// post is the post-slide entity graph with postDirty as the rows the
+	// slide touched — the clustering-only warm-vs-cold pair's shared
+	// input, so its ratio isolates what the memo (round-0 seed plus
+	// trajectory replay) saves with the graph build factored out.
+	post      *shard.CSR
+	postDirty []int32
 }
 
 // buildSlideWorld replays the fixture corpus's clicks as a
@@ -173,12 +179,17 @@ func buildSlideWorld(b *core.Build, sizes []int) (*slideWorld, error) {
 	sw.dirty = sw.window.TakeChangedItems()
 	// The pair's contract is that the delta path actually runs: a slide
 	// dense enough to trip the patch gate would make both benchmarks
-	// measure the same full build and the ratio meaningless.
-	if _, _, d, err := entitygraph.BuildIncremental(ctx, b.Entities, sw.window, b.Embeddings, sw.gcfg, sw.st, sw.dirty); err != nil {
+	// measure the same full build and the ratio meaningless. The same
+	// validation build yields the post-slide graph and dirty rows the
+	// clustering-only warm-vs-cold pair clusters.
+	resB, _, d, err := entitygraph.BuildIncremental(ctx, b.Entities, sw.window, b.Embeddings, sw.gcfg, sw.st, sw.dirty)
+	if err != nil {
 		return nil, err
-	} else if d.DenseFallback {
+	}
+	if d.DenseFallback {
 		return nil, fmt.Errorf("benchjson: slide fixture tripped the dense fallback (dirty items %d)", d.DirtyItems)
 	}
+	sw.post, sw.postDirty = resB.Graph, d.DirtyRows
 	return sw, nil
 }
 

@@ -34,6 +34,18 @@ type DeltaStats struct {
 	// start; 0 when clustering ran cold (first build, dense fallback, or
 	// an incompatible memo).
 	SeededRows int
+	// ReplayedRounds and ReplayedMerges count the merge rounds (and the
+	// merges within them) the clustering warm start replayed from the
+	// previous build's trajectory instead of recomputing; zero on a cold
+	// clustering.
+	ReplayedRounds int
+	ReplayedMerges int
+	// ClusterCold names why clustering ignored the cross-build memo and
+	// ran cold — "dense-fallback" when the entity-graph delta forced a
+	// from-scratch graph, otherwise phac's incompatibility reason
+	// ("no-memo", "node-count", "diffusion-rounds", "stop-threshold").
+	// Empty when the warm start engaged.
+	ClusterCold string
 	// DenseFallback is true when the entity-graph delta exceeded the
 	// patch density gate (or no previous state existed) and the graph
 	// was rebuilt from scratch.
@@ -179,16 +191,21 @@ func incrementalStages(cfg Config, cache *rebuildCache, dirtyItems []model.ItemI
 			}
 			prev := cache.memo
 			var dirtyRows []int32
+			coldReason := ""
 			if delta.DenseFallback {
 				// A dense fallback rebuilt the graph without tracking
 				// which rows moved, so the memo's dirty-rows contract
 				// cannot be met: run cold (and capture a fresh memo).
 				prev = nil
+				coldReason = "dense-fallback"
 			} else {
 				dirtyRows = delta.DirtyRows
+				if r := prev.IncompatibleReason(b.Graph.NumNodes(), cfg.HAC); r != "" {
+					coldReason = r
+				}
 			}
 			seeded := 0
-			if prev.Compatible(b.Graph.NumNodes(), cfg.HAC) {
+			if coldReason == "" {
 				seeded = len(dirtyRows)
 			}
 			res, memo, err := phac.ClusterWarm(ctx, b.Graph, sizes, cfg.HAC, prev, dirtyRows)
@@ -200,7 +217,16 @@ func incrementalStages(cfg Config, cache *rebuildCache, dirtyItems []model.ItemI
 			b.Rounds = res.Rounds
 			b.BSPStats = res.BSP
 			b.Delta.SeededRows = seeded
-			obs.SpanFromContext(ctx).SetAttr("seededRows", seeded)
+			b.Delta.ReplayedRounds = res.ReplayedRounds
+			b.Delta.ReplayedMerges = res.ReplayedMerges
+			b.Delta.ClusterCold = coldReason
+			sp := obs.SpanFromContext(ctx)
+			sp.SetAttr("seededRows", seeded)
+			sp.SetAttr("replayedRounds", res.ReplayedRounds)
+			sp.SetAttr("replayedMerges", res.ReplayedMerges)
+			if coldReason != "" {
+				sp.SetAttr("clusterCold", coldReason)
+			}
 			return nil
 		}),
 	)

@@ -81,6 +81,7 @@ func TestIncrementalRebuildMatchesFromScratch(t *testing.T) {
 			}
 
 			sawSeeded := false
+			sawReplayed := false
 			for d := range days {
 				if err := p.IngestDay(days[d]); err != nil {
 					t.Fatal(err)
@@ -94,6 +95,13 @@ func TestIncrementalRebuildMatchesFromScratch(t *testing.T) {
 				}
 				if !bInc.Delta.DenseFallback && bInc.Delta.SeededRows > 0 {
 					sawSeeded = true
+				}
+				if bInc.Delta.ReplayedRounds > 0 {
+					if bInc.Delta.ClusterCold != "" {
+						t.Fatalf("day %d: replayed %d rounds but delta claims a cold clustering (%s)",
+							d, bInc.Delta.ReplayedRounds, bInc.Delta.ClusterCold)
+					}
+					sawReplayed = true
 				}
 
 				full := bipartite.New(cfg.WindowDays)
@@ -121,6 +129,9 @@ func TestIncrementalRebuildMatchesFromScratch(t *testing.T) {
 			}
 			if !sawSeeded {
 				t.Fatal("no slide warm-started clustering; the incremental path was never exercised")
+			}
+			if !sawReplayed {
+				t.Fatal("no slide replayed any merge round; dendrogram-prefix reuse was never exercised")
 			}
 		})
 	}

@@ -6,7 +6,6 @@ import (
 	"math"
 	"runtime"
 	"slices"
-	"sort"
 	"sync"
 
 	"shoal/internal/bipartite"
@@ -352,11 +351,14 @@ type scored struct {
 // MinSimilarity. Both the full build and the incremental re-rank go
 // through here, so their verdicts cannot drift.
 func rankNode(lst []scored, u int32, pairs [][2]int32, topU, topV []bool, k int) {
-	sort.Slice(lst, func(a, b int) bool {
-		if lst[a].sim != lst[b].sim {
-			return lst[a].sim > lst[b].sim
+	slices.SortFunc(lst, func(a, b scored) int {
+		if a.sim != b.sim {
+			if a.sim > b.sim {
+				return -1
+			}
+			return 1
 		}
-		return lst[a].other < lst[b].other
+		return int(a.other) - int(b.other)
 	})
 	limit := len(lst)
 	if k > 0 && k < limit {

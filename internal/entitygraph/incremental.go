@@ -34,6 +34,7 @@ package entitygraph
 // trivially correct.
 
 import (
+	"cmp"
 	"context"
 	"fmt"
 	"slices"
@@ -218,7 +219,12 @@ func BuildIncremental(ctx context.Context, es *EntitySet, clicks *bipartite.Grap
 	// to the same fanout cap as the full build. Queries not in qd have
 	// identical entity lists, hence identical contributions — including
 	// their cap status.
-	var pd []pairDelta
+	var pdCap int
+	for q, dq := range qd {
+		k := len(assocEntities(st.assoc, q))
+		pdCap += k*(k-1)/2 + (k+len(dq.joins))*(k+len(dq.joins)-1)/2
+	}
+	pd := make([]pairDelta, 0, pdCap)
 	for q, dq := range qd {
 		old := assocEntities(st.assoc, q)
 		nw := applyQDelta(old, dq.leaves, dq.joins)
@@ -229,7 +235,9 @@ func BuildIncremental(ctx context.Context, es *EntitySet, clicks *bipartite.Grap
 			pd = emitPairs(pd, nw, +1)
 		}
 	}
-	sort.Slice(pd, func(i, j int) bool { return pd[i].key < pd[j].key })
+	// Order of equal keys is irrelevant (the run-length sum below is
+	// commutative), so any unstable key sort yields the same pd.
+	slices.SortFunc(pd, func(a, b pairDelta) int { return cmp.Compare(a.key, b.key) })
 	// Run-length sum equal keys, dropping zero nets.
 	w := 0
 	for i := 0; i < len(pd); {
@@ -260,33 +268,27 @@ func BuildIncremental(ctx context.Context, es *EntitySet, clicks *bipartite.Grap
 	// others copy their score verbatim (same integer inputs through the
 	// same expression ⇒ same bits, so copying is exact and cheaper).
 	P := len(st.pairs)
-	newPairs := make([][2]int32, 0, P+len(pd))
-	newCounts := make([]int32, 0, P+len(pd))
-	newSims := make([]float64, 0, P+len(pd))
-	nTopU := make([]bool, 0, P+len(pd))
-	nTopV := make([]bool, 0, P+len(pd))
-	oldIdx := make([]int32, 0, P+len(pd))
-	touched := make([]bool, 0, P+len(pd))
+	newPairs := make([][2]int32, P+len(pd))
+	newCounts := make([]int32, P+len(pd))
+	newSims := make([]float64, P+len(pd))
+	nTopU := make([]bool, P+len(pd))
+	nTopV := make([]bool, P+len(pd))
+	oldIdx := make([]int32, P+len(pd))
+	touched := make([]bool, P+len(pd))
 	rankDirtyB := make([]bool, n)
 	csrDirtyB := make([]bool, n)
 	markRank := func(u, v int32) {
 		rankDirtyB[u] = true
 		rankDirtyB[v] = true
 	}
-	appendPair := func(u, v, c int32, sim float64, tU, tV bool, oi int32, tch bool) {
-		newPairs = append(newPairs, [2]int32{u, v})
-		newCounts = append(newCounts, c)
-		newSims = append(newSims, sim)
-		nTopU = append(nTopU, tU)
-		nTopV = append(nTopV, tV)
-		oldIdx = append(oldIdx, oi)
-		touched = append(touched, tch)
+	pairKey := func(p [2]int32) uint64 {
+		return uint64(uint32(p[0]))<<32 | uint64(uint32(p[1]))
 	}
-	di := 0
-	for i := 0; i <= P; i++ {
+	di, w := 0, 0
+	for i := 0; ; {
 		var key uint64
 		if i < P {
-			key = uint64(uint32(st.pairs[i][0]))<<32 | uint64(uint32(st.pairs[i][1]))
+			key = pairKey(st.pairs[i])
 		}
 		for di < len(pd) && (i == P || pd[di].key < key) {
 			// Brand-new candidate pair.
@@ -295,17 +297,20 @@ func BuildIncremental(ctx context.Context, es *EntitySet, clicks *bipartite.Grap
 				return nil, nil, nil, fmt.Errorf("entitygraph: incremental delta removes unknown pair (%d,%d)", u, v)
 			}
 			d.ChangedPairs++
-			appendPair(u, v, pd[di].d, 0, false, false, -1, true)
+			newPairs[w] = [2]int32{u, v}
+			newCounts[w] = pd[di].d
+			oldIdx[w] = -1
+			touched[w] = true
+			w++
 			markRank(u, v)
 			di++
 		}
 		if i == P {
 			break
 		}
-		u, v := st.pairs[i][0], st.pairs[i][1]
-		c := st.counts[i]
 		if di < len(pd) && pd[di].key == key {
-			c += pd[di].d
+			u, v := st.pairs[i][0], st.pairs[i][1]
+			c := st.counts[i] + pd[di].d
 			di++
 			if c < 0 {
 				return nil, nil, nil, fmt.Errorf("entitygraph: incremental pair (%d,%d) count underflow", u, v)
@@ -320,14 +325,47 @@ func BuildIncremental(ctx context.Context, es *EntitySet, clicks *bipartite.Grap
 					csrDirtyB[u] = true
 					csrDirtyB[v] = true
 				}
+				i++
 				continue
 			}
-			appendPair(u, v, c, 0, st.topU[i], st.topV[i], int32(i), true)
+			newPairs[w] = st.pairs[i]
+			newCounts[w] = c
+			nTopU[w] = st.topU[i]
+			nTopV[w] = st.topV[i]
+			oldIdx[w] = int32(i)
+			touched[w] = true
+			w++
+			i++
 			continue
 		}
-		appendPair(u, v, c, st.sims[i], st.topU[i], st.topV[i], int32(i),
-			entDirty[u] || entDirty[v])
+		// Maximal delta-free run: every pair up to the next delta key
+		// copies verbatim, so the five retained arrays move as block
+		// copies and only oldIdx/touched fill per element.
+		j := P
+		if di < len(pd) {
+			nk := pd[di].key
+			for j = i + 1; j < P && pairKey(st.pairs[j]) < nk; j++ {
+			}
+		}
+		copy(newPairs[w:], st.pairs[i:j])
+		copy(newCounts[w:], st.counts[i:j])
+		copy(newSims[w:], st.sims[i:j])
+		copy(nTopU[w:], st.topU[i:j])
+		copy(nTopV[w:], st.topV[i:j])
+		for k := i; k < j; k++ {
+			oldIdx[w] = int32(k)
+			touched[w] = entDirty[st.pairs[k][0]] || entDirty[st.pairs[k][1]]
+			w++
+		}
+		i = j
 	}
+	newPairs = newPairs[:w]
+	newCounts = newCounts[:w]
+	newSims = newSims[:w]
+	nTopU = nTopU[:w]
+	nTopV = nTopV[:w]
+	oldIdx = oldIdx[:w]
+	touched = touched[:w]
 
 	// Rescore the touched pairs; a score that actually moved re-ranks
 	// both endpoints (this also catches MinSimilarity boundary crossings:
@@ -389,11 +427,17 @@ func BuildIncremental(ctx context.Context, es *EntitySet, clicks *bipartite.Grap
 		}
 	}
 
-	// Kept-edge changes → dirty CSR rows.
+	// Kept-edge changes → dirty CSR rows; the same pass counts the next
+	// CSR's row degrees so patchCSR never re-derives keep status.
+	deg := make([]int32, n)
 	for i := range newPairs {
 		oi := oldIdx[i]
 		oldKept := oi >= 0 && (st.topU[oi] || st.topV[oi])
 		kn := nTopU[i] || nTopV[i]
+		if kn {
+			deg[newPairs[i][0]]++
+			deg[newPairs[i][1]]++
+		}
 		if kn != oldKept || (kn && newSims[i] != st.sims[oi]) {
 			d.ChangedEdges++
 			csrDirtyB[newPairs[i][0]] = true
@@ -420,7 +464,7 @@ func BuildIncremental(ctx context.Context, es *EntitySet, clicks *bipartite.Grap
 	g := st.graph
 	if len(dirtyRows) > 0 {
 		var err error
-		g, err = patchCSR(st.graph, n, newPairs, newSims, nTopU, nTopV, csrDirtyB, cfg.Shards)
+		g, err = patchCSR(st.graph, n, newPairs, newSims, nTopU, nTopV, csrDirtyB, deg, cfg.Shards)
 		if err != nil {
 			return nil, nil, nil, err
 		}
@@ -451,17 +495,10 @@ func BuildIncremental(ctx context.Context, es *EntitySet, clicks *bipartite.Grap
 // weighted-degree fold order (a row's V-side addends precede its U-side
 // addends) and the canonical blocked total-weight summation — every float
 // byte-identical to shard.FromEdges over the same kept edges.
-func patchCSR(prevG *shard.CSR, n int, pairs [][2]int32, sims []float64, topU, topV []bool, dirty []bool, shards int) (*shard.CSR, error) {
+func patchCSR(prevG *shard.CSR, n int, pairs [][2]int32, sims []float64, topU, topV []bool, dirty []bool, deg []int32, shards int) (*shard.CSR, error) {
 	prev := prevG.BaseCSR()
 	pOff, pNbrs, pWts := prev.Adj()
 
-	deg := make([]int32, n)
-	for i := range pairs {
-		if topU[i] || topV[i] {
-			deg[pairs[i][0]]++
-			deg[pairs[i][1]]++
-		}
-	}
 	offsets := make([]int32, n+1)
 	var off int32
 	for u := 0; u < n; u++ {

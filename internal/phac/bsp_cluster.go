@@ -18,6 +18,7 @@ import (
 // re-pointed at each round's contracted CSR before the engine rebind.
 type clusterDiffusionProgram struct {
 	offsets   []int32
+	deg       []int32 // live row lengths: row u spans offsets[u] .. offsets[u]+deg[u]
 	nbrs      []int32
 	wts       []float64
 	rounds    int
@@ -67,7 +68,8 @@ func (p *clusterDiffusionProgram) Combine(acc, m edgeRef) edgeRef {
 
 func (p *clusterDiffusionProgram) Compute(step int, v bsp.VertexID, _ []edgeRef, out *bsp.Outbox[edgeRef]) bool {
 	u := int32(v)
-	rl, rh := p.offsets[u], p.offsets[u+1]
+	rl := p.offsets[u]
+	rh := rl + p.deg[u]
 	var next edgeRef
 	if step == 0 {
 		best, bestAny := noEdge, noEdge
@@ -216,7 +218,8 @@ func (st *state) selectLocalMaximaBSP(rounds int, threshold float64, agg *bsp.St
 	// a future per-round rounds/threshold change cannot silently reuse
 	// the first round's values.
 	prog.rounds, prog.threshold = rounds, threshold
-	prog.offsets = st.offsets[:n+1]
+	prog.offsets = st.offsets[:n]
+	prog.deg = st.deg[:n]
 	prog.nbrs, prog.wts = st.nbrs, st.wts
 	prog.lvl = st.exStates
 	prog.edgeCnt = st.edgeCnt[:n]

@@ -6,15 +6,19 @@ import (
 	"shoal/internal/wgraph"
 )
 
-// Memo is the cross-build diffusion cache behind incremental daily
-// rebuilds: a snapshot of round 0's fully-diffused state — every node's
-// per-level best-known edge, per-row edge count and best incident edge —
-// taken over the original (pre-merge) graph. A later clustering over a
-// graph that differs from the snapshot's only in a known set of rows
-// seeds its round 0 from the memo and recomputes just those rows plus
-// the ripple of value changes: the cross-round exStates memoization
-// lifted one level up, across builds. A Memo is immutable once returned
-// and safe to retain after the clustering that produced it ends.
+// Memo is the cross-build clustering cache behind incremental daily
+// rebuilds. Its head is a snapshot of round 0's fully-diffused state —
+// every node's per-level best-known edge, per-row edge count and best
+// incident edge — taken over the original (pre-merge) graph; a later
+// clustering over a graph that differs from the snapshot's only in a
+// known set of rows seeds its round 0 from the memo and recomputes just
+// those rows plus the ripple of value changes. Its tail is the build's
+// merge trajectory (see memoRound): per merge round, the selected
+// matching, the post-merge contracted CSR and the next round's diffused
+// cascade, which lets the warm build prove-and-replay the whole merge
+// prefix for subtrees the delta never touches instead of recomputing
+// it. A Memo is immutable once returned and safe to retain (and reuse)
+// after the clustering that produced it ends.
 type Memo struct {
 	n         int
 	rounds    int
@@ -22,6 +26,13 @@ type Memo struct {
 	levels    [][]edgeRef
 	edgeCnt   []int64
 	bests     []edgeRef
+	// Trajectory-replay fields: the merge prefix depends on the linkage
+	// rule and the leaf sizes (diffusion does not), so both are part of
+	// the replay eligibility check — a mismatch degrades to the
+	// round-0-only seed, never to a wrong replay.
+	linkage Linkage
+	sizes   []float64
+	traj    []memoRound
 }
 
 // Compatible reports whether the memo can seed a clustering of an
@@ -32,18 +43,40 @@ type Memo struct {
 // byte-identical diffusion state, so a memo captured by either warms
 // the other.
 func (m *Memo) Compatible(n int, cfg Config) bool {
-	return m != nil && m.n == n && m.rounds == cfg.DiffusionRounds &&
-		m.threshold == cfg.StopThreshold
+	return m.IncompatibleReason(n, cfg) == ""
+}
+
+// IncompatibleReason reports why the memo cannot seed a clustering of
+// an n-node graph under cfg — the empty string when it can. The reasons
+// ("no-memo", "node-count", "diffusion-rounds", "stop-threshold") are
+// stable identifiers surfaced through core.Build.Delta and the refresh
+// log, so an always-cold production rebuild loop is diagnosable instead
+// of silently slow.
+func (m *Memo) IncompatibleReason(n int, cfg Config) string {
+	switch {
+	case m == nil:
+		return "no-memo"
+	case m.n != n:
+		return "node-count"
+	case m.rounds != cfg.DiffusionRounds:
+		return "diffusion-rounds"
+	case m.threshold != cfg.StopThreshold:
+		return "stop-threshold"
+	}
+	return ""
 }
 
 // ClusterWarm is Cluster with cross-build memoization: prev — captured
 // by an earlier ClusterWarm over a graph differing from g only in
 // dirtyRows' adjacency — seeds round 0's diffusion so only the dirty
 // rows and the neighborhoods their value changes reach are recomputed,
-// and the returned Memo snapshots this build for the next one. An
-// incompatible or nil prev runs the ordinary cold start (still
-// capturing a Memo). The Result is byte-identical to Cluster's for
-// every seed, locked by TestClusterWarmMatchesCold.
+// and replays the previous build's merge trajectory round by round for
+// as long as taint propagation proves the selection unchanged (see the
+// package comment's warm-start invariants). The returned Memo snapshots
+// this build for the next one. An incompatible or nil prev runs the
+// ordinary cold start (still capturing a Memo). The Result is
+// byte-identical to Cluster's for every seed, locked by
+// TestClusterWarmMatchesCold and TestClusterWarmDirtyShapes.
 func ClusterWarm(ctx context.Context, g wgraph.View, sizes []int, cfg Config, prev *Memo, dirtyRows []int32) (*Result, *Memo, error) {
 	return cluster(ctx, g, sizes, cfg, prev, dirtyRows, true)
 }
@@ -60,6 +93,8 @@ func (st *state) captureMemo(cfg Config) *Memo {
 		levels:  make([][]edgeRef, len(st.exStates)),
 		edgeCnt: append([]int64(nil), st.edgeCnt[:n]...),
 		bests:   append([]edgeRef(nil), st.bests[:n]...),
+		linkage: cfg.Linkage,
+		sizes:   append([]float64(nil), st.size[:n]...),
 	}
 	for it := range st.exStates {
 		m.levels[it] = append([]edgeRef(nil), st.exStates[it][:n]...)
@@ -87,8 +122,10 @@ func (st *state) seedFromMemo(m *Memo, dirtyRows []int32, useBSP bool) {
 	copy(st.edgeCnt[:n], m.edgeCnt)
 	copy(st.bests[:n], m.bests)
 	st.haveCache = true
-	for len(st.dirty) < n {
-		st.dirty = append(st.dirty, 0)
+	if n > len(st.dirty) {
+		// One sized re-slice; the appended stamps must be zero (clean),
+		// which append-of-a-fresh-slice guarantees.
+		st.dirty = append(st.dirty, make([]uint32, n-len(st.dirty))...)
 	}
 	st.dirtyList = append(st.dirtyList[:0], dirtyRows...)
 	for _, u := range dirtyRows {

@@ -159,6 +159,163 @@ func TestClusterWarmMemoCrossesExecutionPaths(t *testing.T) {
 	}
 }
 
+// TestClusterWarmDirtyShapes fuzzes the shape of the dirty set — empty,
+// a single reweighted edge, a hub row's neighborhood, the full graph —
+// against a cold Cluster, with every memo captured on a different
+// execution path than the one it warms (shared→shared parallel,
+// shared→BSP, BSP→shared). Two shapes have provable replay counts: an
+// empty delta must replay the entire trajectory, and an all-rows-dirty
+// delta must trip the taint density gate before the first round and
+// replay nothing.
+func TestClusterWarmDirtyShapes(t *testing.T) {
+	ctx := context.Background()
+	const n = 120
+	base := Config{StopThreshold: 0.3, DiffusionRounds: 2}
+	configs := []struct {
+		name string
+		cfg  Config
+	}{
+		{"shared-w1", base},
+		{"shared-w3", base},
+		{"bsp-w2", base},
+	}
+	configs[1].cfg.Workers, configs[1].cfg.Shards = 3, 3
+	configs[2].cfg.Workers, configs[2].cfg.Shards, configs[2].cfg.UseBSP = 2, 2, true
+
+	reweightOne := func(g *wgraph.Graph, rng *rand.Rand) (*wgraph.Graph, []int32) {
+		edges := g.Edges()
+		e := edges[rng.IntN(len(edges))]
+		ng := wgraph.New(n)
+		for _, o := range edges {
+			_ = ng.SetEdge(o.U, o.V, o.W)
+		}
+		_ = ng.SetEdge(e.U, e.V, 0.05+0.9*rng.Float64())
+		dirty := []int32{e.U, e.V}
+		slices.Sort(dirty)
+		return ng, dirty
+	}
+	reweightHub := func(g *wgraph.Graph, rng *rand.Rand) (*wgraph.Graph, []int32) {
+		deg := make([]int, n)
+		edges := g.Edges()
+		for _, e := range edges {
+			deg[e.U]++
+			deg[e.V]++
+		}
+		hub := int32(0)
+		for u := 1; u < n; u++ {
+			if deg[u] > deg[hub] {
+				hub = int32(u)
+			}
+		}
+		ng := wgraph.New(n)
+		for _, o := range edges {
+			_ = ng.SetEdge(o.U, o.V, o.W)
+		}
+		dirty := map[int32]bool{hub: true}
+		touched := 0
+		for _, e := range edges {
+			if touched >= 5 || (e.U != hub && e.V != hub) {
+				continue
+			}
+			_ = ng.SetEdge(e.U, e.V, 0.05+0.9*rng.Float64())
+			dirty[e.U], dirty[e.V] = true, true
+			touched++
+		}
+		out := make([]int32, 0, len(dirty))
+		for u := range dirty {
+			out = append(out, u)
+		}
+		slices.Sort(out)
+		return ng, out
+	}
+
+	partialReplays := 0
+	for seed := uint64(1); seed <= 3; seed++ {
+		g := randomGraph(n, 300, seed)
+		for i, tc := range configs {
+			// The memo always comes from a different path/parallelism
+			// than the warm run consuming it.
+			capCfg := configs[(i+1)%len(configs)].cfg
+			_, memo, err := ClusterWarm(ctx, g, nil, capCfg, nil, nil)
+			if err != nil {
+				t.Fatalf("seed %d %s: capture: %v", seed, tc.name, err)
+			}
+			rng := rand.New(rand.NewPCG(seed, uint64(i)*13+5))
+			full, fullDirty := perturbGraph(g, n, seed*17+uint64(i))
+			allRows := make([]int32, n)
+			for u := range allRows {
+				allRows[u] = int32(u)
+			}
+			_ = fullDirty
+			shapes := []struct {
+				name       string
+				g          *wgraph.Graph
+				dirty      []int32
+				wantRounds int // -1: no constraint; -2: all rounds
+			}{
+				{"empty", g, nil, -2},
+				{"full", full, allRows, 0},
+			}
+			sg, sd := reweightOne(g, rng)
+			shapes = append(shapes, struct {
+				name       string
+				g          *wgraph.Graph
+				dirty      []int32
+				wantRounds int
+			}{"singleton", sg, sd, -1})
+			hg, hd := reweightHub(g, rng)
+			shapes = append(shapes, struct {
+				name       string
+				g          *wgraph.Graph
+				dirty      []int32
+				wantRounds int
+			}{"hub", hg, hd, -1})
+
+			for _, sh := range shapes {
+				warm, _, err := ClusterWarm(ctx, sh.g, nil, tc.cfg, memo, sh.dirty)
+				if err != nil {
+					t.Fatalf("seed %d %s %s: warm: %v", seed, tc.name, sh.name, err)
+				}
+				cold, err := Cluster(ctx, sh.g, nil, tc.cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(warm.Dendrogram, cold.Dendrogram) {
+					t.Fatalf("seed %d %s %s: warm dendrogram diverged from cold", seed, tc.name, sh.name)
+				}
+				if !reflect.DeepEqual(warm.Rounds, cold.Rounds) {
+					t.Fatalf("seed %d %s %s: warm round stats diverged", seed, tc.name, sh.name)
+				}
+				switch sh.wantRounds {
+				case -2:
+					// A clean delta replays every round the memo's
+					// capped trajectory holds, and all merges in them.
+					wantR := min(len(warm.Rounds), replayCaptureDepth)
+					wantM := 0
+					for _, rs := range warm.Rounds[:wantR] {
+						wantM += rs.Selected
+					}
+					if warm.ReplayedRounds != wantR || warm.ReplayedMerges != wantM {
+						t.Fatalf("seed %d %s %s: clean delta replayed %d/%d rounds, %d/%d merges",
+							seed, tc.name, sh.name, warm.ReplayedRounds, wantR,
+							warm.ReplayedMerges, wantM)
+					}
+				case -1:
+					partialReplays += warm.ReplayedRounds
+				default:
+					if warm.ReplayedRounds != sh.wantRounds {
+						t.Fatalf("seed %d %s %s: replayed %d rounds, want %d",
+							seed, tc.name, sh.name, warm.ReplayedRounds, sh.wantRounds)
+					}
+				}
+			}
+		}
+	}
+	if partialReplays == 0 {
+		t.Fatal("no singleton/hub delta replayed any round — taint replay never engages on small deltas")
+	}
+}
+
 // TestClusterWarmIncompatibleMemo: a stale memo (wrong size or changed
 // clustering parameters) must be ignored, not misapplied.
 func TestClusterWarmIncompatibleMemo(t *testing.T) {

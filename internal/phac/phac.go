@@ -23,10 +23,39 @@
 // Rounds repeat until no edge reaches the stop threshold. The globally
 // maximal edge is always locally maximal, so progress is guaranteed.
 //
-// The clustering state is held in compressed-sparse-row form: each merge
-// round sort-merges the coalesced edge contributions into the next
-// round's CSR (double-buffered, scratch reused across rounds), so the
-// diffusion inner loop never allocates and never chases map buckets.
+// The clustering state is held in compressed-sparse-row form with
+// explicit per-row degrees (a row's span is offsets[u] ..
+// offsets[u]+deg[u]): each merge round sort-merges the coalesced edge
+// contributions and patches them into the CSR in place — dirty
+// surviving rows compact within their own spans (a merge only ever
+// shrinks a row), minted rows append at the tail, dead rows keep their
+// storage at degree zero — so a round costs O(touched adjacency), not
+// O(alive edges), and the diffusion inner loop never allocates and
+// never chases map buckets.
+//
+// # Warm-start invariants
+//
+// ClusterWarm seeds a build from the previous build's Memo and replays
+// its merge trajectory for as long as the replay is provably safe. The
+// proof has two independent layers. Selection is never assumed: every
+// round diffuses and matches over the live graph, and a round is
+// replayed only when its live matching equals the memoized one edge for
+// edge — minted cluster ids are positional, so any difference would
+// shift every later id, and the build instead continues with cold
+// merges from that round on. What taint propagation proves is the
+// cheaper claim that makes replay worthwhile: starting from the
+// dirty-row set (symmetric, since the CSR stores both directions of a
+// changed edge), each round's taint closure — surviving tainted rows
+// plus minted rows with a tainted member — bounds exactly the rows
+// whose CSR content can differ from the memoized build's, so every row
+// outside it is span-copied from the memo and only tainted rows are
+// recomputed entry by entry, in the cold path's contribution order, for
+// byte-identical floats. The fallback triggers per round: a selection
+// mismatch or a trajectory that ran out ends replay permanently, and a
+// taint closure past half the alive rows (replayTaintGate) refuses the
+// round — at round 0 that degrades to the round-0-only warm seed. A
+// linkage or leaf-size change disables replay entirely (the trajectory
+// depends on both; the diffusion seed does not).
 package phac
 
 import (
@@ -175,6 +204,12 @@ type Result struct {
 	// BSP is the aggregated engine profile across every clustering
 	// round's diffusion when Config.UseBSP is set; nil otherwise.
 	BSP *bsp.Stats
+	// ReplayedRounds and ReplayedMerges count the merge rounds (and the
+	// merges within them) a warm build replayed from the previous
+	// build's trajectory instead of recomputing (see replay.go); both
+	// are zero on a cold build.
+	ReplayedRounds int
+	ReplayedMerges int
 }
 
 // edgeRef is a totally ordered reference to an edge: better means higher
@@ -240,6 +275,12 @@ func cluster(ctx context.Context, g wgraph.View, sizes []int, cfg Config, prev *
 
 	st := newState(wgraph.AsCSR(g), sizes, cfg)
 	defer st.release()
+	// replaying tracks whether the previous build's merge trajectory is
+	// still eligible for round-by-round replay; taint is the current
+	// round's sorted dirty-row closure (see replay.go), with taintSpare
+	// as the double buffer the next closure is built into.
+	replaying := false
+	var taint, taintSpare []int32
 	if prev.Compatible(n, cfg) {
 		for _, u := range dirtyRows {
 			if u < 0 || int(u) >= n {
@@ -247,6 +288,12 @@ func cluster(ctx context.Context, g wgraph.View, sizes []int, cfg Config, prev *
 			}
 		}
 		st.seedFromMemo(prev, dirtyRows, cfg.UseBSP)
+		if prev.replayable(st, cfg) {
+			taint = append([]int32(nil), dirtyRows...)
+			slices.Sort(taint)
+			taint = slices.Compact(taint)
+			replaying = true
+		}
 	}
 	var memo *Memo
 	res := &Result{Dendrogram: &dendrogram.Dendrogram{Leaves: n}}
@@ -282,11 +329,20 @@ func cluster(ctx context.Context, g wgraph.View, sizes []int, cfg Config, prev *
 		} else {
 			selected, activeEdges, bestSim = st.selectLocalMaxima(cfg.DiffusionRounds, cfg.Workers, cfg.StopThreshold)
 		}
-		if capture && round == 0 {
-			// Round 0's diffusion just ran over the original graph; the
-			// merge below would overwrite levels and mint ids, so this is
-			// the one point the cross-build snapshot can be taken.
-			memo = st.captureMemo(cfg)
+		if capture {
+			if round == 0 {
+				// Round 0's diffusion just ran over the original graph;
+				// the merge below would overwrite levels and mint ids,
+				// so this is the one point the cross-build snapshot can
+				// be taken.
+				memo = st.captureMemo(cfg)
+			} else if round-1 < replayCaptureDepth {
+				// The diffusion that just ran covers the previous
+				// round's contracted CSR: snapshot it into that round's
+				// trajectory entry so a future warm build can replay
+				// the merge and seed this round's diffusion from it.
+				memo.traj[round-1].captureLevels(st)
+			}
 		}
 		stat := RoundStat{
 			Round: round, ActiveClusters: st.aliveCount,
@@ -309,7 +365,33 @@ func cluster(ctx context.Context, g wgraph.View, sizes []int, cfg Config, prev *
 			return nil, nil, fmt.Errorf("phac: round %d selected no edges with best sim %f", round, bestSim)
 		}
 
-		st.mergeSelected(selected, round, cfg, res.Dendrogram)
+		// Replay the memoized merge when the trajectory is still valid:
+		// the live selection (recomputed above from the live graph)
+		// must equal the memoized one, and the taint closure must stay
+		// under the density gate. Any refusal permanently drops back to
+		// cold merges — minted ids diverge from the memo from here on.
+		replayed := false
+		if replaying {
+			if round < len(prev.traj) {
+				if nt, ok := st.replayRound(selected, round, cfg, res.Dendrogram, &prev.traj[round], taint, taintSpare); ok {
+					replayed = true
+					taintSpare = taint[:0]
+					taint = nt
+					res.ReplayedRounds++
+					res.ReplayedMerges += len(selected)
+				}
+			}
+			if !replayed {
+				replaying = false
+			}
+		}
+		if !replayed {
+			st.mergeSelected(selected, round, cfg, res.Dendrogram)
+		}
+		if capture && round < replayCaptureDepth {
+			memo.traj = append(memo.traj, snapRound(st, selected))
+		}
+		rsp.SetAttr("replayed", replayed)
 		// The merge just stamped next round's dirty worklist — the frontier
 		// the memoized diffusion will start from.
 		rsp.SetAttr("frontierSize", len(st.dirtyList))
@@ -319,21 +401,24 @@ func cluster(ctx context.Context, g wgraph.View, sizes []int, cfg Config, prev *
 }
 
 // state is the mutable clustering state. Cluster ids grow past n as merges
-// mint new ids; alive marks current clusters. The current graph is a CSR
-// over all minted ids (dead rows are empty); each merge round builds the
-// next CSR into the spare buffers and swaps, so no per-node maps exist
-// anywhere on the clustering path.
+// mint new ids; alive marks current clusters. The current graph is a
+// degree-explicit CSR over all minted ids: row u's live span is
+// offsets[u] .. offsets[u]+deg[u], with offsets[total] the tail
+// high-water mark. Spans never move once laid out — merges shrink
+// surviving rows in place (deg drops, the slack stays as dead storage),
+// zero dead rows' degrees, and append minted rows' spans at the tail —
+// so no per-node maps and no per-round rebuild exist anywhere on the
+// clustering path.
 type state struct {
 	total   int       // minted ids; CSR rows
-	offsets []int32   // current CSR: len total+1
+	offsets []int32   // row span starts: len total+1, [total] = tail
 	nbrs    []int32   // neighbor ids, ascending within each row
 	wts     []float64 // parallel weights
+	deg     []int32   // id -> live row length (0 for dead rows)
 	// ownsCur is false while the current CSR aliases the caller's frozen
-	// graph (round 0); those arrays are never written.
+	// graph (round 0); those arrays are never written — ensureOwned
+	// copies them on the first merge.
 	ownsCur    bool
-	bOffsets   []int32 // spare CSR buffers for the next round
-	bNbrs      []int32
-	bWts       []float64
 	size       []float64
 	alive      []bool
 	aliveCount int
@@ -359,18 +444,20 @@ type state struct {
 	// selected pairs are alive again with unchanged finals, which the
 	// sparse chRows walk would never visit.
 	forceDense bool
-	afMark    []uint32 // id -> epoch it was marked for recomputation
-	epoch     uint32   // phase counter (never reset)
-	changed   int64    // parallel-phase change counter (atomic; lives on
+	afMark     []uint32 // id -> epoch it was marked for recomputation
+	epoch      uint32   // phase counter (never reset)
+	changed    int64    // parallel-phase change counter (atomic; lives on
 	// the state so closures capturing it never force a per-iteration
 	// heap allocation on the serial zero-alloc path)
-	nodes    []int32   // aliveList scratch
-	edgeCnt  []int64   // id -> round-stat edge count (owned at min id)
-	bests    []edgeRef // id -> best incident edge regardless of threshold
-	selected []edgeRef // selection output, reused per round
-	mergeTo  []int32   // id -> new id this round, -1 otherwise
-	coef     []float64 // id -> Eq. 4 coefficient this round
-	deg      []int32   // degree/cursor scratch for CSR rebuild
+	nodes []int32 // aliveList scratch: the ascending alive ids when
+	// nodesValid (maintained incrementally by the per-round retire
+	// passes), arbitrary otherwise
+	nodesValid bool
+	edgeCnt    []int64   // id -> round-stat edge count (owned at min id)
+	bests      []edgeRef // id -> best incident edge regardless of threshold
+	selected   []edgeRef // selection output, reused per round
+	mergeTo    []int32   // id -> new id this round, -1 otherwise
+	coef       []float64 // id -> Eq. 4 coefficient this round
 	// dirty stamps ids whose adjacency the current merge round changed:
 	// dirty[id] == dirtyEpoch means dirty. Marks are written inside the
 	// contribution-generation pass (which already walks every merged
@@ -396,11 +483,11 @@ type state struct {
 	// rows the pruned iteration must recompute — deduplicated via the
 	// afMark epoch stamps. The *Bkts slices are per-range collection
 	// scratch for the parallel phases.
-	chList  []int32
-	chNext  []int32
-	chBkts  [][]int32
-	afList  []int32
-	afBkts  [][]int32
+	chList []int32
+	chNext []int32
+	chBkts [][]int32
+	afList []int32
+	afBkts [][]int32
 	// The UseBSP path's cross-round memoization scratch: bspSeed is the
 	// alive dirty rows handed to RunFrom as the superstep-0 frontier,
 	// bspActiveEdges the running Σ edgeCnt over alive rows (adjusted
@@ -420,6 +507,22 @@ type state struct {
 	hp        []int32       // k-way merge heap scratch (owner indices)
 	hpPos     []int32       // k-way merge per-owner cursor scratch
 	newEdges  []wgraph.Edge // aggregated >= threshold edges
+	// Trajectory-replay scratch (see replay.go): the propagated taint
+	// set's minted ids, the round's live patch worklist, and the
+	// per-partner coalescing state of a tainted row.
+	rpMinted []int32
+	rpDirty  []int32
+	rpPart   []int32
+	rpSums   []float64
+	rpMark   []uint32
+	rpEpoch  uint32
+	rpTail   []contrib
+	// lastPatched is the most recent merge round's patch worklist — every
+	// row whose span that round rewrote (dead member rows included,
+	// minted rows included) — aliasing dirtyList after a cold merge and
+	// rpDirty after a replayed one. snapRound reads it to capture the
+	// round's CSR delta.
+	lastPatched []int32
 }
 
 func newState(c *wgraph.CSR, sizes []int, cfg Config) *state {
@@ -441,6 +544,7 @@ func newState(c *wgraph.CSR, sizes []int, cfg Config) *state {
 		offsets: offsets,
 		nbrs:    nbrs,
 		wts:     wts,
+		deg:     make([]int32, n, 2*n),
 		ownsCur: false,
 		// dirtyEpoch starts above the zero value of fresh dirty stamps:
 		// before the first merge nothing is dirty, so round 0's frontier
@@ -476,8 +580,32 @@ func newState(c *wgraph.CSR, sizes []int, cfg Config) *state {
 		}
 		st.bests[i] = noEdge
 		st.mergeTo[i] = -1
+		st.deg[i] = offsets[i+1] - offsets[i]
 	}
 	return st
+}
+
+// ensureOwned copies the CSR out of the caller's frozen graph before the
+// first in-place write. One copy per clustering: every later round
+// patches the owned arrays directly.
+func (st *state) ensureOwned() {
+	if st.ownsCur {
+		return
+	}
+	n := st.total
+	half := int(st.offsets[n])
+	// Row-start headroom for minted ids, entry headroom for their spans:
+	// 2n+1 rows can never be exceeded, and minted spans are bounded by
+	// the merged rows' combined (shrink-only) adjacency, so 3/2 entry
+	// slack makes tail reallocation rare without doubling the footprint.
+	offsets := make([]int32, n+1, 2*n+1)
+	copy(offsets, st.offsets[:n+1])
+	nbrs := make([]int32, half, half+half/2)
+	copy(nbrs, st.nbrs[:half])
+	wts := make([]float64, half, half+half/2)
+	copy(wts, st.wts[:half])
+	st.offsets, st.nbrs, st.wts = offsets, nbrs, wts
+	st.ownsCur = true
 }
 
 // release retires any resources the state holds beyond its own memory —
@@ -488,8 +616,14 @@ func (st *state) release() {
 	}
 }
 
-// aliveList fills the reusable node scratch with the alive cluster ids.
+// aliveList returns the ascending alive cluster ids. After the first
+// full build the list is maintained incrementally by the merge/replay
+// retire passes (compact the dead, append the minted — O(alive) per
+// round, not O(total)), so this scan runs once per clustering.
 func (st *state) aliveList() []int32 {
+	if st.nodesValid {
+		return st.nodes
+	}
 	out := st.nodes[:0]
 	for id := int32(0); int(id) < st.total; id++ {
 		if st.alive[id] {
@@ -497,7 +631,29 @@ func (st *state) aliveList() []int32 {
 		}
 	}
 	st.nodes = out
+	st.nodesValid = true
 	return out
+}
+
+// retireNodes drops the ids a retire pass just killed from the
+// maintained alive list and appends the round's minted ids (all alive,
+// all greater than every prior id, so the list stays ascending).
+func (st *state) retireNodes(base, newTotal int32) {
+	if !st.nodesValid {
+		return
+	}
+	w := 0
+	for _, u := range st.nodes {
+		if st.alive[u] {
+			st.nodes[w] = u
+			w++
+		}
+	}
+	nodes := st.nodes[:w]
+	for id := base; id < newTotal; id++ {
+		nodes = append(nodes, id)
+	}
+	st.nodes = nodes
 }
 
 // selectLocalMaxima runs the diffusion protocol and returns the selected
@@ -658,10 +814,10 @@ func (st *state) nodeRangeBounds(nodes []int32) []int32 {
 		st.bounds = append(st.bounds, 0)
 	}
 	bounds := st.bounds[:shards+1]
-	offsets := st.offsets
+	deg := st.deg
 	var total int64
 	for _, u := range nodes {
-		total += int64(offsets[u+1]-offsets[u]) + 1
+		total += int64(deg[u]) + 1
 	}
 	bounds[0] = 0
 	bounds[shards] = int32(len(nodes))
@@ -671,7 +827,7 @@ func (st *state) nodeRangeBounds(nodes []int32) []int32 {
 		if next >= shards {
 			break
 		}
-		prefix += int64(offsets[u+1]-offsets[u]) + 1
+		prefix += int64(deg[u]) + 1
 		for next < shards && prefix*int64(shards) >= total*int64(next) {
 			bounds[next] = int32(i + 1)
 			next++
@@ -727,13 +883,13 @@ func runRangesIdx(bounds []int32, fn func(ci, lo, hi int)) {
 // statistics (edge endpoints counted once, at the smaller id). Pure CSR
 // array scans — no allocation.
 func (st *state) initAll(nodes []int32, lo, hi int, threshold float64, init []edgeRef) {
-	offsets, nbrs, wts := st.offsets, st.nbrs, st.wts
+	offsets, nbrs, wts, deg := st.offsets, st.nbrs, st.wts, st.deg
 	for i := lo; i < hi; i++ {
 		u := nodes[i]
 		best := noEdge
 		edges := int64(0)
 		bestAny := noEdge
-		for j := offsets[u]; j < offsets[u+1]; j++ {
+		for j, end := offsets[u], offsets[u]+deg[u]; j < end; j++ {
 			v, w := nbrs[j], wts[j]
 			if u < v {
 				edges++
@@ -762,7 +918,7 @@ func (st *state) initAll(nodes []int32, lo, hi int, threshold float64, init []ed
 // neighbors) are skipped. Rows whose init state actually changed append
 // to out (the next iteration's frontier); returns out and the count.
 func (st *state) initDirtyList(list []int32, threshold float64, init []edgeRef, out []int32) ([]int32, int64) {
-	offsets, nbrs, wts := st.offsets, st.nbrs, st.wts
+	offsets, nbrs, wts, deg := st.offsets, st.nbrs, st.wts, st.deg
 	var cnt int64
 	for _, u := range list {
 		if !st.alive[u] {
@@ -771,7 +927,7 @@ func (st *state) initDirtyList(list []int32, threshold float64, init []edgeRef, 
 		best := noEdge
 		edges := int64(0)
 		bestAny := noEdge
-		for j := offsets[u]; j < offsets[u+1]; j++ {
+		for j, end := offsets[u], offsets[u]+deg[u]; j < end; j++ {
 			v, w := nbrs[j], wts[j]
 			if u < v {
 				edges++
@@ -802,12 +958,12 @@ func (st *state) initDirtyList(list []int32, threshold float64, init []edgeRef, 
 // level it, appending cross-round changes (new value differs from the
 // memoized one) to out and returning out plus the change count.
 func (st *state) denseIter(nodes []int32, lo, hi int, src, dst []edgeRef, out []int32) ([]int32, int64) {
-	offsets, nbrs := st.offsets, st.nbrs
+	offsets, nbrs, deg := st.offsets, st.nbrs, st.deg
 	var cnt int64
 	for i := lo; i < hi; i++ {
 		u := nodes[i]
 		best := src[u]
-		for j := offsets[u]; j < offsets[u+1]; j++ {
+		for j, end := offsets[u], offsets[u]+deg[u]; j < end; j++ {
 			if v := nbrs[j]; better(src[v], best) {
 				best = src[v]
 			}
@@ -827,7 +983,7 @@ func (st *state) denseIter(nodes []int32, lo, hi int, src, dst []edgeRef, out []
 // (their neighbor set itself changed; dead list entries skipped). The
 // afMark epoch stamps deduplicate; out receives each marked id once.
 func (st *state) scatterList(ch, dirty []int32, out []int32) []int32 {
-	offsets, nbrs := st.offsets, st.nbrs
+	offsets, nbrs, deg := st.offsets, st.nbrs, st.deg
 	epoch := st.epoch
 	af := st.afMark
 	for _, u := range ch {
@@ -835,7 +991,7 @@ func (st *state) scatterList(ch, dirty []int32, out []int32) []int32 {
 			af[u] = epoch
 			out = append(out, u)
 		}
-		for j := offsets[u]; j < offsets[u+1]; j++ {
+		for j, end := offsets[u], offsets[u]+deg[u]; j < end; j++ {
 			if v := nbrs[j]; af[v] != epoch {
 				af[v] = epoch
 				out = append(out, v)
@@ -858,7 +1014,7 @@ func (st *state) scatterList(ch, dirty []int32, out []int32) []int32 {
 // in out is not, which is safe — the pruned recompute's work is per-id
 // independent, so the diffusion result is byte-identical for any order.
 func (st *state) scatterListAtomic(out []int32) []int32 {
-	offsets, nbrs := st.offsets, st.nbrs
+	offsets, nbrs, deg := st.offsets, st.nbrs, st.deg
 	epoch := st.epoch
 	st.resetAfBkts()
 	st.runListChunks(st.chList, func(ci int, part []int32) {
@@ -867,7 +1023,7 @@ func (st *state) scatterListAtomic(out []int32) []int32 {
 			if casMark32(&st.afMark[u], epoch) {
 				bkt = append(bkt, u)
 			}
-			for j := offsets[u]; j < offsets[u+1]; j++ {
+			for j, end := offsets[u], offsets[u]+deg[u]; j < end; j++ {
 				if v := nbrs[j]; casMark32(&st.afMark[v], epoch) {
 					bkt = append(bkt, v)
 				}
@@ -895,11 +1051,11 @@ func (st *state) scatterListAtomic(out []int32) []int32 {
 // inputs to last round). Cross-round changes append to out and are
 // counted.
 func (st *state) prunedIterList(list []int32, src, dst []edgeRef, out []int32) ([]int32, int64) {
-	offsets, nbrs := st.offsets, st.nbrs
+	offsets, nbrs, deg := st.offsets, st.nbrs, st.deg
 	var cnt int64
 	for _, u := range list {
 		best := src[u]
-		for j := offsets[u]; j < offsets[u+1]; j++ {
+		for j, end := offsets[u], offsets[u]+deg[u]; j < end; j++ {
 			if v := nbrs[j]; better(src[v], best) {
 				best = src[v]
 			}
@@ -1103,7 +1259,7 @@ func (st *state) mergeSelected(selected []edgeRef, round int, cfg Config, d *den
 	// concatenate into a duplicate-free dirtyList whose id set is
 	// deterministic (order under parallel merges is not, which is safe:
 	// every dirtyList consumer does per-id independent work).
-	offsets, nbrs, wts := st.offsets, st.nbrs, st.wts
+	offsets, nbrs, wts, deg := st.offsets, st.nbrs, st.wts, st.deg
 	for len(st.perOwner) < len(selected) {
 		st.perOwner = append(st.perOwner, nil)
 		st.perOwnerB = append(st.perOwnerB, nil)
@@ -1131,8 +1287,8 @@ func (st *state) mergeSelected(selected []edgeRef, round int, cfg Config, d *den
 		out := perOwner[i][:0]
 		tail := perOwnerB[i][:0]
 		bkt := dirtyBkts[wid]
-		jU, endU := offsets[eu], offsets[eu+1]
-		jV, endV := offsets[ev], offsets[ev+1]
+		jU, endU := offsets[eu], offsets[eu]+deg[eu]
+		jV, endV := offsets[ev], offsets[ev]+deg[ev]
 		wu, wv := st.coef[eu], st.coef[ev]
 		if casMark32(&st.dirty[w], dirtyEpoch) { // minted rows are always fresh
 			bkt = append(bkt, w)
@@ -1184,82 +1340,103 @@ func (st *state) mergeSelected(selected []edgeRef, round int, cfg Config, d *den
 	// is byte-identical.
 	newEdges := st.kwayMergeSum(perOwner[:len(selected)], cfg.StopThreshold)
 
-	// Build the next round's CSR into the spare buffers: surviving old
-	// edges (both endpoints unmerged) in row-major order, then the
-	// coalesced edges in canonical order. Every row under construction
-	// receives its neighbors in ascending order (old ids < base first,
-	// minted ids >= base after), so no per-row sort is needed.
-	//
-	// Rows are counted and filled row-wise (countRange/fillRange): a row
-	// only dirty — adjacent to this round's merges, or minted — is
-	// re-filtered entry by entry; a clean row's adjacency is provably
-	// unchanged, so its degree is the old row length and its content one
-	// span copy. Late rounds merge few pairs, so most of the graph moves
-	// by memmove instead of per-entry branches. With Shards > 1 the two
-	// passes run one worker per edge-balanced row range; each range
-	// writes only its own rows, so the layout is identical
-	// partition-parallel.
+	// Patch the contracted CSR in place. A clean row — untouched by this
+	// round's merges — provably keeps its whole adjacency and is never
+	// visited; a dirty surviving row's new adjacency (kept survivors in
+	// its own order, then coalesced minted partners ascending) is never
+	// longer than its old one, because every partner replaces at least
+	// one merged neighbor and sub-threshold sums drop, so it compacts
+	// within its own span; minted rows lay fresh spans at the tail. Dead
+	// rows keep their storage at degree zero. Every row still receives
+	// its neighbors ascending (old ids < base first, minted ids >= base
+	// after) in exactly the order the former full rebuild produced, and
+	// the round costs O(dirty adjacency + coalesced edges) instead of
+	// O(alive edges).
+	st.ensureOwned()
 	for len(st.deg) < newTotal {
 		st.deg = append(st.deg, 0)
 	}
-	deg := st.deg[:newTotal]
-	for len(st.bOffsets) < newTotal+1 {
-		st.bOffsets = append(st.bOffsets, 0)
-	}
-	bOffsets := st.bOffsets[:newTotal+1]
-	sharded := st.shards > 1 && newTotal >= 256
-	if sharded {
-		// Count per row range, balanced by old-row entries (minted rows
-		// weigh one entry; their degrees come from the newEdges scan
-		// every worker performs anyway).
-		cb := st.rangeBoundsByPrefix(st.offsets, st.total, newTotal)
-		runRanges32(cb, func(lo, hi int32) {
-			st.countRange(lo, hi, deg, newEdges)
-		})
-	} else {
-		st.countRange(0, int32(newTotal), deg, newEdges)
-	}
-
-	bOffsets[0] = 0
-	for i := 0; i < newTotal; i++ {
-		bOffsets[i+1] = bOffsets[i] + deg[i]
-	}
-	half := int(bOffsets[newTotal])
-	for len(st.bNbrs) < half {
-		st.bNbrs = append(st.bNbrs, 0)
-		st.bWts = append(st.bWts, 0)
-	}
-	bNbrs, bWts := st.bNbrs[:half], st.bWts[:half]
-
-	if sharded {
-		fb := st.rangeBoundsByPrefix(bOffsets, newTotal, newTotal)
-		runRanges32(fb, func(lo, hi int32) {
-			st.fillRange(lo, hi, deg, bOffsets, bNbrs, bWts, newEdges)
-		})
-	} else {
-		st.fillRange(0, int32(newTotal), deg, bOffsets, bNbrs, bWts, newEdges)
+	offsets, nbrs, wts, deg = st.offsets, st.nbrs, st.wts, st.deg
+	for _, u := range st.dirtyList {
+		if u >= base || st.mergeTo[u] >= 0 {
+			continue // minted rows fill below; members retire below
+		}
+		lo := offsets[u]
+		wi := lo
+		for j, end := lo, lo+deg[u]; j < end; j++ {
+			if v := nbrs[j]; st.mergeTo[v] < 0 {
+				nbrs[wi], wts[wi] = v, wts[j]
+				wi++
+			}
+		}
+		for k := searchEdgeU(newEdges, u); k < len(newEdges) && newEdges[k].U == u; k++ {
+			nbrs[wi], wts[wi] = newEdges[k].V, newEdges[k].W
+			wi++
+		}
+		deg[u] = wi - lo
 	}
 
-	// Retire the merged clusters and clear this round's merge map.
+	// Minted rows: count their degrees (a coalesced edge's V endpoint is
+	// always minted — canonical keys order minted ids last — and its U
+	// endpoint may be), lay their spans out at the tail, then scatter the
+	// (U,V)-sorted list once with per-row write cursors: a row's V-side
+	// partners (ids below it) all precede its U-side run (ids above it),
+	// ascending within each, so the single pass writes each minted row in
+	// canonical ascending order.
+	for i := range selected {
+		deg[base+int32(i)] = 0
+	}
+	for _, e := range newEdges {
+		deg[e.V]++
+		if e.U >= base {
+			deg[e.U]++
+		}
+	}
+	for len(st.offsets) < newTotal+1 {
+		st.offsets = append(st.offsets, 0)
+	}
+	offsets = st.offsets
+	tail := offsets[st.total]
+	for i := range selected {
+		w := base + int32(i)
+		offsets[w] = tail
+		tail += deg[w]
+	}
+	offsets[newTotal] = tail
+	if grow := int(tail) - len(st.nbrs); grow > 0 {
+		st.nbrs = append(st.nbrs, make([]int32, grow)...)
+		st.wts = append(st.wts, make([]float64, grow)...)
+	}
+	nbrs, wts = st.nbrs, st.wts
+	for i := range selected {
+		deg[base+int32(i)] = 0 // reused as the write cursor; restored by the fill
+	}
+	for _, e := range newEdges {
+		w := e.V
+		p := offsets[w] + deg[w]
+		nbrs[p], wts[p] = e.U, e.W
+		deg[w]++
+		if e.U >= base {
+			w = e.U
+			p = offsets[w] + deg[w]
+			nbrs[p], wts[p] = e.V, e.W
+			deg[w]++
+		}
+	}
+
+	// Retire the merged clusters and clear this round's merge map; dead
+	// rows' spans stay allocated but empty.
 	for _, e := range selected {
 		st.alive[e.U()] = false
 		st.alive[e.V()] = false
 		st.mergeTo[e.U()] = -1
 		st.mergeTo[e.V()] = -1
+		deg[e.U()] = 0
+		deg[e.V()] = 0
 	}
 	st.aliveCount -= len(selected)
-
-	// Swap the new CSR in; the old buffers become the next spare unless
-	// they alias the caller's graph.
-	if st.ownsCur {
-		st.offsets, st.bOffsets = bOffsets, st.offsets
-		st.nbrs, st.bNbrs = bNbrs, st.nbrs
-		st.wts, st.bWts = bWts, st.wts
-	} else {
-		st.offsets, st.nbrs, st.wts = bOffsets, bNbrs, bWts
-		st.bOffsets, st.bNbrs, st.bWts = nil, nil, nil
-		st.ownsCur = true
-	}
+	st.retireNodes(base, int32(newTotal))
+	st.lastPatched = st.dirtyList
 	st.total = newTotal
 }
 
@@ -1349,42 +1526,6 @@ func (st *state) kwayMergeSum(lists [][]contrib, threshold float64) []wgraph.Edg
 	return newEdges
 }
 
-// rangeBoundsByPrefix fills the bounds scratch with st.shards+1 cut
-// points over the row space [0,nRows), balancing ranges by per-row
-// weight derived from the prefix array off: rows below offRows weigh
-// their entry count plus one, rows at or above it (e.g. freshly minted
-// clusters with no old adjacency) weigh one. Bounds only partition work;
-// results are identical for any split.
-func (st *state) rangeBoundsByPrefix(off []int32, offRows, nRows int) []int32 {
-	shards := st.shards
-	for len(st.bounds) < shards+1 {
-		st.bounds = append(st.bounds, 0)
-	}
-	bounds := st.bounds[:shards+1]
-	if offRows > nRows {
-		offRows = nRows
-	}
-	total := int64(off[offRows]) + int64(nRows)
-	bounds[0] = 0
-	bounds[shards] = int32(nRows)
-	var prefix int64
-	next := 1
-	for u := 0; u < nRows && next < shards; u++ {
-		if u < offRows {
-			prefix += int64(off[u+1] - off[u])
-		}
-		prefix++
-		for next < shards && prefix*int64(shards) >= total*int64(next) {
-			bounds[next] = int32(u + 1)
-			next++
-		}
-	}
-	for ; next < shards; next++ {
-		bounds[next] = int32(nRows)
-	}
-	return bounds
-}
-
 // runRanges32 is runRanges over int32 row bounds.
 func runRanges32(bounds []int32, fn func(lo, hi int32)) {
 	var wg sync.WaitGroup
@@ -1416,97 +1557,6 @@ func searchEdgeU(edges []wgraph.Edge, x int32) int {
 		}
 	}
 	return lo
-}
-
-// countRange computes the next-round degrees of rows [lo,hi): surviving
-// old neighbors from the row's own adjacency (a dead or merged row is
-// skipped; dead rows are empty by construction) plus incident coalesced
-// edges. A clean row — untouched by this round's merges — provably
-// keeps its whole adjacency, so its count is the old row length.
-// The coalesced list is (U,V)-sorted, so the range's U-side incidences
-// are a binary-searched contiguous run, and only the scattered V side
-// walks the list — capped at the run end, since e.U < e.V < hi.
-// Writes only deg[lo:hi], so ranges run concurrently.
-func (st *state) countRange(lo, hi int32, deg []int32, newEdges []wgraph.Edge) {
-	offsets, nbrs := st.offsets, st.nbrs
-	for u := lo; u < hi; u++ {
-		var d int32
-		if int(u) < st.total && st.mergeTo[u] < 0 {
-			if st.dirty[u] != st.dirtyEpoch {
-				d = offsets[u+1] - offsets[u]
-			} else {
-				for j := offsets[u]; j < offsets[u+1]; j++ {
-					if st.mergeTo[nbrs[j]] < 0 {
-						d++
-					}
-				}
-			}
-		}
-		deg[u] = d
-	}
-	uStart, uEnd := searchEdgeU(newEdges, lo), searchEdgeU(newEdges, hi)
-	for _, e := range newEdges[:uEnd] {
-		if e.V >= lo && e.V < hi {
-			deg[e.V]++
-		}
-	}
-	for _, e := range newEdges[uStart:uEnd] {
-		deg[e.U]++
-	}
-}
-
-// fillRange fills the next-round rows [lo,hi): each row's surviving old
-// neighbors in its own adjacency order (ascending, all below base),
-// then its coalesced edges in canonical order (minted partners above
-// base) — the exact layout of the old canonical two-sided fill. Clean
-// rows move as one span copy; only dirty rows pay the per-entry filter.
-// Writes only its rows' entry ranges and cursors, so ranges run
-// concurrently.
-func (st *state) fillRange(lo, hi int32, deg, bOffsets, bNbrs []int32, bWts []float64, newEdges []wgraph.Edge) {
-	offsets, nbrs, wts := st.offsets, st.nbrs, st.wts
-	for u := lo; u < hi; u++ {
-		deg[u] = bOffsets[u] // fill cursor
-	}
-	top := hi
-	if int(top) > st.total {
-		top = int32(st.total)
-	}
-	for u := lo; u < top; u++ {
-		if st.mergeTo[u] >= 0 {
-			continue
-		}
-		rl, rh := offsets[u], offsets[u+1]
-		if st.dirty[u] != st.dirtyEpoch {
-			if rl == rh {
-				continue
-			}
-			n := int32(copy(bNbrs[deg[u]:deg[u]+rh-rl], nbrs[rl:rh]))
-			copy(bWts[deg[u]:deg[u]+rh-rl], wts[rl:rh])
-			deg[u] += n
-			continue
-		}
-		for j := rl; j < rh; j++ {
-			if v := nbrs[j]; st.mergeTo[v] < 0 {
-				bNbrs[deg[u]], bWts[deg[u]] = v, wts[j]
-				deg[u]++
-			}
-		}
-	}
-	// Coalesced edges, V side first then the binary-searched U-side run:
-	// a row's V-side partners (minted ids below it) all precede its
-	// U-side partners (minted ids above it) in the sorted list, so the
-	// split loops append in the exact interleaved-scan order.
-	uStart, uEnd := searchEdgeU(newEdges, lo), searchEdgeU(newEdges, hi)
-	for _, e := range newEdges[:uEnd] {
-		if e.V >= lo && e.V < hi {
-			bNbrs[deg[e.V]], bWts[deg[e.V]] = e.U, e.W
-			deg[e.V]++
-		}
-	}
-	for _, e := range newEdges[uStart:uEnd] {
-		bNbrs[deg[e.U]], bWts[deg[e.U]] = e.V, e.W
-		deg[e.U]++
-	}
 }
 
 func canon(u, v int32) (int32, int32) {

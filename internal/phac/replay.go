@@ -1,0 +1,511 @@
+package phac
+
+import (
+	"slices"
+
+	"shoal/internal/dendrogram"
+)
+
+// Trajectory replay: a warm build proves, round by round, that the
+// previous build's merge decisions still hold, and replays them instead
+// of recomputing. The proof obligation is discharged by running the
+// real selection machinery every round — diffusion and locally-maximal
+// matching are always recomputed over the live graph — and replaying
+// only when the live selection equals the memoized one edge for edge
+// (minted ids are positional, so any difference shifts every later id
+// and the dendrograms diverge). What replay skips is the expensive part
+// of the round: the contribution generation and k-way merge-sum of
+// mergeSelected. Taint propagation over the dirty-row set bounds how
+// much of that work is genuinely new:
+//
+//	T_0   = dirtyRows (symmetric: both endpoints of every changed entry)
+//	T_k+1 = {survivors of T_k} ∪ {minted rows with a tainted member}
+//
+// The CSR stores each undirected edge twice with bit-identical weights,
+// so a changed value always taints both endpoints and T stays
+// symmetric; inductively, every row outside T_k is byte-identical to
+// the memoized build's round-k row, which means clean rows the merge
+// rewrites take their post-merge spans straight out of the memo's
+// per-round patch (the patchCSR idiom) and only tainted rows pay a
+// per-entry recompute. The memoized next round's diffusion cascade is
+// installed wholesale with T_k+1 as the dirty worklist — exactly the
+// round-0 warm-seed contract, one round deeper.
+const replayTaintGate = 0.5
+
+// replayCaptureDepth caps how many merge rounds of trajectory a build
+// snapshots. Replay consumes the trajectory strictly in order and stops
+// permanently at the first divergence, and under realistic deltas the
+// selection diverges within a handful of rounds — while a long
+// clustering can run a hundred-plus rounds whose tail snapshots would
+// never be read. The early rounds are also where the contracted CSR
+// (and hence both the snapshot cost and the replay win) is largest, so
+// a short prefix keeps nearly all of the benefit at a bounded fraction
+// of the capture cost.
+const replayCaptureDepth = 4
+
+// memoRound is one merge round of a captured build's trajectory: the
+// canonical matching it selected, the CSR patch the merge applied — the
+// alive rows it rewrote (ascending) with their post-merge spans packed
+// in matching order — and the next round's diffused cascade over the
+// post-merge row space (nil levels when the build terminated before
+// diffusing again — replay then stops at this round).
+type memoRound struct {
+	selected []edgeRef
+	newTotal int
+	ids      []int32
+	off      []int32 // len(ids)+1 prefix into nbrs/wts
+	nbrs     []int32
+	wts      []float64
+	levels   [][]edgeRef
+	edgeCnt  []int64
+	bests    []edgeRef
+}
+
+// snapRound deep-copies the matching just applied and the CSR delta it
+// produced: every alive row the merge rewrote (lastPatched filtered by
+// alive — dead member rows carry no content) with its post-merge span.
+// O(patched adjacency), not O(graph). The levels triple is captured
+// later, by captureLevels, once the next round's diffusion has run over
+// the post-merge rows.
+func snapRound(st *state, selected []edgeRef) memoRound {
+	ids := make([]int32, 0, len(st.lastPatched))
+	for _, u := range st.lastPatched {
+		if st.alive[u] {
+			ids = append(ids, u)
+		}
+	}
+	slices.Sort(ids)
+	var total int32
+	for _, u := range ids {
+		total += st.deg[u]
+	}
+	off := make([]int32, 1, len(ids)+1)
+	nbrs := make([]int32, 0, total)
+	wts := make([]float64, 0, total)
+	for _, u := range ids {
+		lo, hi := st.offsets[u], st.offsets[u]+st.deg[u]
+		nbrs = append(nbrs, st.nbrs[lo:hi]...)
+		wts = append(wts, st.wts[lo:hi]...)
+		off = append(off, int32(len(nbrs)))
+	}
+	return memoRound{
+		selected: append([]edgeRef(nil), selected...),
+		newTotal: st.total,
+		ids:      ids,
+		off:      off,
+		nbrs:     nbrs,
+		wts:      wts,
+	}
+}
+
+// captureLevels deep-copies the diffusion cascade and per-row stats the
+// selection that just ran computed over this round's CSR.
+func (mr *memoRound) captureLevels(st *state) {
+	n := st.total
+	mr.levels = make([][]edgeRef, len(st.exStates))
+	for it := range st.exStates {
+		mr.levels[it] = append([]edgeRef(nil), st.exStates[it][:n]...)
+	}
+	mr.edgeCnt = append([]int64(nil), st.edgeCnt[:n]...)
+	mr.bests = append([]edgeRef(nil), st.bests[:n]...)
+}
+
+// replayable reports whether the memo's trajectory may be replayed
+// against the current build: Compatible already held (the memo seeded
+// round 0), and additionally the linkage rule and leaf sizes — which
+// merge coefficients, hence the trajectory, depend on but diffusion
+// does not — match. A mismatch degrades to the round-0-only warm
+// start.
+func (m *Memo) replayable(st *state, cfg Config) bool {
+	if m == nil || len(m.traj) == 0 || m.linkage != cfg.Linkage || len(m.sizes) != st.total {
+		return false
+	}
+	for i, s := range m.sizes {
+		if st.size[i] != s {
+			return false
+		}
+	}
+	return true
+}
+
+// replayRound applies round `round`'s matching by replaying mr instead
+// of running mergeSelected, returning the propagated taint set and true
+// on success. It refuses — leaving the state untouched, the caller then
+// merges cold — when the live selection differs from the memoized one,
+// when the trajectory has no diffused state to seed the next round
+// with, or when the taint set has grown past replayTaintGate of the
+// alive rows (the recompute would touch most of the graph anyway, and
+// every later round inherits at least this taint).
+//
+// On success the post-merge state is byte-identical to mergeSelected's:
+// the merge rewrites exactly the rows adjacent to a member plus the
+// minted rows, and of those the clean ones take their post-merge spans
+// from the memo patch while tainted ones are recomputed per entry, in
+// place, in the exact contribution order of the cold path. The next
+// round's diffusion is seeded from the memo cascade with the taint set
+// as its dirty worklist.
+func (st *state) replayRound(selected []edgeRef, round int, cfg Config, d *dendrogram.Dendrogram, mr *memoRound, taint, spare []int32) ([]int32, bool) {
+	base := int32(st.total)
+	newTotal := st.total + len(selected)
+	if mr.levels == nil || mr.newTotal != newTotal {
+		return nil, false
+	}
+	if !slices.Equal(selected, mr.selected) {
+		return nil, false
+	}
+	if float64(len(taint)) > replayTaintGate*float64(st.aliveCount) {
+		return nil, false
+	}
+	threshold := cfg.StopThreshold
+	offsets, nbrs, wts, deg := st.offsets, st.nbrs, st.wts, st.deg
+
+	// Collect the live patch worklist — every row this merge rewrites:
+	// rows adjacent to a member in the live CSR (the members themselves
+	// included, via the pair's internal edge), deduplicated with dirty
+	// stamps; the minted rows join during the patch. Walked before any
+	// bookkeeping so the verification below can still refuse the round
+	// with the state untouched.
+	st.dirtyEpoch++
+	pe := st.dirtyEpoch
+	ld := st.rpDirty[:0]
+	for _, e := range selected {
+		eu, ev := e.U(), e.V()
+		for j, end := offsets[eu], offsets[eu]+deg[eu]; j < end; j++ {
+			if nb := nbrs[j]; st.dirty[nb] != pe {
+				st.dirty[nb] = pe
+				ld = append(ld, nb)
+			}
+		}
+		for j, end := offsets[ev], offsets[ev]+deg[ev]; j < end; j++ {
+			if nb := nbrs[j]; st.dirty[nb] != pe {
+				st.dirty[nb] = pe
+				ld = append(ld, nb)
+			}
+		}
+	}
+	st.rpDirty = ld
+
+	// Verify every clean row the patch will copy has a memoized span
+	// that fits its storage. CSR symmetry guarantees presence — a clean
+	// row adjacent to a member in the live graph held that member in the
+	// memoized build too (its row is byte-identical), so that build
+	// patched it and captured its span — and byte-identity guarantees
+	// fit (the memo span is the row the cold merge would write here, and
+	// a merge only ever shrinks a surviving row). The explicit check
+	// keeps corruption structurally impossible rather than argued: any
+	// miss refuses the round before the state is touched.
+	st.epoch++
+	me := st.epoch
+	for _, e := range selected {
+		st.afMark[e.U()] = me
+		st.afMark[e.V()] = me
+	}
+	for _, u := range ld {
+		if st.afMark[u] == me {
+			continue // member: retires, carries no span
+		}
+		if _, tainted := slices.BinarySearch(taint, u); tainted {
+			continue // recomputed, not copied
+		}
+		k, ok := slices.BinarySearch(mr.ids, u)
+		if !ok || mr.off[k+1]-mr.off[k] > deg[u] {
+			return nil, false
+		}
+	}
+	for i, e := range selected {
+		if _, t := slices.BinarySearch(taint, e.U()); t {
+			continue
+		}
+		if _, t := slices.BinarySearch(taint, e.V()); t {
+			continue
+		}
+		if _, ok := slices.BinarySearch(mr.ids, base+int32(i)); !ok {
+			return nil, false
+		}
+	}
+
+	// Per-id bookkeeping, exactly as mergeSelected.
+	for len(st.mergeTo) < newTotal {
+		st.mergeTo = append(st.mergeTo, -1)
+		st.afMark = append(st.afMark, 0)
+		st.edgeCnt = append(st.edgeCnt, 0)
+		st.bests = append(st.bests, noEdge)
+	}
+	for it := range st.exStates {
+		for len(st.exStates[it]) < newTotal {
+			st.exStates[it] = append(st.exStates[it], noEdge)
+		}
+	}
+	for len(st.coef) < newTotal {
+		st.coef = append(st.coef, 0)
+	}
+	for len(st.deg) < newTotal {
+		st.deg = append(st.deg, 0)
+	}
+	if newTotal > len(st.dirty) {
+		st.dirty = append(st.dirty, make([]uint32, newTotal-len(st.dirty))...)
+	}
+	deg = st.deg
+	for i, e := range selected {
+		id := base + int32(i)
+		eu, ev := e.U(), e.V()
+		wu, wv := cfg.Linkage.weights(st.size[eu], st.size[ev])
+		st.mergeTo[eu] = id
+		st.mergeTo[ev] = id
+		st.coef[eu] = wu
+		st.coef[ev] = wv
+		st.size = append(st.size, st.size[eu]+st.size[ev])
+		st.alive = append(st.alive, true)
+		d.Merges = append(d.Merges, dendrogram.Merge{
+			A: eu, B: ev, New: id, Sim: e.sim, Round: int32(round),
+		})
+	}
+
+	// Propagate taint: surviving tainted rows stay, a merged tainted
+	// member taints its minted row. Survivors keep their ids (all below
+	// base) and minted ids sort above them, so the concatenation stays
+	// sorted and duplicate-free.
+	nt := spare[:0]
+	minted := st.rpMinted[:0]
+	for _, u := range taint {
+		if m := st.mergeTo[u]; m >= 0 {
+			minted = append(minted, m)
+		} else {
+			nt = append(nt, u)
+		}
+	}
+	slices.Sort(minted)
+	minted = slices.Compact(minted)
+	nt = append(nt, minted...)
+	st.rpMinted = minted[:0]
+
+	// Patch the surviving rows of the worklist in place: clean rows copy
+	// their memoized post-merge spans, tainted rows recompute — reading
+	// only their own span, so patch order is irrelevant.
+	st.ensureOwned()
+	offsets, nbrs, wts = st.offsets, st.nbrs, st.wts
+	for len(st.rpMark) < len(selected) {
+		st.rpMark = append(st.rpMark, 0)
+	}
+	for len(st.rpSums) < len(selected) {
+		st.rpSums = append(st.rpSums, 0)
+	}
+	sums := st.rpSums
+	for _, u := range ld {
+		if st.mergeTo[u] >= 0 {
+			continue // member: retires below
+		}
+		if _, tainted := slices.BinarySearch(taint, u); !tainted {
+			k, _ := slices.BinarySearch(mr.ids, u)
+			lo, hi := mr.off[k], mr.off[k+1]
+			copy(nbrs[offsets[u]:], mr.nbrs[lo:hi])
+			copy(wts[offsets[u]:], mr.wts[lo:hi])
+			deg[u] = hi - lo
+			continue
+		}
+		// Tainted survivor: walk its own span; the symmetric CSR holds
+		// the same bits the cold path reads from the member side, and
+		// ascending members reproduce the canonical origin order of the
+		// per-partner sums. Kept survivors write at or before their read
+		// position and partners append only after the whole span was
+		// read, so the in-place rewrite is safe; the result can never
+		// outgrow the span (every partner replaces at least one merged
+		// neighbor).
+		st.rpEpoch++
+		rpe := st.rpEpoch
+		partners := st.rpPart[:0]
+		lo := offsets[u]
+		wi := lo
+		for j, end := lo, lo+deg[u]; j < end; j++ {
+			v, w := nbrs[j], wts[j]
+			m := st.mergeTo[v]
+			if m < 0 {
+				nbrs[wi], wts[wi] = v, w
+				wi++
+				continue
+			}
+			mi := m - base
+			if st.rpMark[mi] != rpe {
+				st.rpMark[mi] = rpe
+				sums[mi] = 0
+				partners = append(partners, m)
+			}
+			sums[mi] += st.coef[v] * w
+		}
+		slices.Sort(partners)
+		for _, m := range partners {
+			if s := sums[m-base]; s >= threshold {
+				nbrs[wi], wts[wi] = m, s
+				wi++
+			}
+		}
+		st.rpPart = partners[:0]
+		deg[u] = wi - lo
+	}
+
+	// Minted rows: lay out tail spans — a clean minted row takes its
+	// memoized degree, a tainted one conservative capacity (a merge
+	// cannot produce more entries than its members' combined adjacency;
+	// the slack stays as dead storage, like any shrunk row) — then fill:
+	// clean spans copy from the memo patch, tainted ones recompute via
+	// the cold contribution pass's two-pointer walk over the members'
+	// (dead, still intact) spans.
+	for len(st.offsets) < newTotal+1 {
+		st.offsets = append(st.offsets, 0)
+	}
+	offsets = st.offsets
+	tail := offsets[st.total]
+	for i, e := range selected {
+		w := base + int32(i)
+		offsets[w] = tail
+		_, tU := slices.BinarySearch(taint, e.U())
+		_, tV := slices.BinarySearch(taint, e.V())
+		if tU || tV {
+			tail += deg[e.U()] + deg[e.V()]
+		} else {
+			k, _ := slices.BinarySearch(mr.ids, w)
+			tail += mr.off[k+1] - mr.off[k]
+		}
+	}
+	offsets[newTotal] = tail
+	if grow := int(tail) - len(st.nbrs); grow > 0 {
+		st.nbrs = append(st.nbrs, make([]int32, grow)...)
+		st.wts = append(st.wts, make([]float64, grow)...)
+	}
+	nbrs, wts = st.nbrs, st.wts
+	for i, e := range selected {
+		w := base + int32(i)
+		eu, ev := e.U(), e.V()
+		_, tU := slices.BinarySearch(taint, eu)
+		_, tV := slices.BinarySearch(taint, ev)
+		if !tU && !tV {
+			k, _ := slices.BinarySearch(mr.ids, w)
+			lo, hi := mr.off[k], mr.off[k+1]
+			copy(nbrs[offsets[w]:], mr.nbrs[lo:hi])
+			copy(wts[offsets[w]:], mr.wts[lo:hi])
+			deg[w] = hi - lo
+			continue
+		}
+		// Tainted minted row: two-pointer over both members' rows,
+		// mirroring the cold contribution pass — ties to the smaller
+		// member, surviving-neighbor sums accumulated in stream order,
+		// merged-neighbor contributions into a sorted tail.
+		wu, wv := st.coef[eu], st.coef[ev]
+		jU, endU := offsets[eu], offsets[eu]+deg[eu]
+		jV, endV := offsets[ev], offsets[ev]+deg[ev]
+		mtail := st.rpTail[:0]
+		lastNb := int32(-1)
+		var pend float64
+		havePend := false
+		wi := offsets[w]
+		for jU < endU || jV < endV {
+			var member, nb int32
+			var wm, s float64
+			if jV >= endV || (jU < endU && nbrs[jU] <= nbrs[jV]) {
+				member, nb, wm, s = eu, nbrs[jU], wu, wts[jU]
+				jU++
+			} else {
+				member, nb, wm, s = ev, nbrs[jV], wv, wts[jV]
+				jV++
+			}
+			m2 := st.mergeTo[nb]
+			if m2 < 0 {
+				if havePend && nb != lastNb {
+					if pend >= threshold {
+						nbrs[wi], wts[wi] = lastNb, pend
+						wi++
+					}
+					havePend = false
+				}
+				if !havePend {
+					lastNb, pend, havePend = nb, 0, true
+				}
+				pend += wm * s
+				continue
+			}
+			if m2 == w {
+				continue // the pair's internal edge
+			}
+			oa, ob := canon(member, nb)
+			mtail = append(mtail, contrib{key: [2]int32{m2, 0}, orig: [2]int32{oa, ob}, val: wm * st.coef[nb] * s})
+		}
+		if havePend && pend >= threshold {
+			nbrs[wi], wts[wi] = lastNb, pend
+			wi++
+		}
+		slices.SortFunc(mtail, cmpContrib)
+		for k := 0; k < len(mtail); {
+			m2 := mtail[k].key[0]
+			var sum float64
+			for ; k < len(mtail) && mtail[k].key[0] == m2; k++ {
+				sum += mtail[k].val
+			}
+			if sum >= threshold {
+				nbrs[wi], wts[wi] = m2, sum
+				wi++
+			}
+		}
+		st.rpTail = mtail[:0]
+		deg[w] = wi - offsets[w]
+	}
+
+	// Retire the merged clusters, exactly as mergeSelected; dead rows'
+	// spans stay allocated but empty.
+	for _, e := range selected {
+		st.alive[e.U()] = false
+		st.alive[e.V()] = false
+		st.mergeTo[e.U()] = -1
+		st.mergeTo[e.V()] = -1
+		deg[e.U()] = 0
+		deg[e.V()] = 0
+	}
+	st.aliveCount -= len(selected)
+	st.retireNodes(base, int32(newTotal))
+	for i := range selected {
+		ld = append(ld, base+int32(i))
+	}
+	st.rpDirty = ld
+	st.lastPatched = ld
+	st.total = newTotal
+
+	// Seed the next round's diffusion from the memo cascade with the
+	// taint set as the dirty worklist — the cross-build round-0 seed,
+	// one round deeper.
+	for it := range st.exStates {
+		copy(st.exStates[it][:newTotal], mr.levels[it])
+	}
+	copy(st.edgeCnt[:newTotal], mr.edgeCnt)
+	copy(st.bests[:newTotal], mr.bests)
+	st.haveCache = true
+	st.dirtyEpoch++
+	st.dirtyList = append(st.dirtyList[:0], nt...)
+	for _, u := range nt {
+		st.dirty[u] = st.dirtyEpoch
+	}
+	if cfg.UseBSP {
+		// Rebuild the running aggregates the seeded engine rounds
+		// maintain incrementally: memoized counts are current for every
+		// clean alive row, and tainted rows' stale entries are
+		// subtracted and recomputed by the next seeded run. st.selected
+		// must not survive into that run's retire-subtraction — this
+		// round's endpoints are already excluded by the alive filter
+		// here. The sparse changed-rows selection contract is relative
+		// to the memo build's last run, not this one, so the next
+		// selection must scan densely.
+		st.forceDense = true
+		st.selected = st.selected[:0]
+		st.bspHeap = st.bspHeap[:0]
+		var total int64
+		for u := int32(0); int(u) < newTotal; u++ {
+			if !st.alive[u] {
+				continue
+			}
+			total += st.edgeCnt[u]
+			if st.bests[u] != noEdge {
+				st.bspHeapPush(u)
+			}
+		}
+		st.bspActiveEdges = total
+	}
+	return nt, true
+}

@@ -227,12 +227,19 @@ type BSPStat struct {
 // path (core Config.Incremental): how much of the window changed and
 // how much of the pipeline was actually recomputed.
 type DeltaStat struct {
-	DirtyItems    int  `json:"dirtyItems"`
-	DirtyEntities int  `json:"dirtyEntities"`
-	ChangedEdges  int  `json:"changedEdges"`
-	DirtyRows     int  `json:"dirtyRows"`
-	SeededRows    int  `json:"seededRows"`
-	DenseFallback bool `json:"denseFallback"`
+	DirtyItems    int `json:"dirtyItems"`
+	DirtyEntities int `json:"dirtyEntities"`
+	ChangedEdges  int `json:"changedEdges"`
+	DirtyRows     int `json:"dirtyRows"`
+	SeededRows    int `json:"seededRows"`
+	// ReplayedRounds/ReplayedMerges count the clustering merge rounds
+	// (and merges) replayed from the previous build's trajectory;
+	// ClusterCold names why clustering ignored the cross-build memo
+	// (empty when the warm start engaged).
+	ReplayedRounds int    `json:"replayedRounds"`
+	ReplayedMerges int    `json:"replayedMerges"`
+	ClusterCold    string `json:"clusterCold,omitempty"`
+	DenseFallback  bool   `json:"denseFallback"`
 	// DroppedStale is the window's cumulative count of stale
 	// (already-evicted-day) events dropped at ingestion.
 	DroppedStale int64 `json:"droppedStale"`
@@ -390,12 +397,15 @@ func (h *Handler) stats(w http.ResponseWriter, r *http.Request) {
 	}
 	if b.Delta != nil {
 		out.Delta = &DeltaStat{
-			DirtyItems:    b.Delta.DirtyItems,
-			DirtyEntities: b.Delta.DirtyEntities,
-			ChangedEdges:  b.Delta.ChangedEdges,
-			DirtyRows:     b.Delta.DirtyRows,
-			SeededRows:    b.Delta.SeededRows,
-			DenseFallback: b.Delta.DenseFallback,
+			DirtyItems:     b.Delta.DirtyItems,
+			DirtyEntities:  b.Delta.DirtyEntities,
+			ChangedEdges:   b.Delta.ChangedEdges,
+			DirtyRows:      b.Delta.DirtyRows,
+			SeededRows:     b.Delta.SeededRows,
+			ReplayedRounds: b.Delta.ReplayedRounds,
+			ReplayedMerges: b.Delta.ReplayedMerges,
+			ClusterCold:    b.Delta.ClusterCold,
+			DenseFallback:  b.Delta.DenseFallback,
 		}
 		out.Delta.DroppedStale = snap.droppedStale
 	}
